@@ -1,0 +1,108 @@
+package dmlscale_test
+
+// One benchmark per paper artifact: each regenerates the corresponding
+// table or figure through the experiment harness and reports the headline
+// quantity (MAPE, optimum) as a custom metric alongside the runtime.
+// Benchmarks run at quick fidelity so `go test -bench=. -benchmem` stays
+// interactive; `cmd/dmls-experiments -full` regenerates the full-size
+// figures.
+
+import (
+	"testing"
+
+	"dmlscale/internal/experiments"
+)
+
+func benchOptions() experiments.Options {
+	opts := experiments.QuickOptions()
+	opts.Fig4Vertices = 160000
+	return opts
+}
+
+// benchmarkExperiment runs one experiment per iteration and reports the
+// named metrics.
+func benchmarkExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, m := range metrics {
+		if v, ok := last.Metrics[m]; ok {
+			b.ReportMetric(v, metricUnit(m))
+		}
+	}
+}
+
+// metricUnit renders a metric name as a benchmark unit label.
+func metricUnit(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch r {
+		case ' ', '%', '(', ')', '=':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFigure1 regenerates Fig. 1, the framework's example speedup
+// curve with its peak at 14 nodes.
+func BenchmarkFigure1(b *testing.B) {
+	benchmarkExperiment(b, "fig1", "optimal workers", "peak speedup")
+}
+
+// BenchmarkTable1 regenerates Table I, the network configuration counts.
+func BenchmarkTable1(b *testing.B) {
+	benchmarkExperiment(b, "tab1", "fc parameters", "inception parameters")
+}
+
+// BenchmarkFigure2 regenerates Fig. 2, the fully-connected ANN speedup on
+// the simulated Spark cluster (paper: optimum 9 workers, MAPE 13.7%).
+func BenchmarkFigure2(b *testing.B) {
+	benchmarkExperiment(b, "fig2", "MAPE %", "model optimal workers")
+}
+
+// BenchmarkFigure3 regenerates Fig. 3, the convolutional ANN weak-scaling
+// speedup (paper: MAPE 1.2%).
+func BenchmarkFigure3(b *testing.B) {
+	benchmarkExperiment(b, "fig3", "MAPE %")
+}
+
+// BenchmarkFigure4 regenerates Fig. 4, the belief-propagation speedup on a
+// DNS-like graph (paper: MAPE 25.4% on the full graph).
+func BenchmarkFigure4(b *testing.B) {
+	benchmarkExperiment(b, "fig4", "MAPE %")
+}
+
+// BenchmarkFigure4Small regenerates the §V-B text experiments on the
+// downscaled graphs (paper: MAPE 26%, 19.6%, 23.5%).
+func BenchmarkFigure4Small(b *testing.B) {
+	benchmarkExperiment(b, "fig4s")
+}
+
+// BenchmarkAblationComm regenerates the communication-topology ablation.
+func BenchmarkAblationComm(b *testing.B) {
+	benchmarkExperiment(b, "abl-comm", "tree peak", "linear peak")
+}
+
+// BenchmarkAblationAsync regenerates the asynchronous-GD extension study.
+func BenchmarkAblationAsync(b *testing.B) {
+	benchmarkExperiment(b, "abl-async", "async optimal workers")
+}
+
+// BenchmarkAblationConvergence regenerates the convergence trade-off study.
+func BenchmarkAblationConvergence(b *testing.B) {
+	benchmarkExperiment(b, "abl-conv")
+}
+
+// BenchmarkAblationPartition regenerates the estimator-quality ablation.
+func BenchmarkAblationPartition(b *testing.B) {
+	benchmarkExperiment(b, "abl-part", "estimate/exact worst")
+}

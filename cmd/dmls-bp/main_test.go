@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildGraph(t *testing.T) {
+	cases := []struct {
+		kind     string
+		vertices int
+		minV     int
+	}{
+		{"grid", 100, 100},
+		{"cycle", 64, 64},
+		{"tree", 31, 31},
+		{"dns", 500, 500},
+	}
+	for _, tt := range cases {
+		g, err := buildGraph(tt.kind, tt.vertices, 3)
+		if err != nil {
+			t.Errorf("%s: %v", tt.kind, err)
+			continue
+		}
+		if g.NumVertices() < tt.minV {
+			t.Errorf("%s: %d vertices, want ≥ %d", tt.kind, g.NumVertices(), tt.minV)
+		}
+	}
+	if _, err := buildGraph("torus", 10, 1); err == nil {
+		t.Error("unknown graph kind accepted")
+	}
+}
+
+func TestBuildGraphGridRoundsUp(t *testing.T) {
+	// 'grid' rounds up to the next square.
+	g, err := buildGraph("grid", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 16 {
+		t.Errorf("grid(10) = %d vertices, want 16 (4×4)", g.NumVertices())
+	}
+}

@@ -1,0 +1,59 @@
+// Command dmls-netcost prints the per-layer weight and computation
+// breakdown of a neural-network architecture — the tooling behind the
+// paper's Table I.
+//
+// Usage:
+//
+//	dmls-netcost [-network fc-mnist|inception-v3|lenet-5|alexnet|vgg-16] [-layers]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmlscale/internal/nncost"
+	"dmlscale/internal/textio"
+)
+
+var networks = map[string]func() nncost.Network{
+	"fc-mnist":     nncost.MNISTFullyConnected,
+	"inception-v3": nncost.InceptionV3,
+	"lenet-5":      nncost.LeNet5,
+	"alexnet":      nncost.AlexNet,
+	"vgg-16":       nncost.VGG16,
+}
+
+func main() {
+	var (
+		network = flag.String("network", "fc-mnist", "architecture: fc-mnist, inception-v3, lenet-5, alexnet, vgg-16")
+		layers  = flag.Bool("layers", false, "print the per-layer breakdown")
+	)
+	flag.Parse()
+
+	build, ok := networks[*network]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dmls-netcost: unknown network %q\n", *network)
+		os.Exit(1)
+	}
+	summary, err := build().Summarize()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmls-netcost: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s  (input %v → output %v)\n\n", summary.Name, summary.Input, summary.Output)
+	if *layers {
+		table := textio.NewTable("layer", "output", "weights", "multiply-adds")
+		for _, l := range summary.Layers {
+			table.AddRow(l.Label, l.Out.String(), l.Weights, l.MultiplyAdds)
+		}
+		fmt.Println(table.String())
+	}
+	totals := textio.NewTable("quantity", "value")
+	totals.AddRow("parameters (W)", summary.Weights)
+	totals.AddRow("forward multiply-adds", summary.MultiplyAdds)
+	totals.AddRow("forward flops (2·MA)", summary.ForwardFlops())
+	totals.AddRow("training flops per example (3 passes)", summary.TrainingFlops())
+	fmt.Println(totals.String())
+}

@@ -1,0 +1,156 @@
+// Command dmls-speedup is the paper's back-of-the-envelope calculator: given
+// an algorithm's complexity figures and the hardware spec, it prints the
+// speedup curve, the communication/computation crossover and the optimal
+// worker count.
+//
+// Example (the paper's Fig. 2 workload):
+//
+//	dmls-speedup -flops-per-example 72e6 -batch 60000 -params 12e6 \
+//	  -precision 64 -peak-flops 105.6e9 -efficiency 0.8 \
+//	  -bandwidth 1e9 -protocol spark -max 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmlscale/internal/asciiplot"
+	"dmlscale/internal/comm"
+	"dmlscale/internal/core"
+	"dmlscale/internal/gd"
+	"dmlscale/internal/hardware"
+	"dmlscale/internal/scenario"
+	"dmlscale/internal/textio"
+	"dmlscale/internal/units"
+)
+
+func protocolFor(name string, b units.BitsPerSecond) (comm.Model, error) {
+	switch name {
+	case "linear":
+		return comm.Linear{Bandwidth: b}, nil
+	case "tree":
+		return comm.Tree{Bandwidth: b}, nil
+	case "two-stage-tree":
+		return comm.TwoStageTree{Bandwidth: b}, nil
+	case "spark":
+		return comm.SparkGradient(b), nil
+	case "ring":
+		return comm.RingAllReduce{Bandwidth: b}, nil
+	case "shuffle":
+		return comm.Shuffle{Bandwidth: b}, nil
+	case "none", "shared-memory":
+		return comm.SharedMemory{}, nil
+	}
+	return nil, fmt.Errorf("unknown protocol %q (linear, tree, two-stage-tree, spark, ring, shuffle, none)", name)
+}
+
+func main() {
+	var (
+		configPath      = flag.String("config", "", "JSON scenario file (overrides the other flags)")
+		emitConfig      = flag.Bool("emit-config", false, "print the paper's Fig. 2 setup as a scenario file and exit")
+		flopsPerExample = flag.Float64("flops-per-example", 6*12e6, "C: training flops per example")
+		batch           = flag.Float64("batch", 60000, "S: batch size")
+		params          = flag.Float64("params", 12e6, "W: model parameter count")
+		precision       = flag.Float64("precision", 64, "bits per shipped parameter")
+		peakFlops       = flag.Float64("peak-flops", 105.6e9, "node peak flops")
+		efficiency      = flag.Float64("efficiency", 0.8, "achievable fraction of peak")
+		bandwidth       = flag.Float64("bandwidth", 1e9, "network bandwidth, bit/s")
+		protocol        = flag.String("protocol", "spark", "communication protocol")
+		maxN            = flag.Int("max", 16, "largest worker count to evaluate")
+		weak            = flag.Bool("weak", false, "weak scaling: fixed per-worker batch, per-instance time")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "dmls-speedup: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *emitConfig {
+		if err := scenario.Fig2().Encode(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	var model core.Model
+	if *configPath != "" {
+		sc, err := scenario.Load(*configPath)
+		if err != nil {
+			fail(err)
+		}
+		model, err = sc.Model()
+		if err != nil {
+			fail(err)
+		}
+		if sc.MaxWorkers > 0 {
+			*maxN = sc.MaxWorkers
+		}
+		fmt.Printf("scenario: %s\n\n", sc.Name)
+	} else {
+		p, err := protocolFor(*protocol, units.BitsPerSecond(*bandwidth))
+		if err != nil {
+			fail(err)
+		}
+		node := hardware.Node{
+			Name:       "custom node",
+			PeakFlops:  units.Flops(*peakFlops),
+			Efficiency: *efficiency,
+		}
+		w := gd.Workload{
+			Name:            "workload",
+			FlopsPerExample: *flopsPerExample,
+			BatchSize:       *batch,
+			ModelBits:       units.Bits(*precision * *params),
+		}
+		if *weak {
+			model, err = gd.WeakScalingModel(w, node, p)
+		} else {
+			model, err = gd.Model(w, node, p)
+		}
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	workers := core.Range(1, *maxN)
+	curve, err := model.SpeedupCurve(workers)
+	if err != nil {
+		fail(err)
+	}
+	table := textio.NewTable("workers", "t_cp (s)", "t_cm (s)", "t (s)", "speedup", "efficiency")
+	for _, pt := range curve.Points {
+		commTime := 0.0
+		if model.Communication != nil {
+			commTime = float64(model.Communication(pt.N))
+		}
+		table.AddRow(pt.N,
+			float64(model.Computation(pt.N)),
+			commTime,
+			float64(pt.Time), pt.Speedup, pt.Speedup/float64(pt.N))
+	}
+	fmt.Println(table.String())
+
+	plot, err := asciiplot.CurvePlot("speedup", []string{model.Name},
+		[][]int{workers}, [][]float64{curve.Speedups()}, 60, 14)
+	if err == nil {
+		fmt.Println(plot)
+	}
+
+	optN, optS, err := model.OptimalWorkers(*maxN)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("optimal workers: %d (speedup %.2f)\n", optN, optS)
+	if n, ok := model.CommComputeCrossover(*maxN); ok {
+		fmt.Printf("communication exceeds computation from %d workers\n", n)
+	} else {
+		fmt.Printf("computation dominates through %d workers\n", *maxN)
+	}
+	scalable, err := model.IsScalable(*maxN)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("scalable (s(k) > 1 for some k ≤ %d): %v\n", *maxN, scalable)
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"dmlscale/internal/units"
+)
+
+func TestProtocolFor(t *testing.T) {
+	known := []string{"linear", "tree", "two-stage-tree", "spark", "ring", "shuffle", "none", "shared-memory"}
+	for _, name := range known {
+		m, err := protocolFor(name, units.Gbps)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if m == nil || m.Time(1e6, 4) < 0 {
+			t.Errorf("%s: bad model", name)
+		}
+	}
+	if _, err := protocolFor("warp", units.Gbps); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Errorf("parseInts = %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad integer accepted")
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty list accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Package dmlscale models the scalability of distributed machine learning,
+// reproducing Ulanov, Simanovsky and Marwah, "Modeling Scalability of
+// Distributed Machine Learning" (ICDE 2017).
+//
+// The framework views a distributed ML algorithm as BSP supersteps whose
+// time is computation plus communication, t(n) = t_cp(n) + t_cm(n), and
+// measures scalability by the speedup s(n) = t(1)/t(n). Building a model
+// needs only the algorithm's complexity formulas and the hardware spec — no
+// profiling runs.
+//
+// Quick start:
+//
+//	w := dmlscale.Workload{
+//		Name:            "my network",
+//		FlopsPerExample: 6 * 12e6, // 6·W for dense nets
+//		BatchSize:       60000,
+//		ModelBits:       64 * 12e6,
+//	}
+//	model, err := dmlscale.GradientDescent(w, dmlscale.XeonE31240(), dmlscale.SparkComm())
+//	n, s, err := model.OptimalWorkers(16)
+//
+// The subpackages under internal implement the full system: analytic models
+// (core, comm), substrates (nn, nncost, gd, graph, partition, mrf, bp),
+// discrete-event experiment simulators (cluster, sparksim, gpusim, shmsim)
+// and the per-figure reproduction harness (experiments).
+package dmlscale
+
+import (
+	"dmlscale/internal/comm"
+	"dmlscale/internal/core"
+	"dmlscale/internal/experiments"
+	"dmlscale/internal/gd"
+	"dmlscale/internal/hardware"
+	"dmlscale/internal/partition"
+	"dmlscale/internal/units"
+)
+
+// Core modeling types.
+type (
+	// Model is a per-superstep time model with Speedup, Efficiency,
+	// SpeedupCurve and OptimalWorkers methods.
+	Model = core.Model
+	// Curve is a sampled speedup curve.
+	Curve = core.Curve
+	// Point is one curve sample.
+	Point = core.Point
+	// Workload describes a gradient-descent workload: per-example flops,
+	// batch size and communicated model bits.
+	Workload = gd.Workload
+	// Node is one homogeneous computing device.
+	Node = hardware.Node
+	// Network is the communication medium.
+	Network = hardware.Network
+	// CommModel maps payload and worker count to communication time.
+	CommModel = comm.Model
+	// Seconds is a duration in seconds.
+	Seconds = units.Seconds
+	// Flops is a computation rate.
+	Flops = units.Flops
+	// BitsPerSecond is a bandwidth.
+	BitsPerSecond = units.BitsPerSecond
+	// Bits is a data size.
+	Bits = units.Bits
+)
+
+// GradientDescent builds the paper's strong-scaling gradient-descent model
+// t(n) = C·S/(F·n) + t_cm(W bits, n) on the given hardware and protocol.
+func GradientDescent(w Workload, node Node, protocol CommModel) (Model, error) {
+	return gd.Model(w, node, protocol)
+}
+
+// GradientDescentWeak builds the paper's weak-scaling model (per-instance
+// time with a fixed per-worker batch), the Fig. 3 setting.
+func GradientDescentWeak(w Workload, node Node, protocol CommModel) (Model, error) {
+	return gd.WeakScalingModel(w, node, protocol)
+}
+
+// GraphInference builds the paper's graphical-model inference model
+// (§IV-B): computation proportional to the Monte-Carlo estimate of the
+// maximum per-worker edge count for the given degree sequence, with zero
+// communication (shared memory). opsPerEdge is c(S), e.g. bp.OpsPerEdge.
+func GraphInference(name string, degrees []int32, opsPerEdge float64, f Flops, trials int, seed int64) Model {
+	cache := map[int]float64{}
+	maxEdges := func(n int) float64 {
+		if v, ok := cache[n]; ok {
+			return v
+		}
+		est, err := partition.MonteCarloMaxEdges(degrees, n, trials, seed+int64(n))
+		if err != nil {
+			// Degenerate inputs surface as +Inf time rather than a
+			// panic; Validate on the inputs beforehand for errors.
+			cache[n] = -1
+			return -1
+		}
+		cache[n] = est.MaxEdges
+		return est.MaxEdges
+	}
+	return Model{
+		Name: name,
+		Computation: func(n int) Seconds {
+			e := maxEdges(n)
+			if e < 0 {
+				return Seconds(0)
+			}
+			return units.ComputeTime(e*opsPerEdge, f)
+		},
+	}
+}
+
+// Hardware catalog (the paper's testbeds).
+
+// XeonE31240 is the Spark-cluster CPU (§V-A).
+func XeonE31240() Node { return hardware.XeonE31240() }
+
+// NvidiaK40 is the GPU of the Chen et al. cluster (§V-A).
+func NvidiaK40() Node { return hardware.NvidiaK40() }
+
+// GigabitEthernet is the 1 Gbit/s cluster network.
+func GigabitEthernet() Network { return hardware.GigabitEthernet() }
+
+// Communication protocols.
+
+// LinearComm is the master-worker sequential exchange: t = n·payload/B.
+func LinearComm(b BitsPerSecond) CommModel { return comm.Linear{Bandwidth: b} }
+
+// TreeComm is a binomial-tree broadcast/reduction: t = log2(n)·payload/B.
+func TreeComm(b BitsPerSecond) CommModel { return comm.Tree{Bandwidth: b} }
+
+// TwoStageTreeComm is the paper's generic gradient-descent communication:
+// 2·log2(n)·payload/B.
+func TwoStageTreeComm(b BitsPerSecond) CommModel { return comm.TwoStageTree{Bandwidth: b} }
+
+// SparkComm is Spark's torrent broadcast plus two-wave sqrt aggregation
+// over 1 Gbit/s Ethernet, the Fig. 2 protocol.
+func SparkComm() CommModel { return comm.SparkGradient(units.Gbps) }
+
+// SparkCommOn is SparkComm at a custom bandwidth.
+func SparkCommOn(b BitsPerSecond) CommModel { return comm.SparkGradient(b) }
+
+// RingAllReduceComm is the bandwidth-optimal ring all-reduce.
+func RingAllReduceComm(b BitsPerSecond) CommModel { return comm.RingAllReduce{Bandwidth: b} }
+
+// PipelinedTreeComm is a chunked, pipelined tree broadcast that approaches
+// a single payload transfer as chunks grow.
+func PipelinedTreeComm(b BitsPerSecond, chunks int) CommModel {
+	return comm.PipelinedTree{Bandwidth: b, Chunks: chunks}
+}
+
+// SharedMemoryComm models free in-machine communication.
+func SharedMemoryComm() CommModel { return comm.SharedMemory{} }
+
+// Workers is a convenience for the worker counts lo..hi.
+func Workers(lo, hi int) []int { return core.Range(lo, hi) }
+
+// Experiments exposes the paper-reproduction harness.
+
+// ExperimentIDs lists the reproducible paper artifacts.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper table or figure.
+func RunExperiment(id string) (experiments.Result, error) {
+	return experiments.Run(id, experiments.DefaultOptions())
+}

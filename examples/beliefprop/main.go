@@ -1,0 +1,88 @@
+// Belief propagation, both for real and in the model: runs loopy BP on a
+// small DNS-like graph (checking marginals against brute force on a tree),
+// then builds the paper's Fig. 4 scalability model for a larger degree
+// sequence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmlscale"
+	"dmlscale/internal/bp"
+	"dmlscale/internal/graph"
+	"dmlscale/internal/mrf"
+)
+
+func main() {
+	// 1. Exactness on a tree: BP marginals equal brute-force enumeration.
+	tree, err := graph.CompleteBinaryTree(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	treeModel, err := mrf.Ising(tree, 0.4, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bp.Run(treeModel, bp.Options{MaxIterations: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := treeModel.BruteForceMarginals()
+	if err != nil {
+		log.Fatal(err)
+	}
+	diff, err := bp.MaxMarginalDiff(res.Beliefs, exact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BP on a 7-vertex tree: converged in %d iterations, max error vs exact %.2e\n\n",
+		res.Iterations, diff)
+
+	// 2. Real loopy BP on a DNS-like graph, parallel workers giving
+	// identical results.
+	spec := graph.ScaledDNSGraph(4000)
+	degrees, err := spec.Degrees(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.ChungLu(degrees, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loopy, err := mrf.Ising(g, 0.2, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := bp.Run(loopy, bp.Options{MaxIterations: 100, Workers: 1, Damping: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := bp.Run(loopy, bp.Options{MaxIterations: 100, Workers: 8, Damping: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pdiff, err := bp.MaxMarginalDiff(seq.Beliefs, par.Beliefs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loopy BP on a %d-vertex DNS-like graph (E=%d): %d iterations, converged=%v\n",
+		g.NumVertices(), g.NumEdges(), seq.Iterations, seq.Converged)
+	fmt.Printf("8-worker run reproduces the sequential beliefs exactly (max diff %.1e)\n\n", pdiff)
+
+	// 3. The paper's scalability model for a bigger instance of the same
+	// family (degree statistics are all it needs).
+	bigger, err := graph.ScaledDNSGraph(400000).Degrees(9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := dmlscale.GraphInference("BP on DNS graph", bigger,
+		bp.OpsPerEdge(2), dmlscale.Flops(0.6e9), 3, 11)
+	fmt.Println("paper model, 400K-vertex graph (s(n) = E / maxEi(n)):")
+	fmt.Println("workers  speedup")
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 80} {
+		fmt.Printf("%7d  %7.2f\n", n, model.Speedup(n))
+	}
+	fmt.Println("\nSkewed degrees cap the speedup well below linear: whoever owns the hub")
+	fmt.Println("vertex finishes last, exactly what the paper's Fig. 4 shows.")
+}

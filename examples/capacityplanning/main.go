@@ -1,0 +1,84 @@
+// Capacity planning: the two practitioner questions from the paper's
+// introduction, answered with the model alone.
+//
+//  1. Strong scaling — given a workload, how many more machines cut the run
+//     time by a target factor?
+//  2. Weak scaling — the workload grows; how many machines keep the run
+//     time the same?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmlscale"
+)
+
+func main() {
+	workload := dmlscale.Workload{
+		Name:            "click-through-rate model",
+		FlopsPerExample: 6 * 2e6, // 2M-parameter logistic-style model
+		BatchSize:       10e6,    // 10M examples per batch
+		ModelBits:       64 * 2e6,
+	}
+	model, err := dmlscale.GradientDescent(workload,
+		dmlscale.XeonE31240(), dmlscale.SparkComm())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Question 1: we run on 4 machines today and need the iteration twice
+	// as fast. Feasible?
+	const current = 4
+	tNow := model.Time(current)
+	target := float64(tNow) / 2
+	answer := 0
+	for n := current + 1; n <= 256; n++ {
+		if float64(model.Time(n)) <= target {
+			answer = n
+			break
+		}
+	}
+	fmt.Printf("Q1 (strong scaling): iteration takes %v on %d machines.\n", tNow, current)
+	if answer > 0 {
+		fmt.Printf("    Halving it needs %d machines (%v per iteration).\n\n",
+			answer, model.Time(answer))
+	} else {
+		n, s, _ := model.OptimalWorkers(256)
+		fmt.Printf("    No cluster size halves it: communication caps speedup at %.1fx (n=%d).\n\n", s, n)
+	}
+
+	// Question 2: the training set grows 4x. How many machines keep the
+	// iteration time of the current 4?
+	grown := workload
+	grown.BatchSize *= 4
+	grownModel, err := dmlscale.GradientDescent(grown,
+		dmlscale.XeonE31240(), dmlscale.SparkComm())
+	if err != nil {
+		log.Fatal(err)
+	}
+	answer2 := 0
+	for n := current; n <= 256; n++ {
+		if float64(grownModel.Time(n)) <= float64(tNow) {
+			answer2 = n
+			break
+		}
+	}
+	fmt.Printf("Q2 (weak scaling): with 4x the data, ")
+	if answer2 > 0 {
+		fmt.Printf("%d machines keep the old %v iteration time.\n", answer2, tNow)
+		fmt.Printf("    (Gustafson, not Amdahl: scaled workloads keep clusters efficient.)\n")
+	} else {
+		fmt.Printf("no cluster size ≤ 256 keeps the old time — rethink the batch or network.\n")
+	}
+
+	// And the global picture: where does this workload stop scaling at
+	// all?
+	n, s, err := model.OptimalWorkers(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFor the original workload the model caps useful clusters at %d machines (%.1fx).\n", n, s)
+	fmt.Println("Every machine past that point is wasted on communication — the estimate the")
+	fmt.Println("paper argues should precede any distributed deployment (and may prevent some).")
+}

@@ -1,0 +1,67 @@
+// Communication topologies: how the same workload scales under different
+// aggregation protocols. The paper's critique of linear cost models (Sparks
+// et al.) is that real frameworks communicate over trees, torrents and
+// all-reduce rings, which changes both the peak speedup and the optimal
+// cluster size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmlscale"
+	"dmlscale/internal/asciiplot"
+)
+
+func main() {
+	workload := dmlscale.Workload{
+		Name:            "12M-parameter network",
+		FlopsPerExample: 6 * 12e6,
+		BatchSize:       60000,
+		ModelBits:       64 * 12e6,
+	}
+	protocols := []struct {
+		name string
+		comm dmlscale.CommModel
+	}{
+		{"linear (Sparks et al.)", dmlscale.LinearComm(1e9)},
+		{"two-stage tree", dmlscale.TwoStageTreeComm(1e9)},
+		{"spark torrent+sqrt", dmlscale.SparkComm()},
+		{"ring all-reduce", dmlscale.RingAllReduceComm(1e9)},
+	}
+
+	workers := []int{1, 2, 4, 8, 16, 32, 64}
+	var names []string
+	var xs [][]int
+	var ys [][]float64
+
+	fmt.Println("protocol                 optimum  peak speedup  s(64)")
+	for _, p := range protocols {
+		model, err := dmlscale.GradientDescent(workload, dmlscale.XeonE31240(), p.comm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, s, err := model.OptimalWorkers(64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		curve, err := model.SpeedupCurve(workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %7d  %12.2f  %5.2f\n", p.name, n, s, model.Speedup(64))
+		names = append(names, p.name)
+		xs = append(xs, workers)
+		ys = append(ys, curve.Speedups())
+	}
+
+	plot, err := asciiplot.CurvePlot("speedup by communication protocol", names, xs, ys, 64, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(plot)
+	fmt.Println("Ring all-reduce amortizes aggregation across all links, so its speedup keeps")
+	fmt.Println("climbing long after the linear protocol has drowned in transfers — the reason")
+	fmt.Println("the paper models t_cm per topology instead of assuming t_cm ∝ n.")
+}

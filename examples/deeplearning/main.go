@@ -1,0 +1,70 @@
+// Deep learning on a Spark-like cluster: the paper's Fig. 2 scenario end to
+// end. The analytic model (built from Table I's counts and the hardware
+// spec) is compared against a discrete-event simulation of the Spark
+// iteration — torrent broadcast, sharded gradient computation, two-wave
+// aggregation — standing in for the paper's physical cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmlscale"
+	"dmlscale/internal/asciiplot"
+	"dmlscale/internal/metrics"
+	"dmlscale/internal/nncost"
+	"dmlscale/internal/sparksim"
+)
+
+func main() {
+	// Derive the workload from the architecture itself, as the paper does
+	// for Table I.
+	summary, err := nncost.MNISTFullyConnected().Summarize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d weights, %d training flops/example\n\n",
+		summary.Name, summary.Weights, summary.TrainingFlops())
+
+	workload := dmlscale.Workload{
+		Name:            summary.Name,
+		FlopsPerExample: float64(summary.TrainingFlops()),
+		BatchSize:       60000,
+		ModelBits:       dmlscale.Bits(64 * summary.Weights),
+	}
+	model, err := dmlscale.GradientDescent(workload,
+		dmlscale.XeonE31240(), dmlscale.SparkComm())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	workers := dmlscale.Workers(1, 13)
+	modelCurve, err := model.SpeedupCurve(workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simCurve, err := sparksim.SpeedupCurve(sparksim.PaperFig2Config(), workers, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plot, err := asciiplot.CurvePlot("Fig. 2 — one-iteration speedup, fully connected ANN",
+		[]string{"analytic model", "simulated Spark cluster"},
+		[][]int{workers, workers},
+		[][]float64{modelCurve.Speedups(), simCurve.Speedups()}, 60, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plot)
+
+	mape, err := metrics.MAPE(simCurve.Speedups(), modelCurve.Speedups())
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, s, err := model.OptimalWorkers(13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model optimum: %d workers (%.1fx); paper reports 9\n", n, s)
+	fmt.Printf("model-vs-experiment MAPE: %.1f%%; paper reports 13.7%%\n", mape)
+}

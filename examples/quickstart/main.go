@@ -1,0 +1,46 @@
+// Quickstart: model a gradient-descent workload from its complexity figures
+// and the hardware spec, then read off the speedup curve and the optimal
+// cluster size — the paper's core workflow, no profiling required.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmlscale"
+)
+
+func main() {
+	// The paper's Fig. 2 workload: a 12M-parameter fully-connected
+	// network trained by batch gradient descent on 60,000 examples.
+	// Training one example costs 6·W flops; Spark ships 64-bit weights.
+	workload := dmlscale.Workload{
+		Name:            "fully connected ANN",
+		FlopsPerExample: 6 * 12e6,
+		BatchSize:       60000,
+		ModelBits:       64 * 12e6,
+	}
+
+	model, err := dmlscale.GradientDescent(workload,
+		dmlscale.XeonE31240(), dmlscale.SparkComm())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	curve, err := model.SpeedupCurve(dmlscale.Workers(1, 13))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workers  time      speedup  efficiency")
+	for _, p := range curve.Points {
+		fmt.Printf("%7d  %-8s  %7.2f  %9.0f%%\n",
+			p.N, p.Time, p.Speedup, 100*p.Speedup/float64(p.N))
+	}
+
+	n, s, err := model.OptimalWorkers(13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nProvision %d workers: %.1fx faster than one machine.\n", n, s)
+	fmt.Println("Beyond that, communication overhead eats the gains.")
+}

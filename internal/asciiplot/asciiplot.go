@@ -1,0 +1,170 @@
+// Package asciiplot renders speedup curves as terminal line plots, the
+// module's equivalent of the paper's figures.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line on a plot.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers cycles through per-series point markers.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Plot renders the series onto a width×height character grid with axes and
+// a legend. X and Y ranges are fitted to the data.
+func Plot(title string, series []Series, width, height int) (string, error) {
+	if width < 20 || height < 5 {
+		return "", fmt.Errorf("asciiplot: grid %dx%d too small", width, height)
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("asciiplot: no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("asciiplot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("asciiplot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if minY > 0 && minY < maxY/2 {
+		minY = 0 // anchor speedup plots at zero when it reads better
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	toRow := func(y float64) int {
+		r := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		return clamp(height-1-r, 0, height-1)
+	}
+
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		// Connect consecutive points with interpolated dots, then stamp
+		// markers on the data points.
+		idx := sortedOrder(s.X)
+		for k := 1; k < len(idx); k++ {
+			x0, y0 := s.X[idx[k-1]], s.Y[idx[k-1]]
+			x1, y1 := s.X[idx[k]], s.Y[idx[k]]
+			steps := toCol(x1) - toCol(x0)
+			for step := 1; step < steps; step++ {
+				frac := float64(step) / float64(steps)
+				x := x0 + (x1-x0)*frac
+				y := y0 + (y1-y0)*frac
+				r, c := toRow(y), toCol(x)
+				if grid[r][c] == ' ' {
+					grid[r][c] = '.'
+				}
+			}
+		}
+		for i := range s.X {
+			grid[toRow(s.Y[i])][toCol(s.X[i])] = marker
+		}
+	}
+
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	yLabelW := 8
+	for r, row := range grid {
+		// Label the top, middle and bottom rows with y values.
+		label := ""
+		switch r {
+		case 0:
+			label = trimNum(maxY)
+		case height / 2:
+			label = trimNum(minY + (maxY-minY)/2)
+		case height - 1:
+			label = trimNum(minY)
+		}
+		fmt.Fprintf(&sb, "%*s |%s\n", yLabelW, label, string(row))
+	}
+	fmt.Fprintf(&sb, "%*s +%s\n", yLabelW, "", strings.Repeat("-", width))
+	left := trimNum(minX)
+	right := trimNum(maxX)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&sb, "%*s %s%s%s\n", yLabelW, "", left, strings.Repeat(" ", pad), right)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "%*s %c %s\n", yLabelW, "", markers[si%len(markers)], s.Name)
+	}
+	return sb.String(), nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// sortedOrder returns the indices of xs in ascending x order.
+func sortedOrder(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}
+
+// CurvePlot is a convenience for plotting worker-count/speedup curves.
+func CurvePlot(title string, names []string, workers [][]int, speedups [][]float64, width, height int) (string, error) {
+	if len(names) != len(workers) || len(names) != len(speedups) {
+		return "", fmt.Errorf("asciiplot: %d names, %d x series, %d y series", len(names), len(workers), len(speedups))
+	}
+	series := make([]Series, len(names))
+	for i := range names {
+		xs := make([]float64, len(workers[i]))
+		for j, n := range workers[i] {
+			xs[j] = float64(n)
+		}
+		series[i] = Series{Name: names[i], X: xs, Y: speedups[i]}
+	}
+	return Plot(title, series, width, height)
+}

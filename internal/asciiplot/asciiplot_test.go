@@ -1,0 +1,97 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	out, err := Plot("speedup", []Series{
+		{Name: "model", X: []float64{1, 2, 3, 4}, Y: []float64{1, 1.8, 2.4, 2.9}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "speedup") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("data markers missing")
+	}
+	if !strings.Contains(out, "model") {
+		t.Error("legend missing")
+	}
+	// Axis rule present.
+	if !strings.Contains(out, "+----") {
+		t.Error("x axis missing")
+	}
+}
+
+func TestPlotTwoSeriesDistinctMarkers(t *testing.T) {
+	out, err := Plot("", []Series{
+		{Name: "a", X: []float64{1, 10}, Y: []float64{1, 10}},
+		{Name: "b", X: []float64{1, 10}, Y: []float64{10, 1}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("expected two distinct markers:\n%s", out)
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	if _, err := Plot("t", nil, 40, 10); err == nil {
+		t.Error("empty series list accepted")
+	}
+	if _, err := Plot("t", []Series{{Name: "x"}}, 40, 10); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := Plot("t", []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}, 40, 10); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	if _, err := Plot("t", []Series{{Name: "x", X: []float64{1}, Y: []float64{1}}}, 5, 2); err == nil {
+		t.Error("tiny grid accepted")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out, err := Plot("flat", []Series{
+		{Name: "c", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}},
+	}, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("flat series not drawn")
+	}
+}
+
+func TestCurvePlot(t *testing.T) {
+	out, err := CurvePlot("fig", []string{"model", "sim"},
+		[][]int{{1, 2, 4}, {1, 2, 4}},
+		[][]float64{{1, 1.8, 3}, {1, 1.7, 2.8}}, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "sim") {
+		t.Errorf("curve plot incomplete:\n%s", out)
+	}
+	if _, err := CurvePlot("f", []string{"a"}, nil, nil, 40, 8); err == nil {
+		t.Error("mismatched curve plot accepted")
+	}
+}
+
+func TestMarkersOverwriteLine(t *testing.T) {
+	// Data markers take precedence over interpolation dots.
+	out, err := Plot("", []Series{
+		{Name: "a", X: []float64{1, 2, 3, 4, 5}, Y: []float64{1, 2, 3, 4, 5}},
+	}, 50, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "*") < 5 {
+		t.Errorf("expected ≥ 5 markers:\n%s", out)
+	}
+}

@@ -1,0 +1,51 @@
+package bp
+
+import (
+	"testing"
+
+	"dmlscale/internal/graph"
+	"dmlscale/internal/mrf"
+)
+
+func benchModel(b *testing.B, side int) *mrf.MRF {
+	b.Helper()
+	g, err := graph.Grid2D(side, side)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mrf.Ising(g, 0.2, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchIterations(b *testing.B, m *mrf.MRF, workers int) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, bpOpts(workers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func bpOpts(workers int) Options {
+	return Options{MaxIterations: 10, Tolerance: 1e-300, Workers: workers}
+}
+
+func BenchmarkBPGrid32Sequential(b *testing.B) {
+	benchIterations(b, benchModel(b, 32), 1)
+}
+
+func BenchmarkBPGrid32Workers4(b *testing.B) {
+	benchIterations(b, benchModel(b, 32), 4)
+}
+
+func BenchmarkBPGrid64Sequential(b *testing.B) {
+	benchIterations(b, benchModel(b, 64), 1)
+}
+
+func BenchmarkBPGrid64Workers8(b *testing.B) {
+	benchIterations(b, benchModel(b, 64), 8)
+}

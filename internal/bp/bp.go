@@ -1,0 +1,307 @@
+// Package bp implements synchronous loopy belief propagation on pairwise
+// Markov random fields — the inference algorithm of the paper's §V-B
+// experiments — with optional damping and data-parallel execution whose
+// result is independent of the worker count.
+//
+// One iteration follows the paper's two steps per vertex: (i) update the
+// belief from incoming messages, (ii) send a new message to every neighbor,
+// marginalizing over own states. With S states this costs the paper's
+// c(S) = S + 2·(S + S²) operations per edge (see OpsPerEdge).
+package bp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"dmlscale/internal/mrf"
+)
+
+// OpsPerEdge is the paper's per-edge operation count for belief propagation
+// with S states: c(S) = S + 2·(S + S²). The Fig. 4 model uses S = 2, giving
+// 14 operations per edge per iteration.
+func OpsPerEdge(states int) float64 {
+	s := float64(states)
+	return s + 2*(s+s*s)
+}
+
+// Options configures a BP run.
+type Options struct {
+	// MaxIterations bounds the run; 0 means 100.
+	MaxIterations int
+	// Tolerance declares convergence when the largest message change
+	// falls below it; 0 means 1e-9.
+	Tolerance float64
+	// Damping blends new messages with old: m ← (1−d)·m_new + d·m_old.
+	// 0 disables damping; values in [0, 1).
+	Damping float64
+	// Workers computes message updates in parallel when > 1. The
+	// synchronous double-buffered schedule makes the result identical for
+	// any worker count.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-9
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Damping < 0 || o.Damping >= 1 {
+		return fmt.Errorf("bp: damping %v outside [0, 1)", o.Damping)
+	}
+	return nil
+}
+
+// Result reports a BP run.
+type Result struct {
+	// Beliefs holds the normalized marginal estimate of every vertex.
+	Beliefs [][]float64
+	// Iterations is how many synchronous supersteps ran.
+	Iterations int
+	// Converged reports whether the message residual fell below tolerance
+	// before the iteration limit.
+	Converged bool
+	// Residual is the final largest absolute message change.
+	Residual float64
+	// Operations is the paper-model operation count actually incurred:
+	// iterations × directed edges × OpsPerEdge(S) / 2 per undirected edge
+	// pair — reported as iterations × E × c(S).
+	Operations float64
+}
+
+// state holds the per-run message buffers.
+type state struct {
+	m       *mrf.MRF
+	states  int
+	msg     []float64 // current messages, one block of S per directed edge
+	next    []float64 // next-iteration messages
+	rev     []int32   // rev[p] is the position of the reverse directed edge
+	offsets []int64   // vertex → first directed-edge position (CSR order)
+}
+
+// newState initializes uniform messages and the reverse-edge index.
+func newState(m *mrf.MRF) *state {
+	g := m.G
+	v := g.NumVertices()
+	offsets := make([]int64, v+1)
+	for u := 0; u < v; u++ {
+		offsets[u+1] = offsets[u] + int64(g.Degree(u))
+	}
+	directed := offsets[v]
+	st := &state{
+		m:       m,
+		states:  m.States,
+		msg:     make([]float64, directed*int64(m.States)),
+		next:    make([]float64, directed*int64(m.States)),
+		rev:     make([]int32, directed),
+		offsets: offsets,
+	}
+	uniform := 1 / float64(m.States)
+	for i := range st.msg {
+		st.msg[i] = uniform
+	}
+	// Build the reverse index: for position p = (u → w), find the position
+	// q = (w → u).
+	pos := make(map[int64]int32, directed)
+	for u := 0; u < v; u++ {
+		for i, w := range g.Neighbors(u) {
+			pos[int64(u)<<32|int64(w)] = int32(offsets[u]) + int32(i)
+		}
+	}
+	for u := 0; u < v; u++ {
+		for i, w := range g.Neighbors(u) {
+			st.rev[offsets[u]+int64(i)] = pos[int64(w)<<32|int64(u)]
+		}
+	}
+	return st
+}
+
+// updateVertexRange recomputes outgoing messages of vertices [lo, hi) into
+// next, reading only msg — the synchronous schedule.
+func (st *state) updateVertexRange(lo, hi int, damping float64) float64 {
+	g := st.m.G
+	s := st.states
+	prod := make([]float64, s)
+	residual := 0.0
+	for u := lo; u < hi; u++ {
+		nb := g.Neighbors(u)
+		base := st.offsets[u]
+		// Step (i): belief pre-product φ_u(x) · Π_k m_{k→u}(x).
+		copy(prod, st.m.NodePotentials(u))
+		for i := range nb {
+			in := st.rev[base+int64(i)]
+			inMsg := st.msg[int64(in)*int64(s) : int64(in+1)*int64(s)]
+			for x := 0; x < s; x++ {
+				prod[x] *= inMsg[x]
+			}
+		}
+		// Step (ii): for each neighbor w, divide out its own message and
+		// marginalize through ψ.
+		for i := range nb {
+			p := base + int64(i)
+			in := st.rev[p]
+			inMsg := st.msg[int64(in)*int64(s) : int64(in+1)*int64(s)]
+			out := st.next[p*int64(s) : (p+1)*int64(s)]
+			var norm float64
+			for xw := 0; xw < s; xw++ {
+				var sum float64
+				for xu := 0; xu < s; xu++ {
+					// Cavity: exclude w's incoming message. Division is
+					// safe because messages stay strictly positive for
+					// positive potentials.
+					cavity := prod[xu] / inMsg[xu]
+					sum += cavity * st.m.EdgePotential(xu, xw)
+				}
+				out[xw] = sum
+				norm += sum
+			}
+			for xw := 0; xw < s; xw++ {
+				out[xw] /= norm
+				if damping > 0 {
+					out[xw] = (1-damping)*out[xw] + damping*st.msg[p*int64(s)+int64(xw)]
+				}
+				if d := math.Abs(out[xw] - st.msg[p*int64(s)+int64(xw)]); d > residual {
+					residual = d
+				}
+			}
+		}
+	}
+	return residual
+}
+
+// Run executes synchronous loopy BP until convergence or the iteration
+// bound.
+func Run(m *mrf.MRF, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	st := newState(m)
+	g := m.G
+	v := g.NumVertices()
+
+	res := Result{}
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		var residual float64
+		if opts.Workers == 1 || v < 2*opts.Workers {
+			residual = st.updateVertexRange(0, v, opts.Damping)
+		} else {
+			residual = st.parallelUpdate(opts.Workers, opts.Damping)
+		}
+		st.msg, st.next = st.next, st.msg
+		res.Iterations = iter + 1
+		res.Residual = residual
+		if residual < opts.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	res.Operations = float64(res.Iterations) * float64(g.NumEdges()) * OpsPerEdge(m.States)
+	res.Beliefs = st.beliefs()
+	return res, nil
+}
+
+// parallelUpdate splits vertices into contiguous ranges, one goroutine per
+// worker. Because updates read msg and write disjoint ranges of next, the
+// result is independent of scheduling.
+func (st *state) parallelUpdate(workers int, damping float64) float64 {
+	v := st.m.G.NumVertices()
+	residuals := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (v + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > v {
+			hi = v
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			residuals[w] = st.updateVertexRange(lo, hi, damping)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	maxRes := 0.0
+	for _, r := range residuals {
+		if r > maxRes {
+			maxRes = r
+		}
+	}
+	return maxRes
+}
+
+// beliefs returns the normalized marginals under the current messages.
+func (st *state) beliefs() [][]float64 {
+	g := st.m.G
+	s := st.states
+	out := make([][]float64, g.NumVertices())
+	for u := 0; u < g.NumVertices(); u++ {
+		b := make([]float64, s)
+		copy(b, st.m.NodePotentials(u))
+		base := st.offsets[u]
+		for i := range g.Neighbors(u) {
+			in := st.rev[base+int64(i)]
+			inMsg := st.msg[int64(in)*int64(s) : int64(in+1)*int64(s)]
+			for x := 0; x < s; x++ {
+				b[x] *= inMsg[x]
+			}
+		}
+		var norm float64
+		for _, p := range b {
+			norm += p
+		}
+		for x := range b {
+			b[x] /= norm
+		}
+		out[u] = b
+	}
+	return out
+}
+
+// MaxMarginalDiff returns the largest absolute difference between two
+// marginal tables, for comparing BP against exact inference.
+func MaxMarginalDiff(a, b [][]float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("bp: marginal tables have %d vs %d vertices", len(a), len(b))
+	}
+	var maxDiff float64
+	for v := range a {
+		if len(a[v]) != len(b[v]) {
+			return 0, fmt.Errorf("bp: vertex %d has %d vs %d states", v, len(a[v]), len(b[v]))
+		}
+		for s := range a[v] {
+			if d := math.Abs(a[v][s] - b[v][s]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	return maxDiff, nil
+}
+
+// ArgmaxBeliefs returns the most likely state of each vertex.
+func ArgmaxBeliefs(beliefs [][]float64) []int {
+	out := make([]int, len(beliefs))
+	for v, row := range beliefs {
+		best := 0
+		for s, p := range row {
+			if p > row[best] {
+				best = s
+			}
+		}
+		out[v] = best
+	}
+	return out
+}

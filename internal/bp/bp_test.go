@@ -1,0 +1,250 @@
+package bp
+
+import (
+	"math"
+	"testing"
+
+	"dmlscale/internal/graph"
+	"dmlscale/internal/mrf"
+)
+
+func mustRun(t *testing.T, m *mrf.MRF, opts Options) Result {
+	t.Helper()
+	res, err := Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestOpsPerEdge(t *testing.T) {
+	// Paper: c(S) = S + 2(S + S²); S = 2 → 14.
+	if got := OpsPerEdge(2); got != 14 {
+		t.Errorf("OpsPerEdge(2) = %v, want 14", got)
+	}
+	if got := OpsPerEdge(3); got != 27 {
+		t.Errorf("OpsPerEdge(3) = %v, want 27", got)
+	}
+}
+
+// TestExactOnTrees: BP is exact on trees (Pearl). Compare against brute
+// force on several tree shapes and models.
+func TestExactOnTrees(t *testing.T) {
+	cases := []struct {
+		name string
+		g    func() (*graph.Graph, error)
+	}{
+		{"path-6", func() (*graph.Graph, error) { return graph.Path(6) }},
+		{"star-7", func() (*graph.Graph, error) { return graph.Star(7) }},
+		{"binary-tree-7", func() (*graph.Graph, error) { return graph.CompleteBinaryTree(7) }},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := tt.g()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := mrf.Random(g, 2, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := mustRun(t, m, Options{MaxIterations: 200})
+			if !res.Converged {
+				t.Fatalf("BP on a tree did not converge (residual %g)", res.Residual)
+			}
+			exact, err := m.BruteForceMarginals()
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff, err := MaxMarginalDiff(res.Beliefs, exact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff > 1e-7 {
+				t.Errorf("BP vs exact on tree: max diff %g", diff)
+			}
+		})
+	}
+}
+
+func TestExactOnTreeMultiState(t *testing.T) {
+	g, err := graph.CompleteBinaryTree(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mrf.Random(g, 4, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, m, Options{MaxIterations: 200})
+	exact, err := m.BruteForceMarginals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := MaxMarginalDiff(res.Beliefs, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 1e-7 {
+		t.Errorf("4-state BP vs exact: max diff %g", diff)
+	}
+}
+
+// TestLoopyApproximation: on a small loopy graph with weak coupling, loopy
+// BP approximates the exact marginals closely.
+func TestLoopyApproximation(t *testing.T) {
+	g, err := graph.Grid2D(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mrf.Ising(g, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, m, Options{MaxIterations: 500})
+	if !res.Converged {
+		t.Fatal("loopy BP did not converge on weakly coupled grid")
+	}
+	exact, err := m.BruteForceMarginals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := MaxMarginalDiff(res.Beliefs, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 0.02 {
+		t.Errorf("loopy BP error %g, want ≤ 0.02 in the weak-coupling regime", diff)
+	}
+}
+
+// TestParallelIdentical: the synchronous schedule makes results identical
+// for any worker count.
+func TestParallelIdentical(t *testing.T) {
+	g, err := graph.Grid2D(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mrf.Random(g, 3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mustRun(t, m, Options{MaxIterations: 50, Workers: 1})
+	for _, workers := range []int{2, 4, 8} {
+		res := mustRun(t, m, Options{MaxIterations: 50, Workers: workers})
+		if res.Iterations != ref.Iterations {
+			t.Errorf("workers=%d: %d iterations vs %d", workers, res.Iterations, ref.Iterations)
+		}
+		diff, err := MaxMarginalDiff(res.Beliefs, ref.Beliefs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff != 0 {
+			t.Errorf("workers=%d: beliefs differ by %g from sequential", workers, diff)
+		}
+	}
+}
+
+func TestDampingStillConverges(t *testing.T) {
+	g, err := graph.Grid2D(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mrf.Ising(g, 0.3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := mustRun(t, m, Options{MaxIterations: 1000})
+	damped := mustRun(t, m, Options{MaxIterations: 1000, Damping: 0.5})
+	if !plain.Converged || !damped.Converged {
+		t.Fatal("BP did not converge with or without damping")
+	}
+	diff, err := MaxMarginalDiff(plain.Beliefs, damped.Beliefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 1e-6 {
+		t.Errorf("damped fixed point differs by %g", diff)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g, _ := graph.Path(3)
+	m, _ := mrf.Random(g, 2, 1)
+	if _, err := Run(m, Options{Damping: 1}); err == nil {
+		t.Error("damping = 1 accepted")
+	}
+	if _, err := Run(m, Options{Damping: -0.1}); err == nil {
+		t.Error("negative damping accepted")
+	}
+}
+
+func TestBeliefsNormalized(t *testing.T) {
+	g, err := graph.Grid2D(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mrf.Random(g, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, m, Options{MaxIterations: 100})
+	for v, row := range res.Beliefs {
+		sum := 0.0
+		for _, p := range row {
+			if p < 0 {
+				t.Fatalf("vertex %d has negative belief %v", v, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("vertex %d beliefs sum to %v", v, sum)
+		}
+	}
+}
+
+func TestOperationsAccounting(t *testing.T) {
+	g, err := graph.Cycle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A field breaks the symmetry so messages keep moving for all 7
+	// iterations under an unreachable tolerance.
+	m, err := mrf.Ising(g, 0.1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, m, Options{MaxIterations: 7, Tolerance: 1e-300})
+	// 7 iterations × 10 edges × c(2)=14.
+	want := 7.0 * 10 * 14
+	if res.Operations != want {
+		t.Errorf("Operations = %v, want %v", res.Operations, want)
+	}
+}
+
+func TestFerromagneticConsensus(t *testing.T) {
+	// Strong coupling and a field: MAP states should all be 1.
+	g, err := graph.Grid2D(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mrf.Ising(g, 0.8, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, m, Options{MaxIterations: 500, Damping: 0.3})
+	for v, s := range ArgmaxBeliefs(res.Beliefs) {
+		if s != 1 {
+			t.Errorf("vertex %d argmax = %d, want 1", v, s)
+		}
+	}
+}
+
+func TestMaxMarginalDiffErrors(t *testing.T) {
+	if _, err := MaxMarginalDiff([][]float64{{1}}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MaxMarginalDiff([][]float64{{1}}, [][]float64{{0.5, 0.5}}); err == nil {
+		t.Error("state mismatch accepted")
+	}
+}

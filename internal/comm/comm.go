@@ -1,0 +1,300 @@
+// Package comm provides communication time-complexity models
+// t_cm = f_cm(M, n) for the topologies and protocols that distributed
+// machine-learning frameworks use: linear master-worker exchange, binary /
+// torrent trees, Spark's two-wave aggregation, MPI-style all-reduce,
+// MapReduce shuffle, and shared memory.
+//
+// A Model maps a message size (the bits one stage moves per link) and a
+// worker count n to seconds. Models compose: Sum chains protocol phases,
+// Scale repeats them, WithLatency adds per-stage fixed costs, and PerIter
+// multiplies by an iteration count.
+package comm
+
+import (
+	"fmt"
+	"math"
+
+	"dmlscale/internal/units"
+)
+
+// Model is a communication time-complexity function.
+type Model interface {
+	// Time returns how long moving a payload of the given size among n
+	// workers takes. Implementations must accept any n ≥ 1 and treat n = 1
+	// as the degenerate single-worker case (most protocols still pay the
+	// driver↔worker exchange there, matching Spark's behaviour).
+	Time(payload units.Bits, n int) units.Seconds
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// log2Ceil returns ceil(log2(n)) for n ≥ 1; 0 for n ≤ 1.
+func log2Ceil(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// log2 returns log2(n) for n ≥ 1; 0 for n ≤ 1. The paper's closed forms use
+// the smooth logarithm, so the analytic models do too; the discrete-event
+// simulators use log2Ceil.
+func log2(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log2(float64(n))
+}
+
+// Linear models a master exchanging the payload with each of n workers in
+// sequence: t = n · payload/B. This is the model of Sparks et al. that the
+// paper contrasts with tree topologies.
+type Linear struct {
+	Bandwidth units.BitsPerSecond
+}
+
+// Time implements Model.
+func (m Linear) Time(payload units.Bits, n int) units.Seconds {
+	return units.Seconds(float64(n)) * units.TransferTime(payload, m.Bandwidth)
+}
+
+// Name implements Model.
+func (m Linear) Name() string { return "linear" }
+
+// Tree models a binomial-tree broadcast or reduction:
+// t = log2(n) · payload/B. Torrent-like broadcast protocols (Spark's
+// TorrentBroadcast) follow the same law, which is why the paper uses
+// log(n) for both.
+type Tree struct {
+	Bandwidth units.BitsPerSecond
+}
+
+// Time implements Model.
+func (m Tree) Time(payload units.Bits, n int) units.Seconds {
+	return units.Seconds(log2(n)) * units.TransferTime(payload, m.Bandwidth)
+}
+
+// Name implements Model.
+func (m Tree) Name() string { return "tree" }
+
+// TwoStageTree is the paper's generic gradient-descent communication model:
+// t = 2 · payload/B · log(n), one tree for gradient aggregation and one for
+// parameter redistribution (§IV-A).
+type TwoStageTree struct {
+	Bandwidth units.BitsPerSecond
+}
+
+// Time implements Model.
+func (m TwoStageTree) Time(payload units.Bits, n int) units.Seconds {
+	return 2 * units.Seconds(log2(n)) * units.TransferTime(payload, m.Bandwidth)
+}
+
+// Name implements Model.
+func (m TwoStageTree) Name() string { return "two-stage tree" }
+
+// SqrtWaves models Spark's treeAggregate: aggregation proceeds in two waves,
+// the first among ceil(sqrt(n)) groups and the second among the rest, each
+// wave costing ceil(sqrt(n)) sequential transfers:
+// t = waves · ceil(sqrt(n)) · payload/B. The paper uses waves = 2.
+type SqrtWaves struct {
+	Bandwidth units.BitsPerSecond
+	// Waves is the number of aggregation waves; 0 means the paper's 2.
+	Waves int
+}
+
+// Time implements Model.
+func (m SqrtWaves) Time(payload units.Bits, n int) units.Seconds {
+	waves := m.Waves
+	if waves == 0 {
+		waves = 2
+	}
+	fanIn := math.Ceil(math.Sqrt(float64(n)))
+	return units.Seconds(float64(waves)*fanIn) * units.TransferTime(payload, m.Bandwidth)
+}
+
+// Name implements Model.
+func (m SqrtWaves) Name() string { return "sqrt waves" }
+
+// SparkGradient is the full Fig. 2 communication model: a torrent-like
+// broadcast of the parameters (log2(n) transfers) followed by the two-wave
+// square-root aggregation of gradients:
+//
+//	t = payload/B · log2(n) + 2 · payload/B · ceil(sqrt(n))
+func SparkGradient(bandwidth units.BitsPerSecond) Model {
+	return Sum("spark gradient",
+		Tree{Bandwidth: bandwidth},
+		SqrtWaves{Bandwidth: bandwidth, Waves: 2},
+	)
+}
+
+// RingAllReduce models the bandwidth-optimal ring all-reduce:
+// t = 2·(n−1)/n · payload/B. Each worker ends with the full reduced payload.
+type RingAllReduce struct {
+	Bandwidth units.BitsPerSecond
+}
+
+// Time implements Model.
+func (m RingAllReduce) Time(payload units.Bits, n int) units.Seconds {
+	if n <= 1 {
+		return 0
+	}
+	factor := 2 * float64(n-1) / float64(n)
+	return units.Seconds(factor) * units.TransferTime(payload, m.Bandwidth)
+}
+
+// Name implements Model.
+func (m RingAllReduce) Name() string { return "ring all-reduce" }
+
+// RecursiveDoubling models MPI's recursive-doubling all-reduce:
+// t = log2(n) · payload/B with the full payload exchanged at each round.
+type RecursiveDoubling struct {
+	Bandwidth units.BitsPerSecond
+}
+
+// Time implements Model.
+func (m RecursiveDoubling) Time(payload units.Bits, n int) units.Seconds {
+	return units.Seconds(log2Ceil(n)) * units.TransferTime(payload, m.Bandwidth)
+}
+
+// Name implements Model.
+func (m RecursiveDoubling) Name() string { return "recursive doubling" }
+
+// Shuffle models the MapReduce/Spark shuffle: every worker exchanges a
+// 1/n-th slice of the payload with every other worker, all links active:
+// t = (n−1)/n · payload/B.
+type Shuffle struct {
+	Bandwidth units.BitsPerSecond
+}
+
+// Time implements Model.
+func (m Shuffle) Time(payload units.Bits, n int) units.Seconds {
+	if n <= 1 {
+		return 0
+	}
+	factor := float64(n-1) / float64(n)
+	return units.Seconds(factor) * units.TransferTime(payload, m.Bandwidth)
+}
+
+// Name implements Model.
+func (m Shuffle) Name() string { return "shuffle" }
+
+// SharedMemory models in-machine communication as free, the paper's
+// assumption for the DL980 belief propagation experiments.
+type SharedMemory struct{}
+
+// Time implements Model.
+func (SharedMemory) Time(units.Bits, int) units.Seconds { return 0 }
+
+// Name implements Model.
+func (SharedMemory) Name() string { return "shared memory" }
+
+// Zero is an alias for SharedMemory for models without communication.
+var Zero Model = SharedMemory{}
+
+// sum composes models by adding their times.
+type sum struct {
+	name   string
+	models []Model
+}
+
+// Sum returns a Model whose time is the sum of the parts' times, for
+// chaining protocol phases (e.g. broadcast then aggregate).
+func Sum(name string, models ...Model) Model {
+	return sum{name: name, models: models}
+}
+
+// Time implements Model.
+func (s sum) Time(payload units.Bits, n int) units.Seconds {
+	var total units.Seconds
+	for _, m := range s.models {
+		total += m.Time(payload, n)
+	}
+	return total
+}
+
+// Name implements Model.
+func (s sum) Name() string { return s.name }
+
+// scaled multiplies a model's time by a constant.
+type scaled struct {
+	factor float64
+	inner  Model
+}
+
+// Scale returns a Model whose time is factor × the inner model's time, e.g.
+// Scale(2, Tree{...}) for the paper's "2 accounts for two-stage
+// communication".
+func Scale(factor float64, inner Model) Model {
+	return scaled{factor: factor, inner: inner}
+}
+
+// Time implements Model.
+func (s scaled) Time(payload units.Bits, n int) units.Seconds {
+	return units.Seconds(s.factor) * s.inner.Time(payload, n)
+}
+
+// Name implements Model.
+func (s scaled) Name() string {
+	return fmt.Sprintf("%g×%s", s.factor, s.inner.Name())
+}
+
+// withLatency adds a fixed per-stage cost to a model.
+type withLatency struct {
+	latency units.Seconds
+	stages  func(n int) float64
+	inner   Model
+}
+
+// WithLatency wraps a model with a fixed latency per protocol stage, where
+// stages(n) is how many sequential stages the protocol has at n workers
+// (for example log2Ceil for trees). The paper's analytic models omit
+// latency; the simulators and what-if studies use this wrapper.
+func WithLatency(inner Model, latency units.Seconds, stages func(n int) float64) Model {
+	return withLatency{latency: latency, stages: stages, inner: inner}
+}
+
+// TreeStages counts the sequential stages of a tree protocol: ceil(log2 n).
+func TreeStages(n int) float64 { return log2Ceil(n) }
+
+// LinearStages counts the sequential stages of a linear protocol: n.
+func LinearStages(n int) float64 { return float64(n) }
+
+// Time implements Model.
+func (w withLatency) Time(payload units.Bits, n int) units.Seconds {
+	return w.inner.Time(payload, n) + w.latency*units.Seconds(w.stages(n))
+}
+
+// Name implements Model.
+func (w withLatency) Name() string { return w.inner.Name() + "+latency" }
+
+// PipelinedTree models a chunked, pipelined tree broadcast: the payload is
+// split into Chunks pieces streamed down a depth-ceil(log2 n) tree, so
+//
+//	t = (depth + chunks − 1) · (payload/chunks) / B
+//
+// which approaches a single payload transfer as chunks grow — how real
+// broadcast implementations (including Spark's torrent) beat the naive
+// store-and-forward tree.
+type PipelinedTree struct {
+	Bandwidth units.BitsPerSecond
+	// Chunks is the number of pipeline pieces; 0 means 64.
+	Chunks int
+}
+
+// Time implements Model.
+func (m PipelinedTree) Time(payload units.Bits, n int) units.Seconds {
+	if n <= 1 {
+		return 0
+	}
+	chunks := m.Chunks
+	if chunks <= 0 {
+		chunks = 64
+	}
+	depth := log2Ceil(n)
+	stages := depth + float64(chunks) - 1
+	per := units.TransferTime(payload/units.Bits(chunks), m.Bandwidth)
+	return units.Seconds(stages) * per
+}
+
+// Name implements Model.
+func (m PipelinedTree) Name() string { return "pipelined tree" }

@@ -1,0 +1,175 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dmlscale/internal/units"
+)
+
+const payload = units.Bits(64 * 12e6) // Fig. 2's 64-bit 12M-parameter model
+
+func secondsAlmost(a, b units.Seconds) bool {
+	return math.Abs(float64(a-b)) <= 1e-9*math.Max(1, math.Abs(float64(b)))
+}
+
+func TestLinear(t *testing.T) {
+	m := Linear{Bandwidth: units.Gbps}
+	// 0.768 s per transfer, 4 workers -> 3.072 s.
+	if got := m.Time(payload, 4); !secondsAlmost(got, 3.072) {
+		t.Errorf("Linear.Time(4) = %v, want 3.072s", got)
+	}
+	if got := m.Time(payload, 1); !secondsAlmost(got, 0.768) {
+		t.Errorf("Linear.Time(1) = %v, want 0.768s", got)
+	}
+}
+
+func TestTree(t *testing.T) {
+	m := Tree{Bandwidth: units.Gbps}
+	if got := m.Time(payload, 8); !secondsAlmost(got, 3*0.768) {
+		t.Errorf("Tree.Time(8) = %v, want %v", got, 3*0.768)
+	}
+	if got := m.Time(payload, 1); got != 0 {
+		t.Errorf("Tree.Time(1) = %v, want 0", got)
+	}
+}
+
+func TestTwoStageTree(t *testing.T) {
+	m := TwoStageTree{Bandwidth: units.Gbps}
+	single := Tree{Bandwidth: units.Gbps}
+	for _, n := range []int{1, 2, 7, 50, 128} {
+		if got, want := m.Time(payload, n), 2*single.Time(payload, n); !secondsAlmost(got, want) {
+			t.Errorf("TwoStageTree.Time(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSqrtWaves(t *testing.T) {
+	m := SqrtWaves{Bandwidth: units.Gbps}
+	// n=9: ceil(sqrt 9)=3, two waves -> 6 transfers of 0.768s.
+	if got := m.Time(payload, 9); !secondsAlmost(got, 6*0.768) {
+		t.Errorf("SqrtWaves.Time(9) = %v, want %v", got, 6*0.768)
+	}
+	// n=10: ceil(sqrt 10)=4 -> 8 transfers. This step is what causes the
+	// Fig. 2 speedup drop right after 9 workers.
+	if got := m.Time(payload, 10); !secondsAlmost(got, 8*0.768) {
+		t.Errorf("SqrtWaves.Time(10) = %v, want %v", got, 8*0.768)
+	}
+	if got := m.Time(payload, 1); !secondsAlmost(got, 2*0.768) {
+		t.Errorf("SqrtWaves.Time(1) = %v, want %v (ceil(sqrt 1)=1, 2 waves)", got, 2*0.768)
+	}
+}
+
+func TestSparkGradientMatchesPaperFormula(t *testing.T) {
+	m := SparkGradient(units.Gbps)
+	base := 0.768 // (64·W/B) seconds
+	for _, n := range []int{1, 2, 5, 9, 13, 16} {
+		want := units.Seconds(base*log2(n) + 2*base*math.Ceil(math.Sqrt(float64(n))))
+		if got := m.Time(payload, n); !secondsAlmost(got, want) {
+			t.Errorf("SparkGradient.Time(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestRingAllReduce(t *testing.T) {
+	m := RingAllReduce{Bandwidth: units.Gbps}
+	if got := m.Time(payload, 1); got != 0 {
+		t.Errorf("RingAllReduce.Time(1) = %v, want 0", got)
+	}
+	if got := m.Time(payload, 4); !secondsAlmost(got, 2*0.75*0.768) {
+		t.Errorf("RingAllReduce.Time(4) = %v, want %v", got, 2*0.75*0.768)
+	}
+	// Ring all-reduce time is bounded by 2 transfers regardless of n.
+	if got := m.Time(payload, 1000); float64(got) >= 2*0.768 {
+		t.Errorf("RingAllReduce.Time(1000) = %v, want < %v", got, 2*0.768)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	m := Shuffle{Bandwidth: units.Gbps}
+	if got := m.Time(payload, 1); got != 0 {
+		t.Errorf("Shuffle.Time(1) = %v, want 0", got)
+	}
+	if got := m.Time(payload, 2); !secondsAlmost(got, 0.5*0.768) {
+		t.Errorf("Shuffle.Time(2) = %v, want %v", got, 0.5*0.768)
+	}
+}
+
+func TestSharedMemory(t *testing.T) {
+	if got := Zero.Time(payload, 64); got != 0 {
+		t.Errorf("SharedMemory.Time = %v, want 0", got)
+	}
+}
+
+func TestSumAndScale(t *testing.T) {
+	tree := Tree{Bandwidth: units.Gbps}
+	m := Sum("both", tree, tree)
+	if got, want := m.Time(payload, 8), 2*tree.Time(payload, 8); !secondsAlmost(got, want) {
+		t.Errorf("Sum.Time = %v, want %v", got, want)
+	}
+	s := Scale(2, tree)
+	if got, want := s.Time(payload, 8), 2*tree.Time(payload, 8); !secondsAlmost(got, want) {
+		t.Errorf("Scale.Time = %v, want %v", got, want)
+	}
+	if s.Name() == "" || m.Name() != "both" {
+		t.Error("composite names wrong")
+	}
+}
+
+func TestWithLatency(t *testing.T) {
+	tree := Tree{Bandwidth: units.Gbps}
+	m := WithLatency(tree, units.Seconds(1e-4), TreeStages)
+	base := tree.Time(payload, 8)
+	if got, want := m.Time(payload, 8), base+3e-4; !secondsAlmost(got, units.Seconds(want)) {
+		t.Errorf("WithLatency.Time = %v, want %v", got, want)
+	}
+}
+
+// Property: all models are monotone in payload size and non-negative.
+func TestModelsMonotoneInPayload(t *testing.T) {
+	models := []Model{
+		Linear{Bandwidth: units.Gbps},
+		Tree{Bandwidth: units.Gbps},
+		TwoStageTree{Bandwidth: units.Gbps},
+		SqrtWaves{Bandwidth: units.Gbps},
+		SparkGradient(units.Gbps),
+		RingAllReduce{Bandwidth: units.Gbps},
+		RecursiveDoubling{Bandwidth: units.Gbps},
+		Shuffle{Bandwidth: units.Gbps},
+		SharedMemory{},
+	}
+	f := func(rawA, rawB float64, rawN uint8) bool {
+		a := math.Abs(math.Mod(rawA, 1e12))
+		b := math.Abs(math.Mod(rawB, 1e12))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		n := int(rawN%64) + 1
+		for _, m := range models {
+			tLo := m.Time(units.Bits(lo), n)
+			tHi := m.Time(units.Bits(hi), n)
+			if tLo < 0 || tHi < 0 || tLo > tHi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tree beats linear for any n ≥ 2 and positive payload — the
+// paper's argument against the Sparks et al. linear model.
+func TestTreeBeatsLinear(t *testing.T) {
+	tree := Tree{Bandwidth: units.Gbps}
+	linear := Linear{Bandwidth: units.Gbps}
+	for n := 2; n <= 1024; n *= 2 {
+		if tree.Time(payload, n) >= linear.Time(payload, n) {
+			t.Errorf("tree (%v) should beat linear (%v) at n=%d",
+				tree.Time(payload, n), linear.Time(payload, n), n)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dmlscale/internal/units"
+)
+
+func TestPipelinedTreeKnownValues(t *testing.T) {
+	m := PipelinedTree{Bandwidth: units.Gbps, Chunks: 4}
+	// n=8: depth 3, chunks 4 → 6 stages of payload/4.
+	want := 6.0 * (float64(payload) / 4 / 1e9)
+	if got := m.Time(payload, 8); math.Abs(float64(got)-want) > 1e-9 {
+		t.Errorf("PipelinedTree.Time(8) = %v, want %v", got, want)
+	}
+	if got := m.Time(payload, 1); got != 0 {
+		t.Errorf("PipelinedTree.Time(1) = %v, want 0", got)
+	}
+}
+
+func TestPipelinedTreeDefaultChunks(t *testing.T) {
+	m := PipelinedTree{Bandwidth: units.Gbps}
+	// Default 64 chunks, n=16: (4+63)/64 of a payload transfer.
+	want := (4.0 + 63) / 64 * (float64(payload) / 1e9)
+	if got := m.Time(payload, 16); math.Abs(float64(got)-want) > 1e-9 {
+		t.Errorf("default-chunk time = %v, want %v", got, want)
+	}
+}
+
+// Property: pipelining never loses to the store-and-forward tree, and
+// approaches a single-transfer time as chunks grow.
+func TestPipelinedTreeBeatsTree(t *testing.T) {
+	tree := Tree{Bandwidth: units.Gbps}
+	f := func(rawN, rawChunks uint8) bool {
+		n := int(rawN%62) + 2
+		chunks := int(rawChunks%128) + 2
+		pipe := PipelinedTree{Bandwidth: units.Gbps, Chunks: chunks}
+		tPipe := float64(pipe.Time(payload, n))
+		// Compare against the discrete-round tree: ceil(log2 n) rounds.
+		tTree := math.Ceil(math.Log2(float64(n))) * float64(payload) / 1e9
+		single := float64(payload) / 1e9
+		return tPipe <= tTree+1e-9 && tPipe >= single-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	_ = tree
+}
+
+func TestPipelinedTreeMoreChunksFaster(t *testing.T) {
+	coarse := PipelinedTree{Bandwidth: units.Gbps, Chunks: 2}
+	fine := PipelinedTree{Bandwidth: units.Gbps, Chunks: 256}
+	// At depth 1 (n=2) chunking cannot help: both cost one payload
+	// transfer.
+	if fine.Time(payload, 2) != coarse.Time(payload, 2) {
+		t.Errorf("n=2: chunking changed a single-hop transfer")
+	}
+	for _, n := range []int{4, 16, 128} {
+		if fine.Time(payload, n) >= coarse.Time(payload, n) {
+			t.Errorf("n=%d: 256 chunks (%v) should beat 2 chunks (%v)",
+				n, fine.Time(payload, n), coarse.Time(payload, n))
+		}
+	}
+}

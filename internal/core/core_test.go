@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dmlscale/internal/units"
+)
+
+// exampleModel mirrors the paper's Fig. 1: t_cp = c/n, t_cm = a·n with
+// c/a = 196 so the peak lands at n = sqrt(c/a) = 14.
+func exampleModel() Model {
+	const c, a = 196.0, 1.0
+	return Model{
+		Name:          "fig1 example",
+		Computation:   func(n int) units.Seconds { return units.Seconds(c / float64(n)) },
+		Communication: func(n int) units.Seconds { return units.Seconds(a * float64(n)) },
+	}
+}
+
+func TestSpeedupIdentity(t *testing.T) {
+	m := exampleModel()
+	if s := m.Speedup(1); math.Abs(s-1) > 1e-12 {
+		t.Errorf("s(1) = %v, want 1", s)
+	}
+}
+
+func TestFig1PeakAt14(t *testing.T) {
+	m := exampleModel()
+	n, s, err := m.OptimalWorkers(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 14 {
+		t.Errorf("optimal workers = %d, want 14", n)
+	}
+	if s <= 1 {
+		t.Errorf("peak speedup = %v, want > 1", s)
+	}
+	scalable, err := m.IsScalable(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scalable {
+		t.Error("Fig. 1 example should be scalable")
+	}
+}
+
+func TestSpeedupDeclinesPastPeak(t *testing.T) {
+	m := exampleModel()
+	if m.Speedup(30) >= m.Speedup(14) {
+		t.Errorf("speedup should decline past the peak: s(30)=%v, s(14)=%v",
+			m.Speedup(30), m.Speedup(14))
+	}
+}
+
+func TestTimeIsSumOfPhases(t *testing.T) {
+	m := exampleModel()
+	for _, n := range []int{1, 2, 14, 100} {
+		want := m.Computation(n) + m.Communication(n)
+		if got := m.Time(n); math.Abs(float64(got-want)) > 1e-12 {
+			t.Errorf("Time(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNilCommunication(t *testing.T) {
+	m := Model{
+		Name:        "compute only",
+		Computation: func(n int) units.Seconds { return units.Seconds(10.0 / float64(n)) },
+	}
+	// Pure data-parallel compute scales linearly.
+	for _, n := range []int{1, 2, 5, 32} {
+		if s := m.Speedup(n); math.Abs(s-float64(n)) > 1e-9 {
+			t.Errorf("s(%d) = %v, want %d", n, s, n)
+		}
+	}
+	if _, ok := m.CommComputeCrossover(100); ok {
+		t.Error("crossover reported for a model without communication")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Model{Name: "bad"}).Validate(); err == nil {
+		t.Error("nil computation accepted")
+	}
+	if _, err := (Model{Name: "bad"}).SpeedupCurve([]int{1}); err == nil {
+		t.Error("SpeedupCurve on invalid model accepted")
+	}
+	m := exampleModel()
+	if _, err := m.SpeedupCurve(nil); err == nil {
+		t.Error("empty worker list accepted")
+	}
+	if _, err := m.SpeedupCurve([]int{0}); err == nil {
+		t.Error("worker count 0 accepted")
+	}
+	if _, err := m.SpeedupCurveRelative(0, []int{1}); err == nil {
+		t.Error("base 0 accepted")
+	}
+	if _, _, err := m.OptimalWorkers(0); err == nil {
+		t.Error("maxN 0 accepted")
+	}
+}
+
+func TestSpeedupCurve(t *testing.T) {
+	m := exampleModel()
+	curve, err := m.SpeedupCurve(Range(1, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 20 {
+		t.Fatalf("curve has %d points, want 20", len(curve.Points))
+	}
+	peak, ok := curve.Peak()
+	if !ok || peak.N != 14 {
+		t.Errorf("curve peak at %d, want 14", peak.N)
+	}
+	if ws := curve.Workers(); ws[0] != 1 || ws[19] != 20 {
+		t.Errorf("curve workers = %v", ws)
+	}
+	if ss := curve.Speedups(); math.Abs(ss[0]-1) > 1e-12 {
+		t.Errorf("first speedup = %v, want 1", ss[0])
+	}
+	if ts := curve.Times(); ts[0] != 197 {
+		t.Errorf("t(1) = %v, want 197", ts[0])
+	}
+}
+
+func TestEmptyCurvePeak(t *testing.T) {
+	if _, ok := (Curve{}).Peak(); ok {
+		t.Error("empty curve reported a peak")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	m := exampleModel()
+	// comm ≥ comp when a·n ≥ c/n, i.e. n ≥ 14.
+	n, ok := m.CommComputeCrossover(100)
+	if !ok || n != 14 {
+		t.Errorf("crossover = %d (ok=%v), want 14", n, ok)
+	}
+}
+
+func TestSpeedupRelative(t *testing.T) {
+	m := exampleModel()
+	// Relative speedup at the base itself is 1.
+	if s := m.SpeedupRelative(50, 50); math.Abs(s-1) > 1e-12 {
+		t.Errorf("relative s(50;50) = %v, want 1", s)
+	}
+	// Consistency: s(b,n) = s(n)/s(b).
+	want := m.Speedup(20) / m.Speedup(5)
+	if got := m.SpeedupRelative(5, 20); math.Abs(got-want) > 1e-9 {
+		t.Errorf("s(5,20) = %v, want %v", got, want)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	m := Model{
+		Name:        "ideal",
+		Computation: func(n int) units.Seconds { return units.Seconds(1.0 / float64(n)) },
+	}
+	for _, n := range []int{1, 4, 16} {
+		if e := m.Efficiency(n); math.Abs(e-1) > 1e-9 {
+			t.Errorf("ideal efficiency(%d) = %v, want 1", n, e)
+		}
+	}
+}
+
+func TestRangeAndPowers(t *testing.T) {
+	if got := Range(3, 5); len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Errorf("Range(3,5) = %v", got)
+	}
+	if got := Range(5, 3); got != nil {
+		t.Errorf("Range(5,3) = %v, want nil", got)
+	}
+	if got := PowersOfTwo(10); len(got) != 4 || got[3] != 8 {
+		t.Errorf("PowersOfTwo(10) = %v", got)
+	}
+}
+
+// Property: for any model with decreasing computation and nondecreasing
+// communication, s(1) = 1 and efficiency ≤ 1 + tolerance.
+func TestSpeedupProperties(t *testing.T) {
+	f := func(rawC, rawA float64, rawN uint8) bool {
+		c := math.Abs(math.Mod(rawC, 1e6)) + 1e-3
+		a := math.Abs(math.Mod(rawA, 1e3)) + 1e-6
+		n := int(rawN%100) + 1
+		m := Model{
+			Name:          "prop",
+			Computation:   func(k int) units.Seconds { return units.Seconds(c / float64(k)) },
+			Communication: func(k int) units.Seconds { return units.Seconds(a * float64(k-1)) },
+		}
+		s1 := m.Speedup(1)
+		sn := m.Speedup(n)
+		// Communication only hurts: speedup cannot exceed linear.
+		return math.Abs(s1-1) < 1e-9 && sn <= float64(n)+1e-9 && sn > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAmdahl(t *testing.T) {
+	m := Amdahl(0.1)
+	// Amdahl bound: s(n) < 1/f = 10.
+	for _, n := range []int{1, 10, 1000, 100000} {
+		if s := m.Speedup(n); s >= 10 {
+			t.Errorf("Amdahl speedup(%d) = %v, want < 10", n, s)
+		}
+	}
+	if s := m.Speedup(1); math.Abs(s-1) > 1e-12 {
+		t.Errorf("Amdahl s(1) = %v", s)
+	}
+	// s(n) approaches the bound.
+	if s := m.Speedup(1 << 20); s < 9.9 {
+		t.Errorf("Amdahl s(2^20) = %v, want ≈ 10", s)
+	}
+}
+
+func TestGustafson(t *testing.T) {
+	if s := GustafsonSpeedup(0.1, 10); math.Abs(s-9.1) > 1e-12 {
+		t.Errorf("Gustafson(0.1, 10) = %v, want 9.1", s)
+	}
+	if s := GustafsonSpeedup(0, 7); math.Abs(s-7) > 1e-12 {
+		t.Errorf("Gustafson(0, 7) = %v, want 7", s)
+	}
+}
+
+func TestLinearScaling(t *testing.T) {
+	m := LinearScaling(100)
+	for _, n := range []int{1, 3, 17} {
+		if s := m.Speedup(n); math.Abs(s-float64(n)) > 1e-9 {
+			t.Errorf("LinearScaling s(%d) = %v", n, s)
+		}
+	}
+}
+
+func TestWeakScaled(t *testing.T) {
+	// Fixed per-worker compute, logarithmic communication: per-instance
+	// speedup keeps growing (the paper's "infinite weak scaling").
+	m := WeakScaled("weak",
+		func(n int) units.Seconds { return 1 },
+		func(n int) units.Seconds {
+			if n <= 1 {
+				return 0
+			}
+			return units.Seconds(0.1 * math.Log2(float64(n)))
+		},
+	)
+	s64 := m.SpeedupRelative(1, 64)
+	s128 := m.SpeedupRelative(1, 128)
+	if s128 <= s64 {
+		t.Errorf("weak scaling with log comm should keep growing: s(64)=%v s(128)=%v", s64, s128)
+	}
+
+	// Linear communication: per-instance time approaches a constant, so
+	// relative speedup flattens (finite scaling).
+	lin := WeakScaled("weak linear",
+		func(n int) units.Seconds { return 1 },
+		func(n int) units.Seconds { return units.Seconds(0.1 * float64(n)) },
+	)
+	s1k := lin.SpeedupRelative(1, 1000)
+	s2k := lin.SpeedupRelative(1, 2000)
+	if math.Abs(s2k-s1k) > 0.05*s1k {
+		t.Errorf("weak scaling with linear comm should flatten: s(1000)=%v s(2000)=%v", s1k, s2k)
+	}
+}
+
+func TestAlgorithm(t *testing.T) {
+	alg := Algorithm{
+		Name: "two supersteps",
+		Supersteps: []Superstep{
+			{
+				Name:          "gradient",
+				Computation:   func(n int) units.Seconds { return units.Seconds(10.0 / float64(n)) },
+				Communication: func(n int) units.Seconds { return units.Seconds(0.1 * float64(n)) },
+			},
+			{
+				Name:        "update",
+				Computation: func(n int) units.Seconds { return units.Seconds(1.0 / float64(n)) },
+			},
+		},
+		Iterations: 5,
+	}
+	if err := alg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantPer := 10.0/2 + 0.1*2 + 1.0/2
+	if got := alg.Time(2); math.Abs(float64(got)-5*wantPer) > 1e-9 {
+		t.Errorf("Algorithm.Time(2) = %v, want %v", got, 5*wantPer)
+	}
+	// Collapsed model agrees with direct evaluation.
+	m := alg.Model()
+	for _, n := range []int{1, 2, 8} {
+		if math.Abs(float64(m.Time(n)-alg.Time(n))) > 1e-9 {
+			t.Errorf("Model().Time(%d) = %v, want %v", n, m.Time(n), alg.Time(n))
+		}
+	}
+	// Iterations cancel in speedup.
+	once := alg
+	once.Iterations = 1
+	if math.Abs(once.Model().Speedup(4)-m.Speedup(4)) > 1e-9 {
+		t.Error("iteration count should cancel in speedup")
+	}
+}
+
+func TestAlgorithmValidate(t *testing.T) {
+	if err := (Algorithm{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty algorithm accepted")
+	}
+	bad := Algorithm{Name: "bad", Supersteps: []Superstep{{Name: "s"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("superstep without computation accepted")
+	}
+	neg := Algorithm{
+		Name:       "neg",
+		Supersteps: []Superstep{{Name: "s", Computation: func(int) units.Seconds { return 1 }}},
+		Iterations: -1,
+	}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative iterations accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"dmlscale/internal/units"
+)
+
+// Superstep is one BSP superstep: concurrent computation, then
+// communication, then an implicit synchronization barrier (the paper folds
+// the barrier into computation).
+type Superstep struct {
+	// Name identifies the superstep in traces.
+	Name string
+	// Computation is this superstep's t_cp(n).
+	Computation TimeFunc
+	// Communication is this superstep's t_cm(n); nil means none.
+	Communication TimeFunc
+}
+
+// Time returns the superstep duration at n workers.
+func (s Superstep) Time(n int) units.Seconds {
+	t := s.Computation(n)
+	if s.Communication != nil {
+		t += s.Communication(n)
+	}
+	return t
+}
+
+// Algorithm is a BSP algorithm: a repeated series of supersteps. Iterative
+// ML methods (gradient descent, belief propagation) run the same superstep
+// sequence until convergence, so the per-iteration model determines the
+// speedup — iteration counts cancel in the s(n) ratio when they do not
+// depend on n.
+type Algorithm struct {
+	Name       string
+	Supersteps []Superstep
+	// Iterations is the number of times the superstep sequence runs; 0
+	// means 1. It scales absolute times but cancels in speedup.
+	Iterations int
+}
+
+// Validate reports whether the algorithm can be evaluated.
+func (a Algorithm) Validate() error {
+	if len(a.Supersteps) == 0 {
+		return fmt.Errorf("core: algorithm %q: no supersteps", a.Name)
+	}
+	for i, s := range a.Supersteps {
+		if s.Computation == nil {
+			return fmt.Errorf("core: algorithm %q: superstep %d (%s): computation is nil", a.Name, i, s.Name)
+		}
+	}
+	if a.Iterations < 0 {
+		return fmt.Errorf("core: algorithm %q: negative iterations", a.Name)
+	}
+	return nil
+}
+
+// iterations returns the effective iteration count.
+func (a Algorithm) iterations() float64 {
+	if a.Iterations <= 0 {
+		return 1
+	}
+	return float64(a.Iterations)
+}
+
+// Time returns the total algorithm runtime at n workers.
+func (a Algorithm) Time(n int) units.Seconds {
+	var per units.Seconds
+	for _, s := range a.Supersteps {
+		per += s.Time(n)
+	}
+	return per * units.Seconds(a.iterations())
+}
+
+// Model collapses the algorithm into a single Model whose computation and
+// communication are the per-iteration sums across supersteps.
+func (a Algorithm) Model() Model {
+	return Model{
+		Name: a.Name,
+		Computation: func(n int) units.Seconds {
+			var t units.Seconds
+			for _, s := range a.Supersteps {
+				t += s.Computation(n)
+			}
+			return t * units.Seconds(a.iterations())
+		},
+		Communication: func(n int) units.Seconds {
+			var t units.Seconds
+			for _, s := range a.Supersteps {
+				if s.Communication != nil {
+					t += s.Communication(n)
+				}
+			}
+			return t * units.Seconds(a.iterations())
+		},
+	}
+}

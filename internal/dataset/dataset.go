@@ -1,0 +1,166 @@
+// Package dataset generates the synthetic workloads the experiments train
+// on: a Gaussian-blob stand-in for MNIST, the XOR toy problem, and noisy
+// linear-regression data. All generators are deterministic given a seed, so
+// experiments and tests are reproducible.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmlscale/internal/tensor"
+)
+
+// Classification is a labelled classification dataset with one-hot targets.
+type Classification struct {
+	// X is examples×features.
+	X *tensor.Dense
+	// Y is examples×classes, one-hot.
+	Y *tensor.Dense
+	// Labels holds the class index of each example.
+	Labels []int
+	// Classes is the number of distinct classes.
+	Classes int
+}
+
+// Len returns the number of examples.
+func (d *Classification) Len() int { return d.X.Rows() }
+
+// Slice returns the half-open example range [lo, hi) as a dataset sharing
+// storage with d.
+func (d *Classification) Slice(lo, hi int) (*Classification, error) {
+	if lo < 0 || hi > d.Len() || lo >= hi {
+		return nil, fmt.Errorf("dataset: slice [%d,%d) out of range of %d examples", lo, hi, d.Len())
+	}
+	rows := hi - lo
+	return &Classification{
+		X:       tensor.FromSlice(rows, d.X.Cols(), d.X.Data()[lo*d.X.Cols():hi*d.X.Cols()]),
+		Y:       tensor.FromSlice(rows, d.Y.Cols(), d.Y.Data()[lo*d.Y.Cols():hi*d.Y.Cols()]),
+		Labels:  d.Labels[lo:hi],
+		Classes: d.Classes,
+	}, nil
+}
+
+// Shards splits the dataset into n nearly equal contiguous shards — the
+// data-parallel distribution of a batch across workers. The first
+// len%n shards get one extra example.
+func (d *Classification) Shards(n int) ([]*Classification, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dataset: shards: n = %d < 1", n)
+	}
+	if n > d.Len() {
+		return nil, fmt.Errorf("dataset: shards: n = %d exceeds %d examples", n, d.Len())
+	}
+	shards := make([]*Classification, 0, n)
+	base := d.Len() / n
+	extra := d.Len() % n
+	lo := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		s, err := d.Slice(lo, lo+size)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, s)
+		lo += size
+	}
+	return shards, nil
+}
+
+// GaussianBlobs generates examples features-dimensional points in classes
+// clusters with the given in-cluster standard deviation. Cluster centres
+// are drawn uniformly from [-1, 1]^features; examples round-robin over
+// classes so shards stay class-balanced.
+func GaussianBlobs(examples, features, classes int, stddev float64, seed int64) (*Classification, error) {
+	if examples < classes || features < 1 || classes < 2 {
+		return nil, fmt.Errorf("dataset: blobs: need examples ≥ classes ≥ 2 and features ≥ 1 (got %d, %d, %d)",
+			examples, classes, features)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, classes)
+	for c := range centers {
+		centers[c] = make([]float64, features)
+		for j := range centers[c] {
+			centers[c][j] = rng.Float64()*2 - 1
+		}
+	}
+	x := tensor.New(examples, features)
+	y := tensor.New(examples, classes)
+	labels := make([]int, examples)
+	for i := 0; i < examples; i++ {
+		c := i % classes
+		labels[i] = c
+		row := x.Row(i)
+		for j := range row {
+			row[j] = centers[c][j] + rng.NormFloat64()*stddev
+		}
+		y.Set(i, c, 1)
+	}
+	return &Classification{X: x, Y: y, Labels: labels, Classes: classes}, nil
+}
+
+// MiniMNIST is a 784-feature 10-class blob dataset shaped like the MNIST
+// task the paper's fully-connected network trains on.
+func MiniMNIST(examples int, seed int64) (*Classification, error) {
+	return GaussianBlobs(examples, 784, 10, 0.15, seed)
+}
+
+// XOR returns the four-example XOR problem, the canonical non-linearly
+// separable task.
+func XOR() *Classification {
+	x := tensor.FromSlice(4, 2, []float64{
+		0, 0,
+		0, 1,
+		1, 0,
+		1, 1,
+	})
+	y := tensor.FromSlice(4, 2, []float64{
+		1, 0,
+		0, 1,
+		0, 1,
+		1, 0,
+	})
+	return &Classification{X: x, Y: y, Labels: []int{0, 1, 1, 0}, Classes: 2}
+}
+
+// Regression is a labelled regression dataset.
+type Regression struct {
+	// X is examples×features.
+	X *tensor.Dense
+	// Y is examples×1.
+	Y *tensor.Dense
+	// TrueWeights holds the generating coefficients (including the
+	// intercept as the last entry) for generators that know them.
+	TrueWeights []float64
+}
+
+// Len returns the number of examples.
+func (d *Regression) Len() int { return d.X.Rows() }
+
+// LinearRegression generates y = x·w + b + ε with x ~ U[-1,1], ε ~ N(0,
+// noise²) and random true coefficients in [-1, 1].
+func LinearRegression(examples, features int, noise float64, seed int64) (*Regression, error) {
+	if examples < 1 || features < 1 {
+		return nil, fmt.Errorf("dataset: linear regression: need positive sizes (got %d, %d)", examples, features)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, features+1)
+	for i := range w {
+		w[i] = rng.Float64()*2 - 1
+	}
+	x := tensor.New(examples, features)
+	y := tensor.New(examples, 1)
+	for i := 0; i < examples; i++ {
+		row := x.Row(i)
+		v := w[features] // intercept
+		for j := range row {
+			row[j] = rng.Float64()*2 - 1
+			v += row[j] * w[j]
+		}
+		y.Set(i, 0, v+rng.NormFloat64()*noise)
+	}
+	return &Regression{X: x, Y: y, TrueWeights: w}, nil
+}

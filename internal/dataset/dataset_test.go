@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"dmlscale/internal/tensor"
+)
+
+func TestGaussianBlobsShapeAndDeterminism(t *testing.T) {
+	d, err := GaussianBlobs(100, 5, 4, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 100 || d.X.Cols() != 5 || d.Y.Cols() != 4 {
+		t.Fatalf("shape: %d examples, %d features, %d classes", d.Len(), d.X.Cols(), d.Y.Cols())
+	}
+	// One-hot targets match labels.
+	for i := 0; i < d.Len(); i++ {
+		sum := 0.0
+		for j := 0; j < 4; j++ {
+			sum += d.Y.At(i, j)
+		}
+		if sum != 1 || d.Y.At(i, d.Labels[i]) != 1 {
+			t.Fatalf("row %d: not one-hot or label mismatch", i)
+		}
+	}
+	d2, err := GaussianBlobs(100, 5, 4, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(d.X, d2.X, 0) {
+		t.Error("same seed produced different data")
+	}
+	d3, _ := GaussianBlobs(100, 5, 4, 0.1, 8)
+	if tensor.Equal(d.X, d3.X, 1e-9) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGaussianBlobsErrors(t *testing.T) {
+	if _, err := GaussianBlobs(1, 5, 4, 0.1, 7); err == nil {
+		t.Error("fewer examples than classes accepted")
+	}
+	if _, err := GaussianBlobs(10, 0, 4, 0.1, 7); err == nil {
+		t.Error("zero features accepted")
+	}
+	if _, err := GaussianBlobs(10, 2, 1, 0.1, 7); err == nil {
+		t.Error("single class accepted")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	d, _ := GaussianBlobs(10, 3, 2, 0.1, 1)
+	s, err := d.Slice(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("slice len = %d", s.Len())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if s.X.At(i, j) != d.X.At(i+2, j) {
+				t.Fatalf("slice row %d differs from source row %d", i, i+2)
+			}
+		}
+	}
+	if _, err := d.Slice(5, 5); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if _, err := d.Slice(-1, 5); err == nil {
+		t.Error("negative slice accepted")
+	}
+	if _, err := d.Slice(0, 11); err == nil {
+		t.Error("overlong slice accepted")
+	}
+}
+
+func TestShards(t *testing.T) {
+	d, _ := GaussianBlobs(10, 3, 2, 0.1, 1)
+	shards, err := d.Shards(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	// Sizes 4, 3, 3 and all examples covered exactly once.
+	total := 0
+	sizes := []int{}
+	for _, s := range shards {
+		total += s.Len()
+		sizes = append(sizes, s.Len())
+	}
+	if total != 10 || sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Errorf("shard sizes = %v", sizes)
+	}
+	if _, err := d.Shards(0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := d.Shards(11); err == nil {
+		t.Error("more shards than examples accepted")
+	}
+}
+
+func TestMiniMNISTShape(t *testing.T) {
+	d, err := MiniMNIST(50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.X.Cols() != 784 || d.Classes != 10 {
+		t.Errorf("MiniMNIST shape: %d features, %d classes", d.X.Cols(), d.Classes)
+	}
+}
+
+func TestXOR(t *testing.T) {
+	d := XOR()
+	if d.Len() != 4 || d.Classes != 2 {
+		t.Fatalf("XOR shape wrong")
+	}
+	want := []int{0, 1, 1, 0}
+	for i, l := range d.Labels {
+		if l != want[i] {
+			t.Errorf("label[%d] = %d, want %d", i, l, want[i])
+		}
+	}
+}
+
+func TestLinearRegression(t *testing.T) {
+	d, err := LinearRegression(200, 3, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 200 || len(d.TrueWeights) != 4 {
+		t.Fatalf("shape: %d examples, %d true weights", d.Len(), len(d.TrueWeights))
+	}
+	// With zero noise, y must equal x·w + b exactly.
+	for i := 0; i < d.Len(); i++ {
+		v := d.TrueWeights[3]
+		for j := 0; j < 3; j++ {
+			v += d.X.At(i, j) * d.TrueWeights[j]
+		}
+		if math.Abs(v-d.Y.At(i, 0)) > 1e-12 {
+			t.Fatalf("row %d: y = %v, want %v", i, d.Y.At(i, 0), v)
+		}
+	}
+	if _, err := LinearRegression(0, 3, 0, 5); err == nil {
+		t.Error("zero examples accepted")
+	}
+}
+
+func TestShardsClassBalance(t *testing.T) {
+	// Round-robin labelling keeps shards class-balanced, which the
+	// data-parallel training examples rely on.
+	d, _ := GaussianBlobs(100, 4, 2, 0.1, 1)
+	shards, _ := d.Shards(4)
+	for si, s := range shards {
+		count := 0
+		for _, l := range s.Labels {
+			if l == 0 {
+				count++
+			}
+		}
+		frac := float64(count) / float64(s.Len())
+		if math.Abs(frac-0.5) > 0.05 {
+			t.Errorf("shard %d class-0 fraction = %v", si, frac)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dmlscale/internal/asciiplot"
+	"dmlscale/internal/core"
+	"dmlscale/internal/textio"
+	"dmlscale/internal/units"
+)
+
+func init() { register("fig1", Figure1) }
+
+// Figure1 reproduces the paper's Fig. 1, the framework's illustrative
+// speedup curve: per-node computation falls as c/n while communication grows
+// as a·n, so speedup peaks — at 14 workers for c/a = 196 — and declines
+// beyond it.
+func Figure1(opts Options) (Result, error) {
+	const c, a = 196.0, 1.0
+	model := core.Model{
+		Name:          "example workload",
+		Computation:   func(n int) units.Seconds { return units.Seconds(c / float64(n)) },
+		Communication: func(n int) units.Seconds { return units.Seconds(a * float64(n)) },
+	}
+	workers := core.Range(1, 30)
+	curve, err := model.SpeedupCurve(workers)
+	if err != nil {
+		return Result{}, err
+	}
+	optN, optS, err := model.OptimalWorkers(30)
+	if err != nil {
+		return Result{}, err
+	}
+	cross, _ := model.CommComputeCrossover(30)
+
+	table := textio.NewTable("workers", "t_cp (s)", "t_cm (s)", "t (s)", "speedup")
+	for _, p := range curve.Points {
+		table.AddRow(p.N,
+			float64(model.Computation(p.N)),
+			float64(model.Communication(p.N)),
+			float64(p.Time), p.Speedup)
+	}
+	plot, err := asciiplot.CurvePlot("Fig. 1 — example speedup",
+		[]string{"speedup s(n)"},
+		[][]int{curve.Workers()}, [][]float64{curve.Speedups()}, 60, 14)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		ID:          "fig1",
+		Title:       "Example of the speedup (framework illustration)",
+		Description: "Generic BSP workload with t_cp = 196/n and t_cm = n: computation shrinks, communication grows, speedup peaks and total time reaches its minimum.",
+		Table:       table,
+		Plot:        plot,
+		Metrics: map[string]float64{
+			"optimal workers":     float64(optN),
+			"peak speedup":        optS,
+			"comm/comp crossover": float64(cross),
+			"speedup at 30 nodes": curve.Points[29].Speedup,
+		},
+		PaperComparison: []Comparison{
+			{"speedup peak location", "≈14 nodes", fmt.Sprintf("%d nodes", optN)},
+			{"behaviour past peak", "speedup starts to decrease", trendPast(curve, optN)},
+		},
+	}, nil
+}
+
+// trendPast describes whether the curve declines after the given point.
+func trendPast(curve core.Curve, n int) string {
+	var atPeak, after float64
+	for _, p := range curve.Points {
+		if p.N == n {
+			atPeak = p.Speedup
+		}
+		if p.N == n+5 {
+			after = p.Speedup
+		}
+	}
+	if after < atPeak {
+		return "speedup decreases"
+	}
+	return "speedup does not decrease"
+}

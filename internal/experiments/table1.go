@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dmlscale/internal/nncost"
+	"dmlscale/internal/textio"
+)
+
+func init() { register("tab1", Table1) }
+
+// Table1 reproduces the paper's Table I, the network configurations: the
+// parameter and computation counts of the fully-connected MNIST network and
+// Inception v3, recomputed from the architectures with the paper's layer
+// formulas.
+//
+// Conventions, following §V-A: for the dense network "computations" counts
+// the multiply and the add separately (2·W per forward pass, hence the 6·W
+// training cost); for Inception v3 the paper quotes Szegedy et al.'s
+// 5·10⁹ multiply-adds directly.
+func Table1(opts Options) (Result, error) {
+	fc, err := nncost.MNISTFullyConnected().Summarize()
+	if err != nil {
+		return Result{}, err
+	}
+	inc, err := nncost.InceptionV3().Summarize()
+	if err != nil {
+		return Result{}, err
+	}
+
+	table := textio.NewTable("network (task)", "parameters", "computations")
+	table.AddRow(fc.Name, fmt.Sprintf("%.4g", float64(fc.Weights)), fmt.Sprintf("%.4g", float64(fc.ForwardFlops())))
+	table.AddRow(inc.Name, fmt.Sprintf("%.4g", float64(inc.Weights)), fmt.Sprintf("%.4g", float64(inc.MultiplyAdds)))
+
+	// Reference rows: other well-known architectures the counter handles.
+	extras := textio.NewTable("reference network", "parameters", "fwd multiply-adds")
+	for _, n := range []nncost.Network{nncost.LeNet5(), nncost.AlexNet(), nncost.VGG16()} {
+		s, err := n.Summarize()
+		if err != nil {
+			return Result{}, err
+		}
+		extras.AddRow(s.Name, s.Weights, s.MultiplyAdds)
+	}
+
+	return Result{
+		ID:          "tab1",
+		Title:       "Table I — network configurations",
+		Description: "Weights and forward-pass computations recomputed layer by layer from the architectures (dense: w = n·m; conv: n·(k·k·d) weights, n·(k·k·d·c·c) multiply-adds).",
+		Table:       table,
+		Plot:        "\n" + extras.String(),
+		Metrics: map[string]float64{
+			"fc parameters":          float64(fc.Weights),
+			"fc computations":        float64(fc.ForwardFlops()),
+			"inception parameters":   float64(inc.Weights),
+			"inception multiplyadds": float64(inc.MultiplyAdds),
+		},
+		PaperComparison: []Comparison{
+			{"FC (MNIST) parameters", "12·10⁶", fmt.Sprintf("%d (11.97·10⁶)", fc.Weights)},
+			{"FC (MNIST) computations", "24·10⁶", fmt.Sprintf("%d (23.93·10⁶)", fc.ForwardFlops())},
+			{"Inception v3 parameters", "25·10⁶", fmt.Sprintf("%d (23.80·10⁶)", inc.Weights)},
+			{"Inception v3 computations", "5·10⁹", fmt.Sprintf("%d (5.71·10⁹)", inc.MultiplyAdds)},
+		},
+	}, nil
+}

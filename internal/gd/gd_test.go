@@ -1,0 +1,276 @@
+package gd
+
+import (
+	"math"
+	"testing"
+
+	"dmlscale/internal/comm"
+	"dmlscale/internal/dataset"
+	"dmlscale/internal/hardware"
+	"dmlscale/internal/nn"
+	"dmlscale/internal/tensor"
+	"dmlscale/internal/units"
+)
+
+func newTestNet(t *testing.T, seed int64) *nn.Network {
+	t.Helper()
+	net, err := nn.NewMLP([]int{6, 8, 3}, func() nn.Layer { return &nn.Tanh{} },
+		nn.SoftmaxCrossEntropy{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestDataParallelGradientEqualsSequential is the module's key invariant:
+// splitting a batch across workers and averaging shard gradients reproduces
+// the sequential batch gradient.
+func TestDataParallelGradientEqualsSequential(t *testing.T) {
+	d, err := dataset.GaussianBlobs(64, 6, 3, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 7, 8} {
+		net := newTestNet(t, 5)
+		seqLoss := Gradient(net, d.X, d.Y)
+		seq := make([]*tensor.Dense, 0)
+		for _, g := range net.Grads() {
+			seq = append(seq, g.Clone())
+		}
+
+		replicas := make([]*nn.Network, workers)
+		for i := range replicas {
+			r, err := cloneArchitecture(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replicas[i] = r
+		}
+		parLoss, err := ParallelGradient(net, d, workers, replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(parLoss-seqLoss) > 1e-9 {
+			t.Errorf("workers=%d: loss %v vs sequential %v", workers, parLoss, seqLoss)
+		}
+		for gi, g := range net.Grads() {
+			if diff := tensor.MaxAbsDiff(g, seq[gi]); diff > 1e-9 {
+				t.Errorf("workers=%d: grad %d deviates by %g", workers, gi, diff)
+			}
+		}
+	}
+}
+
+func TestParallelGradientErrors(t *testing.T) {
+	d, _ := dataset.GaussianBlobs(8, 6, 3, 0.3, 11)
+	net := newTestNet(t, 5)
+	if _, err := ParallelGradient(net, d, 0, nil); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := ParallelGradient(net, d, 2, nil); err == nil {
+		t.Error("missing replicas accepted")
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	p := tensor.FromSlice(1, 2, []float64{1, 2})
+	g := tensor.FromSlice(1, 2, []float64{0.5, -0.5})
+	opt := &SGD{LearningRate: 0.1}
+	if err := opt.Step([]*tensor.Dense{p}, []*tensor.Dense{g}); err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.FromSlice(1, 2, []float64{0.95, 2.05})
+	if !tensor.Equal(p, want, 1e-12) {
+		t.Errorf("after step: %v, want %v", p, want)
+	}
+	if err := opt.Step([]*tensor.Dense{p}, nil); err == nil {
+		t.Error("mismatched step accepted")
+	}
+}
+
+func TestSGDMomentum(t *testing.T) {
+	p := tensor.FromSlice(1, 1, []float64{0})
+	g := tensor.FromSlice(1, 1, []float64{1})
+	opt := &SGD{LearningRate: 1, Momentum: 0.5}
+	// v1 = 1, p = -1; v2 = 1.5, p = -2.5.
+	opt.Step([]*tensor.Dense{p}, []*tensor.Dense{g})
+	if p.At(0, 0) != -1 {
+		t.Fatalf("after first step p = %v", p.At(0, 0))
+	}
+	opt.Step([]*tensor.Dense{p}, []*tensor.Dense{g})
+	if p.At(0, 0) != -2.5 {
+		t.Fatalf("after second step p = %v", p.At(0, 0))
+	}
+}
+
+func TestTrainXORConverges(t *testing.T) {
+	net, err := nn.NewMLP([]int{2, 8, 2}, func() nn.Layer { return &nn.Tanh{} },
+		nn.SoftmaxCrossEntropy{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dataset.XOR()
+	res, err := Train(net, d, &SGD{LearningRate: 0.5}, TrainOptions{Epochs: 2000, Tolerance: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("XOR did not converge: final loss %v after %d epochs", res.FinalLoss, res.Epochs)
+	}
+	if acc := net.Accuracy(d.X, d.Labels); acc != 1 {
+		t.Errorf("XOR accuracy = %v, want 1", acc)
+	}
+}
+
+func TestTrainLossDecreases(t *testing.T) {
+	d, _ := dataset.GaussianBlobs(120, 6, 3, 0.2, 21)
+	net := newTestNet(t, 9)
+	res, err := Train(net, d, &SGD{LearningRate: 0.3}, TrainOptions{Epochs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss >= res.LossHistory[0] {
+		t.Errorf("loss did not decrease: %v -> %v", res.LossHistory[0], res.FinalLoss)
+	}
+	if acc := net.Accuracy(d.X, d.Labels); acc < 0.9 {
+		t.Errorf("blob accuracy = %v, want ≥ 0.9", acc)
+	}
+}
+
+// TestTrainParallelMatchesSequential: with identical initial weights, the
+// data-parallel trajectory matches the sequential one.
+func TestTrainParallelMatchesSequential(t *testing.T) {
+	d, _ := dataset.GaussianBlobs(60, 6, 3, 0.2, 33)
+	seq := newTestNet(t, 17)
+	par := newTestNet(t, 999)
+	if err := par.CopyParamsFrom(seq); err != nil {
+		t.Fatal(err)
+	}
+	resSeq, err := Train(seq, d, &SGD{LearningRate: 0.2}, TrainOptions{Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPar, err := Train(par, d, &SGD{LearningRate: 0.2}, TrainOptions{Epochs: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resSeq.FinalLoss-resPar.FinalLoss) > 1e-7 {
+		t.Errorf("final losses differ: sequential %v vs parallel %v", resSeq.FinalLoss, resPar.FinalLoss)
+	}
+	for i, p := range seq.Params() {
+		if diff := tensor.MaxAbsDiff(p, par.Params()[i]); diff > 1e-7 {
+			t.Errorf("param %d deviates by %g after parallel training", i, diff)
+		}
+	}
+}
+
+func TestTrainMiniBatch(t *testing.T) {
+	d, _ := dataset.GaussianBlobs(64, 6, 3, 0.2, 41)
+	net := newTestNet(t, 19)
+	res, err := Train(net, d, &SGD{LearningRate: 0.2}, TrainOptions{Epochs: 10, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 10 {
+		t.Errorf("epochs = %d", res.Epochs)
+	}
+	if res.FinalLoss >= res.LossHistory[0] {
+		t.Errorf("mini-batch loss did not decrease")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	d, _ := dataset.GaussianBlobs(8, 6, 3, 0.2, 41)
+	net := newTestNet(t, 19)
+	if _, err := Train(net, d, &SGD{LearningRate: 0.1}, TrainOptions{}); err == nil {
+		t.Error("zero epochs accepted")
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	good := Workload{Name: "w", FlopsPerExample: 1, BatchSize: 1, ModelBits: 1}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []Workload{
+		{Name: "w", BatchSize: 1, ModelBits: 1},
+		{Name: "w", FlopsPerExample: 1, ModelBits: 1},
+		{Name: "w", FlopsPerExample: 1, BatchSize: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("workload %+v accepted", bad)
+		}
+	}
+}
+
+// TestModelPaperFig2Values pins the analytic model to hand-computed values
+// of the Fig. 2 setup at n = 1 and n = 4.
+func TestModelPaperFig2Values(t *testing.T) {
+	w := Workload{
+		Name:            "fc mnist",
+		FlopsPerExample: 6 * 12e6,
+		BatchSize:       60000,
+		ModelBits:       units.Bits(64 * 12e6),
+	}
+	m, err := Model(w, hardware.XeonE31240(), comm.SparkGradient(units.Gbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t_cp(1) = 6·12e6·60000 / 84.48e9 ≈ 51.136 s; t_cm(1) = 2·0.768.
+	want1 := 6.0*12e6*60000/84.48e9 + 2*0.768
+	if got := float64(m.Time(1)); math.Abs(got-want1) > 1e-6 {
+		t.Errorf("t(1) = %v, want %v", got, want1)
+	}
+	// t(4) = t_cp(1)/4 + 0.768·2 + 2·0.768·2.
+	want4 := 6.0*12e6*60000/84.48e9/4 + 0.768*2 + 2*0.768*2
+	if got := float64(m.Time(4)); math.Abs(got-want4) > 1e-6 {
+		t.Errorf("t(4) = %v, want %v", got, want4)
+	}
+}
+
+func TestModelErrors(t *testing.T) {
+	bad := Workload{Name: "bad"}
+	if _, err := Model(bad, hardware.XeonE31240(), comm.Zero); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	good := Workload{Name: "ok", FlopsPerExample: 1, BatchSize: 1, ModelBits: 1}
+	if _, err := Model(good, hardware.Node{}, comm.Zero); err == nil {
+		t.Error("invalid node accepted")
+	}
+	if _, err := WeakScalingModel(bad, hardware.XeonE31240(), comm.Zero); err == nil {
+		t.Error("weak: invalid workload accepted")
+	}
+	if _, err := WeakScalingModel(good, hardware.Node{}, comm.Zero); err == nil {
+		t.Error("weak: invalid node accepted")
+	}
+}
+
+// TestWeakScalingModelPaperFig3 pins the weak-scaling model to the paper's
+// Fig. 3 formula t = ((C·S)/F + 2·(32·W/B)·log n)/n.
+func TestWeakScalingModelPaperFig3(t *testing.T) {
+	w := Workload{
+		Name:            "inception",
+		FlopsPerExample: 3 * 5e9,
+		BatchSize:       128,
+		ModelBits:       units.Bits(32 * 25e6),
+	}
+	m, err := WeakScalingModel(w, hardware.NvidiaK40(), comm.TwoStageTree{Bandwidth: units.Gbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := 0.5 * 4.28e12
+	for _, n := range []int{1, 50, 100} {
+		logn := 0.0
+		if n > 1 {
+			logn = math.Log2(float64(n))
+		}
+		want := (3*5e9*128/f + 2*(32*25e6/1e9)*logn) / float64(n)
+		if got := float64(m.Time(n)); math.Abs(got-want) > 1e-9 {
+			t.Errorf("t(%d) = %v, want %v", n, got, want)
+		}
+	}
+	// Logarithmic communication allows unbounded weak scaling.
+	if m.SpeedupRelative(50, 200) <= 1 {
+		t.Error("weak scaling should improve past 50 workers with log communication")
+	}
+}

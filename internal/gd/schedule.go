@@ -1,0 +1,103 @@
+package gd
+
+import (
+	"fmt"
+	"math"
+
+	"dmlscale/internal/tensor"
+)
+
+// LRSchedule maps a zero-based step index to a learning-rate multiplier.
+// Schedules compose with SGD through WithSchedule.
+type LRSchedule func(step int) float64
+
+// ConstantLR keeps the base learning rate.
+func ConstantLR() LRSchedule {
+	return func(int) float64 { return 1 }
+}
+
+// StepDecayLR multiplies the rate by factor every interval steps — the
+// classic staircase schedule.
+func StepDecayLR(factor float64, interval int) (LRSchedule, error) {
+	if factor <= 0 || factor > 1 {
+		return nil, fmt.Errorf("gd: step decay factor %v outside (0, 1]", factor)
+	}
+	if interval < 1 {
+		return nil, fmt.Errorf("gd: step decay interval %d < 1", interval)
+	}
+	return func(step int) float64 {
+		return math.Pow(factor, float64(step/interval))
+	}, nil
+}
+
+// ExponentialDecayLR scales the rate by exp(−rate·step).
+func ExponentialDecayLR(rate float64) (LRSchedule, error) {
+	if rate < 0 {
+		return nil, fmt.Errorf("gd: negative exponential decay rate %v", rate)
+	}
+	return func(step int) float64 {
+		return math.Exp(-rate * float64(step))
+	}, nil
+}
+
+// InverseScalingLR scales the rate by 1/(1 + rate·step) — the Robbins-Monro
+// style schedule under which SGD converges on convex objectives.
+func InverseScalingLR(rate float64) (LRSchedule, error) {
+	if rate < 0 {
+		return nil, fmt.Errorf("gd: negative inverse scaling rate %v", rate)
+	}
+	return func(step int) float64 {
+		return 1 / (1 + rate*float64(step))
+	}, nil
+}
+
+// LinearScalingLR implements the large-batch linear scaling rule with
+// warmup: the multiplier ramps linearly from 1/warmupSteps to the full
+// workers factor over warmupSteps, then stays at workers. It is the
+// practical companion of the paper's weak-scaling analysis: scaling the
+// batch by n wants the rate scaled by n, eased in to avoid divergence.
+func LinearScalingLR(workers, warmupSteps int) (LRSchedule, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("gd: linear scaling workers %d < 1", workers)
+	}
+	if warmupSteps < 0 {
+		return nil, fmt.Errorf("gd: negative warmup %d", warmupSteps)
+	}
+	return func(step int) float64 {
+		target := float64(workers)
+		if warmupSteps == 0 || step >= warmupSteps {
+			return target
+		}
+		frac := float64(step+1) / float64(warmupSteps)
+		return 1 + (target-1)*frac
+	}, nil
+}
+
+// ScheduledSGD wraps SGD with a per-step learning-rate multiplier.
+type ScheduledSGD struct {
+	inner    *SGD
+	baseLR   float64
+	schedule LRSchedule
+	step     int
+}
+
+// WithSchedule returns an optimizer applying schedule(step)·LearningRate at
+// each step. It satisfies the same Step contract as SGD.
+func WithSchedule(opt *SGD, schedule LRSchedule) (*ScheduledSGD, error) {
+	if opt == nil || schedule == nil {
+		return nil, fmt.Errorf("gd: WithSchedule needs an optimizer and a schedule")
+	}
+	return &ScheduledSGD{inner: opt, baseLR: opt.LearningRate, schedule: schedule}, nil
+}
+
+// Step applies one scheduled update and advances the step counter.
+func (s *ScheduledSGD) Step(params, grads []*tensor.Dense) error {
+	s.inner.LearningRate = s.baseLR * s.schedule(s.step)
+	s.step++
+	return s.inner.Step(params, grads)
+}
+
+// CurrentRate returns the learning rate the next Step will apply.
+func (s *ScheduledSGD) CurrentRate() float64 {
+	return s.baseLR * s.schedule(s.step)
+}

@@ -1,0 +1,138 @@
+package gd
+
+import (
+	"math"
+	"testing"
+
+	"dmlscale/internal/tensor"
+)
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR()
+	for _, step := range []int{0, 1, 100} {
+		if s(step) != 1 {
+			t.Errorf("constant(%d) = %v", step, s(step))
+		}
+	}
+}
+
+func TestStepDecayLR(t *testing.T) {
+	s, err := StepDecayLR(0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[int]float64{0: 1, 9: 1, 10: 0.5, 19: 0.5, 20: 0.25}
+	for step, want := range cases {
+		if got := s(step); math.Abs(got-want) > 1e-12 {
+			t.Errorf("stepdecay(%d) = %v, want %v", step, got, want)
+		}
+	}
+	if _, err := StepDecayLR(0, 10); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := StepDecayLR(1.5, 10); err == nil {
+		t.Error("factor above 1 accepted")
+	}
+	if _, err := StepDecayLR(0.5, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestExponentialDecayLR(t *testing.T) {
+	s, err := ExponentialDecayLR(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s(0); got != 1 {
+		t.Errorf("exp(0) = %v", got)
+	}
+	if got, want := s(10), math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("exp(10) = %v, want %v", got, want)
+	}
+	if _, err := ExponentialDecayLR(-1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestInverseScalingLR(t *testing.T) {
+	s, err := InverseScalingLR(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s(0); got != 1 {
+		t.Errorf("inv(0) = %v", got)
+	}
+	if got := s(2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("inv(2) = %v, want 0.5", got)
+	}
+	if _, err := InverseScalingLR(-1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestLinearScalingLRWarmup(t *testing.T) {
+	s, err := LinearScalingLR(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ramp: steps 0..3 ease toward 8, step 4+ holds 8.
+	if got := s(3); math.Abs(got-8) > 1e-12 {
+		t.Errorf("warmup end = %v, want 8", got)
+	}
+	if got := s(100); got != 8 {
+		t.Errorf("post warmup = %v, want 8", got)
+	}
+	if s(0) >= s(1) || s(1) >= s(2) {
+		t.Error("warmup should ramp monotonically")
+	}
+	noWarm, err := LinearScalingLR(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noWarm(0) != 4 {
+		t.Errorf("no-warmup start = %v, want 4", noWarm(0))
+	}
+	if _, err := LinearScalingLR(0, 1); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := LinearScalingLR(2, -1); err == nil {
+		t.Error("negative warmup accepted")
+	}
+}
+
+func TestScheduledSGDAppliesSchedule(t *testing.T) {
+	base := &SGD{LearningRate: 1}
+	sched, err := StepDecayLR(0.5, 1) // halve every step
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := WithSchedule(base, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tensor.FromSlice(1, 1, []float64{0})
+	g := tensor.FromSlice(1, 1, []float64{1})
+	// Step 0: lr 1 → p = -1. Step 1: lr 0.5 → p = -1.5. Step 2: 0.25 →
+	// -1.75.
+	wants := []float64{-1, -1.5, -1.75}
+	for i, want := range wants {
+		if err := opt.Step([]*tensor.Dense{p}, []*tensor.Dense{g}); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.At(0, 0); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("after step %d: p = %v, want %v", i, got, want)
+		}
+	}
+	if rate := opt.CurrentRate(); math.Abs(rate-0.125) > 1e-12 {
+		t.Errorf("CurrentRate = %v, want 0.125", rate)
+	}
+}
+
+func TestWithScheduleValidation(t *testing.T) {
+	if _, err := WithSchedule(nil, ConstantLR()); err == nil {
+		t.Error("nil optimizer accepted")
+	}
+	if _, err := WithSchedule(&SGD{LearningRate: 1}, nil); err == nil {
+		t.Error("nil schedule accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package gpusim
+
+import (
+	"testing"
+
+	"dmlscale/internal/hardware"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := PaperFig3Config().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := PaperFig3Config()
+	bad.PerWorkerBatch = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero batch accepted")
+	}
+	bad = PaperFig3Config()
+	bad.StepOverhead = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative overhead accepted")
+	}
+	bad = PaperFig3Config()
+	bad.Node = hardware.Node{}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid node accepted")
+	}
+}
+
+func TestInstanceTimeWeakScaling(t *testing.T) {
+	cfg := PaperFig3Config()
+	t50, err := InstanceTime(cfg, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t100, err := InstanceTime(cfg, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t200, err := InstanceTime(cfg, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-instance time keeps falling with more workers under log
+	// communication — the paper's "infinite weak scaling".
+	if !(t200 < t100 && t100 < t50) {
+		t.Errorf("per-instance times not decreasing: %v, %v, %v", t50, t100, t200)
+	}
+	// But sublinearly: doubling workers less than halves the time.
+	if float64(t100) < 0.5*float64(t50) {
+		t.Errorf("t(100) = %v vs t(50) = %v; faster than linear", t100, t50)
+	}
+}
+
+func TestInstanceTimeErrors(t *testing.T) {
+	cfg := PaperFig3Config()
+	if _, err := InstanceTime(cfg, 0, 1); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := InstanceTime(cfg, 1, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestSpeedupCurveRelativeTo50(t *testing.T) {
+	cfg := PaperFig3Config()
+	curve, err := SpeedupCurve(cfg, 50, []int{25, 50, 100, 200}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s(50) = 1 by construction.
+	if s := curve.Points[1].Speedup; s < 0.99 || s > 1.01 {
+		t.Errorf("s(50) = %v, want 1", s)
+	}
+	// The paper's Fig. 3 band: s(25) < 1 < s(100) < s(200), with
+	// s(100) ≈ 1.7 and s(200) ≈ 3.
+	if s := curve.Points[0].Speedup; s >= 1 {
+		t.Errorf("s(25) = %v, want < 1", s)
+	}
+	if s := curve.Points[2].Speedup; s < 1.4 || s > 2.1 {
+		t.Errorf("s(100) = %v, want ≈ 1.7", s)
+	}
+	if s := curve.Points[3].Speedup; s < 2.4 || s > 3.7 {
+		t.Errorf("s(200) = %v, want ≈ 3", s)
+	}
+}
+
+func TestSpeedupCurveErrors(t *testing.T) {
+	if _, err := SpeedupCurve(PaperFig3Config(), 50, nil, 1); err == nil {
+		t.Error("empty worker list accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := PaperFig3Config()
+	a, err := InstanceTime(cfg, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := InstanceTime(cfg, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same config, different instance times")
+	}
+}

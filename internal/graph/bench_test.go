@@ -1,0 +1,34 @@
+package graph
+
+import "testing"
+
+func BenchmarkPowerLawDegrees100K(b *testing.B) {
+	spec := ScaledDNSGraph(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Degrees(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChungLu10K(b *testing.B) {
+	degrees, err := ScaledDNSGraph(10000).Degrees(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ChungLu(degrees, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGrid2D100x100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Grid2D(100, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

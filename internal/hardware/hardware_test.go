@@ -1,0 +1,93 @@
+package hardware
+
+import (
+	"math"
+	"testing"
+
+	"dmlscale/internal/units"
+)
+
+func TestEffectiveFlops(t *testing.T) {
+	// Fig. 2 uses F = 0.8 · 105.6e9.
+	got := XeonE31240().EffectiveFlops()
+	want := units.Flops(0.8 * 105.6e9)
+	if math.Abs(float64(got-want)) > 1 {
+		t.Errorf("Xeon effective flops = %v, want %v", got, want)
+	}
+	// Fig. 3 uses F = 0.5 · 4.28e12.
+	got = NvidiaK40().EffectiveFlops()
+	want = units.Flops(0.5 * 4.28e12)
+	if math.Abs(float64(got-want)) > 1 {
+		t.Errorf("K40 effective flops = %v, want %v", got, want)
+	}
+}
+
+func TestNodeValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		node    Node
+		wantErr bool
+	}{
+		{"catalog xeon", XeonE31240(), false},
+		{"catalog k40", NvidiaK40(), false},
+		{"catalog dl980", ProLiantDL980Core(), false},
+		{"zero flops", Node{Name: "x", Efficiency: 0.5}, true},
+		{"negative flops", Node{Name: "x", PeakFlops: -1, Efficiency: 0.5}, true},
+		{"zero efficiency", Node{Name: "x", PeakFlops: 1e9}, true},
+		{"efficiency above one", Node{Name: "x", PeakFlops: 1e9, Efficiency: 1.5}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.node.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNetworkValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		nw      Network
+		wantErr bool
+	}{
+		{"gigabit", GigabitEthernet(), false},
+		{"ten gigabit", TenGigabitEthernet(), false},
+		{"shared memory without bandwidth", Network{SharedMemory: true}, false},
+		{"zero bandwidth", Network{Name: "x"}, true},
+		{"negative latency", Network{Name: "x", Bandwidth: 1, Latency: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.nw.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestClusterValidate(t *testing.T) {
+	if err := SparkCluster(16).Validate(); err != nil {
+		t.Errorf("SparkCluster: %v", err)
+	}
+	if err := GPUCluster(200).Validate(); err != nil {
+		t.Errorf("GPUCluster: %v", err)
+	}
+	if err := DL980().Validate(); err != nil {
+		t.Errorf("DL980: %v", err)
+	}
+	bad := Cluster{Node: XeonE31240(), Network: GigabitEthernet(), MaxNodes: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative MaxNodes accepted")
+	}
+}
+
+func TestDL980Bounds(t *testing.T) {
+	c := DL980()
+	if c.MaxNodes != 80 {
+		t.Errorf("DL980 MaxNodes = %d, want 80 (cores)", c.MaxNodes)
+	}
+	if !c.Network.SharedMemory {
+		t.Error("DL980 network should be shared memory")
+	}
+}

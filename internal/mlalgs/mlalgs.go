@@ -1,0 +1,156 @@
+// Package mlalgs provides complexity models for the common Spark ML
+// algorithms, extending the paper's framework the way its own authors did
+// when they "used [it] to study the scalability of machine learning
+// algorithms in Apache Spark" (§I). Each constructor derives a gd.Workload
+// — per-example flops, batch size and aggregate size — from the algorithm's
+// shape parameters, ready to pair with hardware and a communication model.
+//
+// All algorithms here follow the same data-parallel iteration pattern the
+// paper models: workers compute partial aggregates over their data shard,
+// the aggregates are combined, and the updated model is redistributed.
+package mlalgs
+
+import (
+	"fmt"
+
+	"dmlscale/internal/gd"
+	"dmlscale/internal/units"
+)
+
+// sparkPrecisionBits is the width Spark ML ships parameters in (float64).
+const sparkPrecisionBits = 64
+
+// LogisticRegression models binary logistic regression by gradient descent:
+// one example costs a dot product, a logistic link, and a scaled
+// accumulation — about 4 flops per feature — and the aggregate is the
+// d-dimensional gradient.
+func LogisticRegression(features int, examples float64) (gd.Workload, error) {
+	if features < 1 || examples < 1 {
+		return gd.Workload{}, fmt.Errorf("mlalgs: logistic regression: need positive sizes")
+	}
+	return gd.Workload{
+		Name:            fmt.Sprintf("logistic regression (d=%d)", features),
+		FlopsPerExample: 4 * float64(features),
+		BatchSize:       examples,
+		ModelBits:       units.Bits(sparkPrecisionBits * float64(features)),
+	}, nil
+}
+
+// LinearRegression models least-squares regression by gradient descent;
+// the per-example cost matches logistic regression without the link.
+func LinearRegression(features int, examples float64) (gd.Workload, error) {
+	if features < 1 || examples < 1 {
+		return gd.Workload{}, fmt.Errorf("mlalgs: linear regression: need positive sizes")
+	}
+	return gd.Workload{
+		Name:            fmt.Sprintf("linear regression (d=%d)", features),
+		FlopsPerExample: 3 * float64(features),
+		BatchSize:       examples,
+		ModelBits:       units.Bits(sparkPrecisionBits * float64(features)),
+	}, nil
+}
+
+// KMeans models Lloyd's algorithm: each example computes k squared
+// distances in d dimensions (≈ 3·k·d flops) and the aggregate is the k
+// centroid sums plus counts.
+func KMeans(clusters, features int, examples float64) (gd.Workload, error) {
+	if clusters < 2 || features < 1 || examples < 1 {
+		return gd.Workload{}, fmt.Errorf("mlalgs: kmeans: need k ≥ 2 and positive sizes")
+	}
+	return gd.Workload{
+		Name:            fmt.Sprintf("k-means (k=%d, d=%d)", clusters, features),
+		FlopsPerExample: 3 * float64(clusters) * float64(features),
+		BatchSize:       examples,
+		ModelBits:       units.Bits(sparkPrecisionBits * float64(clusters) * (float64(features) + 1)),
+	}, nil
+}
+
+// MultilayerPerceptron models ANN training the paper's way: 6·W flops per
+// example (forward, backward, gradient), aggregate the W-dimensional
+// gradient.
+func MultilayerPerceptron(weights int64, examples float64) (gd.Workload, error) {
+	if weights < 1 || examples < 1 {
+		return gd.Workload{}, fmt.Errorf("mlalgs: mlp: need positive sizes")
+	}
+	return gd.Workload{
+		Name:            fmt.Sprintf("multilayer perceptron (W=%d)", weights),
+		FlopsPerExample: 6 * float64(weights),
+		BatchSize:       examples,
+		ModelBits:       units.Bits(sparkPrecisionBits * float64(weights)),
+	}, nil
+}
+
+// PCA models principal component analysis via the Gram matrix: each example
+// contributes a rank-1 update costing d² multiply-adds (2·d² flops), and
+// the aggregate is the d×d covariance.
+func PCA(features int, examples float64) (gd.Workload, error) {
+	if features < 1 || examples < 1 {
+		return gd.Workload{}, fmt.Errorf("mlalgs: pca: need positive sizes")
+	}
+	d := float64(features)
+	return gd.Workload{
+		Name:            fmt.Sprintf("PCA (d=%d)", features),
+		FlopsPerExample: 2 * d * d,
+		BatchSize:       examples,
+		ModelBits:       units.Bits(sparkPrecisionBits * d * d),
+	}, nil
+}
+
+// ALS models one half-iteration of alternating least squares at rank r:
+// each rating contributes a rank-r outer product (≈ 4·r² flops; the r³
+// solves amortize over ratings-per-user and are folded into the constant),
+// and the aggregate ships the factor matrices.
+func ALS(rank int, users, items, ratings float64) (gd.Workload, error) {
+	if rank < 1 || users < 1 || items < 1 || ratings < 1 {
+		return gd.Workload{}, fmt.Errorf("mlalgs: als: need positive sizes")
+	}
+	r := float64(rank)
+	return gd.Workload{
+		Name:            fmt.Sprintf("ALS (rank=%d)", rank),
+		FlopsPerExample: 4 * r * r,
+		BatchSize:       ratings,
+		ModelBits:       units.Bits(sparkPrecisionBits * (users + items) * r),
+	}, nil
+}
+
+// NaiveBayes models multinomial naive Bayes training: each example
+// contributes one count per feature (2 flops each), and the aggregate is
+// the classes×features count matrix.
+func NaiveBayes(classes, features int, examples float64) (gd.Workload, error) {
+	if classes < 2 || features < 1 || examples < 1 {
+		return gd.Workload{}, fmt.Errorf("mlalgs: naive bayes: need ≥ 2 classes and positive sizes")
+	}
+	return gd.Workload{
+		Name:            fmt.Sprintf("naive Bayes (c=%d, d=%d)", classes, features),
+		FlopsPerExample: 2 * float64(features),
+		BatchSize:       examples,
+		ModelBits:       units.Bits(sparkPrecisionBits * float64(classes) * float64(features)),
+	}, nil
+}
+
+// Catalog lists a representative Spark ML study configuration: the
+// algorithms above at the scales a mid-size cluster study would use.
+func Catalog() ([]gd.Workload, error) {
+	type build struct {
+		w   gd.Workload
+		err error
+	}
+	mk := func(w gd.Workload, err error) build { return build{w, err} }
+	builds := []build{
+		mk(LogisticRegression(10_000, 10e6)),
+		mk(LinearRegression(10_000, 10e6)),
+		mk(KMeans(100, 1_000, 10e6)),
+		mk(MultilayerPerceptron(12_000_000, 60_000)),
+		mk(PCA(1_000, 1e6)),
+		mk(ALS(50, 1e6, 100_000, 100e6)),
+		mk(NaiveBayes(20, 100_000, 10e6)),
+	}
+	out := make([]gd.Workload, 0, len(builds))
+	for _, b := range builds {
+		if b.err != nil {
+			return nil, b.err
+		}
+		out = append(out, b.w)
+	}
+	return out, nil
+}

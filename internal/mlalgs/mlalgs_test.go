@@ -1,0 +1,152 @@
+package mlalgs
+
+import (
+	"testing"
+
+	"dmlscale/internal/comm"
+	"dmlscale/internal/gd"
+	"dmlscale/internal/hardware"
+	"dmlscale/internal/units"
+)
+
+func TestConstructorsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"logistic", errOf(LogisticRegression(0, 10))},
+		{"linear", errOf(LinearRegression(10, 0))},
+		{"kmeans k", errOf(KMeans(1, 10, 10))},
+		{"kmeans d", errOf(KMeans(3, 0, 10))},
+		{"mlp", errOf(MultilayerPerceptron(0, 10))},
+		{"pca", errOf(PCA(0, 10))},
+		{"als", errOf(ALS(0, 1, 1, 1))},
+		{"bayes", errOf(NaiveBayes(1, 10, 10))},
+	}
+	for _, tt := range cases {
+		if tt.err == nil {
+			t.Errorf("%s: invalid sizes accepted", tt.name)
+		}
+	}
+}
+
+func errOf(_ gd.Workload, err error) error { return err }
+
+func TestWorkloadFormulas(t *testing.T) {
+	lr, err := LogisticRegression(1000, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.FlopsPerExample != 4000 {
+		t.Errorf("logistic C = %v, want 4000", lr.FlopsPerExample)
+	}
+	if lr.ModelBits != units.Bits(64*1000) {
+		t.Errorf("logistic model bits = %v", lr.ModelBits)
+	}
+
+	km, err := KMeans(10, 100, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.FlopsPerExample != 3000 {
+		t.Errorf("kmeans C = %v, want 3000", km.FlopsPerExample)
+	}
+	if km.ModelBits != units.Bits(64*10*101) {
+		t.Errorf("kmeans model bits = %v", km.ModelBits)
+	}
+
+	mlp, err := MultilayerPerceptron(12e6, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's 6·W.
+	if mlp.FlopsPerExample != 6*12e6 {
+		t.Errorf("mlp C = %v, want 6·12e6", mlp.FlopsPerExample)
+	}
+
+	pca, err := PCA(100, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pca.FlopsPerExample != 2*100*100 {
+		t.Errorf("pca C = %v", pca.FlopsPerExample)
+	}
+}
+
+func TestAllWorkloadsBuildModels(t *testing.T) {
+	workloads, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workloads) != 7 {
+		t.Fatalf("catalog has %d entries", len(workloads))
+	}
+	for _, w := range workloads {
+		model, err := gd.Model(w, hardware.XeonE31240(), comm.SparkGradient(units.Gbps))
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		n, s, err := model.OptimalWorkers(64)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if n < 1 || s < 1 {
+			t.Errorf("%s: degenerate optimum n=%d s=%v", w.Name, n, s)
+		}
+	}
+}
+
+// TestComputeHeavyScalesFurther: algorithms with higher compute-to-model
+// ratios support larger clusters — the study's headline finding. K-means
+// at k=100 crunches 3·k·d flops per example while shipping only k·(d+1)
+// centroids; the 12M-parameter MLP ships a 768-Mbit gradient every
+// iteration. K-means must scale further.
+func TestComputeHeavyScalesFurther(t *testing.T) {
+	node := hardware.XeonE31240()
+	protocol := comm.SparkGradient(units.Gbps)
+
+	km, err := KMeans(100, 1000, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlp, err := MultilayerPerceptron(12e6, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmModel, err := gd.Model(km, node, protocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlpModel, err := gd.Model(mlp, node, protocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmN, kmS, _ := kmModel.OptimalWorkers(64)
+	mlpN, mlpS, _ := mlpModel.OptimalWorkers(64)
+	if kmS <= mlpS {
+		t.Errorf("k-means peak %v (n=%d) should beat MLP peak %v (n=%d)",
+			kmS, kmN, mlpS, mlpN)
+	}
+}
+
+// TestMoreDataScalesFurther: growing the batch raises both the optimum and
+// the peak (Gustafson's insight, reproduced by the framework).
+func TestMoreDataScalesFurther(t *testing.T) {
+	node := hardware.XeonE31240()
+	protocol := comm.SparkGradient(units.Gbps)
+	small, err := LogisticRegression(10000, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := LogisticRegression(10000, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallModel, _ := gd.Model(small, node, protocol)
+	largeModel, _ := gd.Model(large, node, protocol)
+	_, smallS, _ := smallModel.OptimalWorkers(128)
+	_, largeS, _ := largeModel.OptimalWorkers(128)
+	if largeS <= smallS {
+		t.Errorf("100M-example peak %v should beat 1M-example peak %v", largeS, smallS)
+	}
+}

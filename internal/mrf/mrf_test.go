@@ -1,0 +1,182 @@
+package mrf
+
+import (
+	"math"
+	"testing"
+
+	"dmlscale/internal/graph"
+)
+
+// mustGraph unwraps a generator result; generator failures in tests are
+// programming errors, so it panics.
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	g := mustGraph(graph.Path(3))
+	goodNode := []float64{1, 1, 1, 1, 1, 1}
+	goodEdge := []float64{2, 1, 1, 2}
+	if _, err := New(g, 2, goodNode, goodEdge); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		states  int
+		nodePot []float64
+		edgePot []float64
+	}{
+		{"one state", 1, goodNode, goodEdge},
+		{"short node pot", 2, goodNode[:4], goodEdge},
+		{"short edge pot", 2, goodNode, goodEdge[:3]},
+		{"zero node pot", 2, []float64{0, 1, 1, 1, 1, 1}, goodEdge},
+		{"negative edge pot", 2, goodNode, []float64{1, -1, -1, 1}},
+		{"asymmetric edge pot", 2, goodNode, []float64{1, 2, 3, 1}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(g, tt.states, tt.nodePot, tt.edgePot); err == nil {
+				t.Error("invalid MRF accepted")
+			}
+		})
+	}
+	if _, err := New(nil, 2, goodNode, goodEdge); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestIsingPotentials(t *testing.T) {
+	g := mustGraph(graph.Path(2))
+	m, err := Ising(g, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ψ(0,0) = exp(0.5·(−1)·(−1)) = e^0.5, ψ(0,1) = e^−0.5.
+	if got := m.EdgePotential(0, 0); math.Abs(got-math.Exp(0.5)) > 1e-12 {
+		t.Errorf("ψ(0,0) = %v", got)
+	}
+	if got := m.EdgePotential(0, 1); math.Abs(got-math.Exp(-0.5)) > 1e-12 {
+		t.Errorf("ψ(0,1) = %v", got)
+	}
+	// φ(s=1) = e^0.2 > φ(s=0) = e^−0.2.
+	if m.NodePotential(0, 1) <= m.NodePotential(0, 0) {
+		t.Error("positive field should favour state 1")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	g := mustGraph(graph.Cycle(5))
+	a, err := Random(g, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(g, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		for s := 0; s < 3; s++ {
+			if a.NodePotential(v, s) != b.NodePotential(v, s) {
+				t.Fatal("same seed, different potentials")
+			}
+		}
+	}
+}
+
+func TestBruteForceUniform(t *testing.T) {
+	// Uniform potentials: marginals must be uniform.
+	g := mustGraph(graph.Cycle(4))
+	nodePot := make([]float64, 8)
+	for i := range nodePot {
+		nodePot[i] = 1
+	}
+	m, err := New(g, 2, nodePot, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := m.BruteForceMarginals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, row := range marg {
+		for s, p := range row {
+			if math.Abs(p-0.5) > 1e-12 {
+				t.Errorf("marginal[%d][%d] = %v, want 0.5", v, s, p)
+			}
+		}
+	}
+}
+
+func TestBruteForceSingleEdgeKnown(t *testing.T) {
+	// Two vertices, one edge, hand-computed marginals.
+	g := mustGraph(graph.Path(2))
+	// φ_0 = (1, 2), φ_1 = (1, 1), ψ = [[2,1],[1,2]].
+	m, err := New(g, 2, []float64{1, 2, 1, 1}, []float64{2, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joint (unnormalized): (0,0)=2 (0,1)=1 (1,0)=2 (1,1)=4; Z=9.
+	marg, err := m.BruteForceMarginals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(marg[0][0]-3.0/9) > 1e-12 || math.Abs(marg[0][1]-6.0/9) > 1e-12 {
+		t.Errorf("marginal[0] = %v, want [1/3 2/3]", marg[0])
+	}
+	if math.Abs(marg[1][0]-4.0/9) > 1e-12 || math.Abs(marg[1][1]-5.0/9) > 1e-12 {
+		t.Errorf("marginal[1] = %v, want [4/9 5/9]", marg[1])
+	}
+}
+
+func TestBruteForceFerromagneticBias(t *testing.T) {
+	// Strong coupling, positive field: all vertices lean to state 1.
+	g := mustGraph(graph.Cycle(5))
+	m, err := Ising(g, 1.0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := m.BruteForceMarginals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, row := range marg {
+		if row[1] <= 0.5 {
+			t.Errorf("vertex %d P(state 1) = %v, want > 0.5", v, row[1])
+		}
+	}
+}
+
+func TestBruteForceRefusesLargeModels(t *testing.T) {
+	g := mustGraph(graph.Grid2D(10, 10))
+	m, err := Ising(g, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.BruteForceMarginals(); err == nil {
+		t.Error("100-vertex brute force accepted")
+	}
+}
+
+func TestMarginalsSumToOne(t *testing.T) {
+	g := mustGraph(graph.Grid2D(3, 3))
+	m, err := Random(g, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := m.BruteForceMarginals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, row := range marg {
+		sum := 0.0
+		for _, p := range row {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("vertex %d marginal sums to %v", v, sum)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package mrf
+
+import (
+	"math"
+	"testing"
+
+	"dmlscale/internal/graph"
+)
+
+func TestPottsPotentials(t *testing.T) {
+	g := mustGraph(graph.Path(2))
+	m, err := Potts(g, 3, 0.7, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.EdgePotential(1, 1); math.Abs(got-math.Exp(0.7)) > 1e-12 {
+		t.Errorf("agree potential = %v", got)
+	}
+	if got := m.EdgePotential(0, 2); got != 1 {
+		t.Errorf("disagree potential = %v, want 1", got)
+	}
+	if got := m.NodePotential(0, 0); math.Abs(got-math.Exp(0.2)) > 1e-12 {
+		t.Errorf("field potential = %v", got)
+	}
+	if got := m.NodePotential(0, 1); got != 1 {
+		t.Errorf("unbiased state potential = %v, want 1", got)
+	}
+	if _, err := Potts(g, 1, 0.1, 0); err == nil {
+		t.Error("single-state Potts accepted")
+	}
+}
+
+func TestPottsReducesToIsingShape(t *testing.T) {
+	// Two-state Potts and Ising differ only by a reparametrization; both
+	// must bias marginals the same way under matching signs.
+	g := mustGraph(graph.Cycle(5))
+	potts, err := Potts(g, 2, 0.8, -0.3) // field favours state 0... negative: favours state 1? No: exp(-0.3) < 1 biases AWAY from 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := potts.BruteForceMarginals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, row := range marg {
+		if row[1] <= 0.5 {
+			t.Errorf("vertex %d: negative field should favour state 1, got %v", v, row)
+		}
+	}
+}
+
+func TestPottsUniformWithoutField(t *testing.T) {
+	g := mustGraph(graph.Cycle(4))
+	m, err := Potts(g, 3, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := m.BruteForceMarginals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By symmetry all states are equally likely.
+	for v, row := range marg {
+		for s, p := range row {
+			if math.Abs(p-1.0/3) > 1e-9 {
+				t.Errorf("vertex %d state %d: %v, want 1/3", v, s, p)
+			}
+		}
+	}
+}

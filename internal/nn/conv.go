@@ -1,0 +1,233 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"dmlscale/internal/tensor"
+)
+
+// Conv2D is a trainable 2-D convolution over batches stored row-major as
+// flattened H×W×C volumes (channel-fastest). It uses valid padding and unit
+// stride generalized to any stride; clarity over speed — the experiments
+// only need small instances, validated by gradient checks.
+type Conv2D struct {
+	InH, InW, InC int
+	KH, KW        int
+	OutC          int
+	Stride        int
+
+	W  *tensor.Dense // OutC × (KH·KW·InC)
+	B  *tensor.Dense // 1 × OutC
+	dW *tensor.Dense
+	dB *tensor.Dense
+
+	lastX *tensor.Dense
+}
+
+// NewConv2D returns a convolution layer with N(0, 1/(KH·KW·InC)) weights
+// drawn deterministically from seed.
+func NewConv2D(inH, inW, inC, kh, kw, outC, stride int, seed int64) *Conv2D {
+	if stride <= 0 {
+		stride = 1
+	}
+	fanIn := kh * kw * inC
+	return &Conv2D{
+		InH: inH, InW: inW, InC: inC,
+		KH: kh, KW: kw, OutC: outC, Stride: stride,
+		W:  tensor.Randn(outC, fanIn, 1/math.Sqrt(float64(fanIn)), seed),
+		B:  tensor.New(1, outC),
+		dW: tensor.New(outC, fanIn),
+		dB: tensor.New(1, outC),
+	}
+}
+
+// OutH returns the output height.
+func (c *Conv2D) OutH() int { return (c.InH-c.KH)/c.Stride + 1 }
+
+// OutW returns the output width.
+func (c *Conv2D) OutW() int { return (c.InW-c.KW)/c.Stride + 1 }
+
+// OutSize returns the flattened output feature count.
+func (c *Conv2D) OutSize() int { return c.OutH() * c.OutW() * c.OutC }
+
+// inIndex maps (h, w, ch) to the flattened input column.
+func (c *Conv2D) inIndex(h, w, ch int) int { return (h*c.InW+w)*c.InC + ch }
+
+// outIndex maps (h, w, ch) to the flattened output column.
+func (c *Conv2D) outIndex(h, w, ch int) int { return (h*c.OutW()+w)*c.OutC + ch }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Dense) *tensor.Dense {
+	if x.Cols() != c.InH*c.InW*c.InC {
+		panic(fmt.Sprintf("nn: conv2d: input has %d features, want %d", x.Cols(), c.InH*c.InW*c.InC))
+	}
+	c.lastX = x
+	outH, outW := c.OutH(), c.OutW()
+	out := tensor.New(x.Rows(), c.OutSize())
+	for b := 0; b < x.Rows(); b++ {
+		in := x.Row(b)
+		o := out.Row(b)
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				for oc := 0; oc < c.OutC; oc++ {
+					sum := c.B.At(0, oc)
+					wrow := c.W.Row(oc)
+					wi := 0
+					for kh := 0; kh < c.KH; kh++ {
+						ih := oh*c.Stride + kh
+						for kw := 0; kw < c.KW; kw++ {
+							iw := ow*c.Stride + kw
+							base := c.inIndex(ih, iw, 0)
+							for ic := 0; ic < c.InC; ic++ {
+								sum += wrow[wi] * in[base+ic]
+								wi++
+							}
+						}
+					}
+					o[c.outIndex(oh, ow, oc)] = sum
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Dense) *tensor.Dense {
+	outH, outW := c.OutH(), c.OutW()
+	dx := tensor.New(grad.Rows(), c.InH*c.InW*c.InC)
+	for b := 0; b < grad.Rows(); b++ {
+		in := c.lastX.Row(b)
+		g := grad.Row(b)
+		dxr := dx.Row(b)
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				for oc := 0; oc < c.OutC; oc++ {
+					gv := g[c.outIndex(oh, ow, oc)]
+					if gv == 0 {
+						continue
+					}
+					c.dB.Set(0, oc, c.dB.At(0, oc)+gv)
+					wrow := c.W.Row(oc)
+					dwrow := c.dW.Row(oc)
+					wi := 0
+					for kh := 0; kh < c.KH; kh++ {
+						ih := oh*c.Stride + kh
+						for kw := 0; kw < c.KW; kw++ {
+							iw := ow*c.Stride + kw
+							base := c.inIndex(ih, iw, 0)
+							for ic := 0; ic < c.InC; ic++ {
+								dwrow[wi] += gv * in[base+ic]
+								dxr[base+ic] += gv * wrow[wi]
+								wi++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Dense { return []*tensor.Dense{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Dense { return []*tensor.Dense{c.dW, c.dB} }
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv2d %dx%dx%d k%dx%d/%d →%d", c.InH, c.InW, c.InC, c.KH, c.KW, c.Stride, c.OutC)
+}
+
+// MaxPool2D is a max-pooling layer over flattened H×W×C volumes.
+type MaxPool2D struct {
+	InH, InW, InC int
+	K             int
+	Stride        int
+
+	lastX   *tensor.Dense
+	argmaxs [][]int
+}
+
+// NewMaxPool2D returns a K×K max-pooling layer; stride defaults to K.
+func NewMaxPool2D(inH, inW, inC, k, stride int) *MaxPool2D {
+	if stride <= 0 {
+		stride = k
+	}
+	return &MaxPool2D{InH: inH, InW: inW, InC: inC, K: k, Stride: stride}
+}
+
+// OutH returns the output height.
+func (p *MaxPool2D) OutH() int { return (p.InH-p.K)/p.Stride + 1 }
+
+// OutW returns the output width.
+func (p *MaxPool2D) OutW() int { return (p.InW-p.K)/p.Stride + 1 }
+
+// OutSize returns the flattened output feature count.
+func (p *MaxPool2D) OutSize() int { return p.OutH() * p.OutW() * p.InC }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Dense) *tensor.Dense {
+	if x.Cols() != p.InH*p.InW*p.InC {
+		panic(fmt.Sprintf("nn: maxpool2d: input has %d features, want %d", x.Cols(), p.InH*p.InW*p.InC))
+	}
+	p.lastX = x
+	outH, outW := p.OutH(), p.OutW()
+	out := tensor.New(x.Rows(), p.OutSize())
+	p.argmaxs = make([][]int, x.Rows())
+	for b := 0; b < x.Rows(); b++ {
+		in := x.Row(b)
+		o := out.Row(b)
+		arg := make([]int, p.OutSize())
+		oi := 0
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				for ch := 0; ch < p.InC; ch++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for kh := 0; kh < p.K; kh++ {
+						for kw := 0; kw < p.K; kw++ {
+							idx := ((oh*p.Stride+kh)*p.InW+(ow*p.Stride+kw))*p.InC + ch
+							if in[idx] > best {
+								best = in[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					o[oi] = best
+					arg[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+		p.argmaxs[b] = arg
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(grad *tensor.Dense) *tensor.Dense {
+	dx := tensor.New(grad.Rows(), p.InH*p.InW*p.InC)
+	for b := 0; b < grad.Rows(); b++ {
+		g := grad.Row(b)
+		dxr := dx.Row(b)
+		for oi, idx := range p.argmaxs[b] {
+			dxr[idx] += g[oi]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*tensor.Dense { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool2D) Grads() []*tensor.Dense { return nil }
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string {
+	return fmt.Sprintf("maxpool2d %d/%d", p.K, p.Stride)
+}

@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"dmlscale/internal/tensor"
+)
+
+// GradCheck compares the analytic parameter gradients of net on (x, target)
+// against central finite differences and returns the largest absolute
+// deviation. It is exported (within the module) so both this package's
+// tests and higher-level integration tests can validate backpropagation.
+func GradCheck(net *Network, x, target *tensor.Dense, eps float64) float64 {
+	net.ZeroGrads()
+	net.LossAndGradient(x, target)
+
+	analytic := make([][]float64, 0)
+	for _, g := range net.Grads() {
+		cp := make([]float64, len(g.Data()))
+		copy(cp, g.Data())
+		analytic = append(analytic, cp)
+	}
+
+	lossAt := func() float64 {
+		pred := net.Forward(x)
+		loss, _ := net.Loss.Loss(pred, target)
+		return loss
+	}
+
+	worst := 0.0
+	for pi, p := range net.Params() {
+		data := p.Data()
+		for i := range data {
+			orig := data[i]
+			data[i] = orig + eps
+			lPlus := lossAt()
+			data[i] = orig - eps
+			lMinus := lossAt()
+			data[i] = orig
+			numeric := (lPlus - lMinus) / (2 * eps)
+			if d := abs(numeric - analytic[pi][i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,171 @@
+// Package nn implements trainable feed-forward neural networks — dense and
+// convolutional layers with exact backpropagation — as the executable
+// counterpart of the cost models in package nncost. The experiments use it
+// to run real data-parallel gradient descent whose gradients are provably
+// identical to the sequential computation (see package gd).
+//
+// The implementation favours transparency over speed: layers are plain
+// structs over the tensor package, and every layer's backward pass is
+// validated against numerical differentiation in the tests.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"dmlscale/internal/tensor"
+)
+
+// Layer is one differentiable network stage operating on batch-major
+// matrices (rows are examples).
+type Layer interface {
+	// Forward computes the layer output for a batch and caches whatever
+	// the backward pass needs.
+	Forward(x *tensor.Dense) *tensor.Dense
+	// Backward receives ∂L/∂output and returns ∂L/∂input, accumulating
+	// parameter gradients internally. It must be called after Forward on
+	// the same batch.
+	Backward(grad *tensor.Dense) *tensor.Dense
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*tensor.Dense
+	// Grads returns the accumulated gradients, aligned with Params.
+	Grads() []*tensor.Dense
+	// Name identifies the layer in diagnostics.
+	Name() string
+}
+
+// DenseLayer is a fully-connected layer: y = x·W + b.
+type DenseLayer struct {
+	In, Out int
+	W       *tensor.Dense // In×Out
+	B       *tensor.Dense // 1×Out
+	dW      *tensor.Dense
+	dB      *tensor.Dense
+	lastX   *tensor.Dense
+}
+
+// NewDense returns a dense layer with Xavier-style N(0, 1/In) weights drawn
+// deterministically from seed.
+func NewDense(in, out int, seed int64) *DenseLayer {
+	return &DenseLayer{
+		In:  in,
+		Out: out,
+		W:   tensor.Randn(in, out, 1/math.Sqrt(float64(in)), seed),
+		B:   tensor.New(1, out),
+		dW:  tensor.New(in, out),
+		dB:  tensor.New(1, out),
+	}
+}
+
+// Forward implements Layer.
+func (l *DenseLayer) Forward(x *tensor.Dense) *tensor.Dense {
+	if x.Cols() != l.In {
+		panic(fmt.Sprintf("nn: dense %d→%d: input has %d features", l.In, l.Out, x.Cols()))
+	}
+	l.lastX = x
+	return tensor.MatMul(x, l.W).AddRowVector(l.B)
+}
+
+// Backward implements Layer.
+func (l *DenseLayer) Backward(grad *tensor.Dense) *tensor.Dense {
+	l.dW.AddInPlace(tensor.MatMulTransA(l.lastX, grad))
+	l.dB.AddInPlace(grad.SumRows())
+	return tensor.MatMulTransB(grad, l.W)
+}
+
+// Params implements Layer.
+func (l *DenseLayer) Params() []*tensor.Dense { return []*tensor.Dense{l.W, l.B} }
+
+// Grads implements Layer.
+func (l *DenseLayer) Grads() []*tensor.Dense { return []*tensor.Dense{l.dW, l.dB} }
+
+// Name implements Layer.
+func (l *DenseLayer) Name() string { return fmt.Sprintf("dense %d→%d", l.In, l.Out) }
+
+// WeightCount returns the number of trainable parameters.
+func (l *DenseLayer) WeightCount() int64 {
+	return int64(l.In)*int64(l.Out) + int64(l.Out)
+}
+
+// Sigmoid applies the logistic function elementwise.
+type Sigmoid struct {
+	lastOut *tensor.Dense
+}
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Dense) *tensor.Dense {
+	s.lastOut = x.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	return s.lastOut
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Dense) *tensor.Dense {
+	deriv := s.lastOut.Apply(func(y float64) float64 { return y * (1 - y) })
+	return tensor.Mul(grad, deriv)
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*tensor.Dense { return nil }
+
+// Grads implements Layer.
+func (s *Sigmoid) Grads() []*tensor.Dense { return nil }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	lastX *tensor.Dense
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
+	r.lastX = x
+	return x.Apply(func(v float64) float64 { return math.Max(0, v) })
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Dense) *tensor.Dense {
+	mask := r.lastX.Apply(func(v float64) float64 {
+		if v > 0 {
+			return 1
+		}
+		return 0
+	})
+	return tensor.Mul(grad, mask)
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Dense { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Dense { return nil }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Tanh applies the hyperbolic tangent elementwise.
+type Tanh struct {
+	lastOut *tensor.Dense
+}
+
+// Forward implements Layer.
+func (th *Tanh) Forward(x *tensor.Dense) *tensor.Dense {
+	th.lastOut = x.Apply(math.Tanh)
+	return th.lastOut
+}
+
+// Backward implements Layer.
+func (th *Tanh) Backward(grad *tensor.Dense) *tensor.Dense {
+	deriv := th.lastOut.Apply(func(y float64) float64 { return 1 - y*y })
+	return tensor.Mul(grad, deriv)
+}
+
+// Params implements Layer.
+func (th *Tanh) Params() []*tensor.Dense { return nil }
+
+// Grads implements Layer.
+func (th *Tanh) Grads() []*tensor.Dense { return nil }
+
+// Name implements Layer.
+func (th *Tanh) Name() string { return "tanh" }

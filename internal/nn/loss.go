@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"dmlscale/internal/tensor"
+)
+
+// Loss is a differentiable training objective. Both value and gradient are
+// averaged over the batch so that gradient magnitudes are independent of
+// batch size — the property that makes data-parallel gradient averaging
+// exact (package gd).
+type Loss interface {
+	// Loss returns the scalar objective and ∂L/∂pred for a batch.
+	Loss(pred, target *tensor.Dense) (float64, *tensor.Dense)
+	// Name identifies the loss in diagnostics.
+	Name() string
+}
+
+// MSE is the mean squared error ½·mean‖pred − target‖².
+type MSE struct{}
+
+// Loss implements Loss.
+func (MSE) Loss(pred, target *tensor.Dense) (float64, *tensor.Dense) {
+	checkSameShape("mse", pred, target)
+	n := float64(pred.Rows())
+	diff := tensor.Sub(pred, target)
+	loss := 0.5 * tensor.Dot(diff, diff) / n
+	grad := diff.Scale(1 / n)
+	return loss, grad
+}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// SoftmaxCrossEntropy combines a softmax over logits with the negative
+// log-likelihood of one-hot targets; its gradient is the numerically stable
+// (softmax − target)/batch.
+type SoftmaxCrossEntropy struct{}
+
+// Loss implements Loss.
+func (SoftmaxCrossEntropy) Loss(logits, target *tensor.Dense) (float64, *tensor.Dense) {
+	checkSameShape("softmax cross-entropy", logits, target)
+	n := logits.Rows()
+	grad := tensor.New(n, logits.Cols())
+	total := 0.0
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		trow := target.Row(i)
+		grow := grad.Row(i)
+		// Stable softmax.
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			grow[j] = e
+			sum += e
+		}
+		for j := range grow {
+			p := grow[j] / sum
+			grow[j] = (p - trow[j]) / float64(n)
+			if trow[j] > 0 {
+				total += -trow[j] * (math.Log(p + 1e-300))
+			}
+		}
+	}
+	return total / float64(n), grad
+}
+
+// Name implements Loss.
+func (SoftmaxCrossEntropy) Name() string { return "softmax cross-entropy" }
+
+func checkSameShape(op string, a, b *tensor.Dense) {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		panic(fmt.Sprintf("nn: %s: shape mismatch %d×%d vs %d×%d", op, a.Rows(), a.Cols(), b.Rows(), b.Cols()))
+	}
+}

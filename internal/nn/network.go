@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"fmt"
+
+	"dmlscale/internal/tensor"
+)
+
+// Network is a feed-forward stack of layers with a training loss.
+type Network struct {
+	Layers []Layer
+	Loss   Loss
+}
+
+// NewMLP builds a multi-layer perceptron with the given layer widths (first
+// entry is the input size, last the output size) and the given hidden
+// activation constructor, e.g. func() Layer { return &Sigmoid{} }. The
+// output layer is linear; pair it with SoftmaxCrossEntropy for
+// classification.
+func NewMLP(widths []int, activation func() Layer, loss Loss, seed int64) (*Network, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("nn: mlp needs at least input and output widths, got %v", widths)
+	}
+	var layers []Layer
+	for i := 0; i < len(widths)-1; i++ {
+		layers = append(layers, NewDense(widths[i], widths[i+1], seed+int64(i)))
+		if i < len(widths)-2 && activation != nil {
+			layers = append(layers, activation())
+		}
+	}
+	return &Network{Layers: layers, Loss: loss}, nil
+}
+
+// Forward runs the batch through every layer.
+func (n *Network) Forward(x *tensor.Dense) *tensor.Dense {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// LossAndGradient runs forward, evaluates the loss, and backpropagates,
+// accumulating parameter gradients. Call ZeroGrads first unless
+// accumulation across batches is intended.
+func (n *Network) LossAndGradient(x, target *tensor.Dense) float64 {
+	pred := n.Forward(x)
+	loss, grad := n.Loss.Loss(pred, target)
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return loss
+}
+
+// Params returns every trainable parameter matrix in layer order.
+func (n *Network) Params() []*tensor.Dense {
+	var ps []*tensor.Dense
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns every gradient matrix aligned with Params.
+func (n *Network) Grads() []*tensor.Dense {
+	var gs []*tensor.Dense
+	for _, l := range n.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, g := range n.Grads() {
+		g.Zero()
+	}
+}
+
+// WeightCount returns the total number of trainable parameters.
+func (n *Network) WeightCount() int64 {
+	var total int64
+	for _, p := range n.Params() {
+		total += int64(p.Rows()) * int64(p.Cols())
+	}
+	return total
+}
+
+// CopyParamsFrom copies all parameter values from src, which must have an
+// identical architecture.
+func (n *Network) CopyParamsFrom(src *Network) error {
+	dst, from := n.Params(), src.Params()
+	if len(dst) != len(from) {
+		return fmt.Errorf("nn: copy params: %d vs %d parameter matrices", len(dst), len(from))
+	}
+	for i := range dst {
+		if dst[i].Rows() != from[i].Rows() || dst[i].Cols() != from[i].Cols() {
+			return fmt.Errorf("nn: copy params: matrix %d shape mismatch", i)
+		}
+		copy(dst[i].Data(), from[i].Data())
+	}
+	return nil
+}
+
+// Predict returns the row-wise argmax of the network output — the predicted
+// class for classification networks.
+func (n *Network) Predict(x *tensor.Dense) []int {
+	out := n.Forward(x)
+	preds := make([]int, out.Rows())
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		preds[i] = best
+	}
+	return preds
+}
+
+// Accuracy returns the fraction of rows whose predicted class matches
+// labels.
+func (n *Network) Accuracy(x *tensor.Dense, labels []int) float64 {
+	preds := n.Predict(x)
+	if len(preds) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}

@@ -1,0 +1,252 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"dmlscale/internal/tensor"
+)
+
+func TestDenseForward(t *testing.T) {
+	l := NewDense(2, 2, 1)
+	l.W = tensor.FromSlice(2, 2, []float64{1, 2, 3, 4})
+	l.B = tensor.FromSlice(1, 2, []float64{10, 20})
+	x := tensor.FromSlice(1, 2, []float64{1, 1})
+	got := l.Forward(x)
+	want := tensor.FromSlice(1, 2, []float64{14, 26})
+	if !tensor.Equal(got, want, 1e-12) {
+		t.Errorf("Forward = %v, want %v", got, want)
+	}
+}
+
+func TestDenseWeightCount(t *testing.T) {
+	l := NewDense(784, 2500, 1)
+	if got := l.WeightCount(); got != 784*2500+2500 {
+		t.Errorf("WeightCount = %d", got)
+	}
+}
+
+func TestDenseShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong input width accepted")
+		}
+	}()
+	NewDense(3, 2, 1).Forward(tensor.New(1, 4))
+}
+
+func TestMLPGradCheck(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		act  func() Layer
+		loss Loss
+	}{
+		{"sigmoid mse", func() Layer { return &Sigmoid{} }, MSE{}},
+		{"tanh mse", func() Layer { return &Tanh{} }, MSE{}},
+		{"relu mse", func() Layer { return &ReLU{} }, MSE{}},
+		{"sigmoid xent", func() Layer { return &Sigmoid{} }, SoftmaxCrossEntropy{}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			net, err := NewMLP([]int{3, 5, 4, 2}, tt.act, tt.loss, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := tensor.Randn(4, 3, 1, 11)
+			var target *tensor.Dense
+			if _, ok := tt.loss.(SoftmaxCrossEntropy); ok {
+				target = tensor.New(4, 2)
+				for i := 0; i < 4; i++ {
+					target.Set(i, i%2, 1)
+				}
+			} else {
+				target = tensor.Randn(4, 2, 1, 13)
+			}
+			if worst := GradCheck(net, x, target, 1e-6); worst > 1e-6 {
+				t.Errorf("gradient check deviation = %g, want < 1e-6", worst)
+			}
+		})
+	}
+}
+
+func TestConv2DGradCheck(t *testing.T) {
+	conv := NewConv2D(5, 5, 2, 3, 3, 3, 1, 3)
+	net := &Network{
+		Layers: []Layer{conv, &Tanh{}, NewDense(conv.OutSize(), 2, 5)},
+		Loss:   MSE{},
+	}
+	x := tensor.Randn(2, 5*5*2, 1, 17)
+	target := tensor.Randn(2, 2, 1, 19)
+	if worst := GradCheck(net, x, target, 1e-6); worst > 1e-6 {
+		t.Errorf("conv gradient check deviation = %g, want < 1e-6", worst)
+	}
+}
+
+func TestConv2DStrideGradCheck(t *testing.T) {
+	conv := NewConv2D(6, 6, 1, 2, 2, 2, 2, 3)
+	net := &Network{
+		Layers: []Layer{conv, NewDense(conv.OutSize(), 1, 5)},
+		Loss:   MSE{},
+	}
+	x := tensor.Randn(3, 36, 1, 23)
+	target := tensor.Randn(3, 1, 1, 29)
+	if worst := GradCheck(net, x, target, 1e-6); worst > 1e-6 {
+		t.Errorf("strided conv gradient check deviation = %g", worst)
+	}
+}
+
+func TestMaxPoolGradCheck(t *testing.T) {
+	conv := NewConv2D(6, 6, 1, 3, 3, 2, 1, 3)
+	pool := NewMaxPool2D(conv.OutH(), conv.OutW(), conv.OutC, 2, 2)
+	net := &Network{
+		Layers: []Layer{conv, pool, NewDense(pool.OutSize(), 2, 5)},
+		Loss:   MSE{},
+	}
+	x := tensor.Randn(2, 36, 1, 31)
+	target := tensor.Randn(2, 2, 1, 37)
+	if worst := GradCheck(net, x, target, 1e-6); worst > 1e-5 {
+		t.Errorf("maxpool gradient check deviation = %g", worst)
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 3×3 input, single channel, 2×2 kernel of ones, zero bias: output is
+	// the 2×2 window sums.
+	c := NewConv2D(3, 3, 1, 2, 2, 1, 1, 1)
+	for i := range c.W.Data() {
+		c.W.Data()[i] = 1
+	}
+	c.B.Zero()
+	x := tensor.FromSlice(1, 9, []float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	})
+	got := c.Forward(x)
+	want := tensor.FromSlice(1, 4, []float64{12, 16, 24, 28})
+	if !tensor.Equal(got, want, 1e-12) {
+		t.Errorf("conv output = %v, want %v", got, want)
+	}
+}
+
+func TestMaxPoolKnownValues(t *testing.T) {
+	p := NewMaxPool2D(4, 4, 1, 2, 2)
+	x := tensor.FromSlice(1, 16, []float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	})
+	got := p.Forward(x)
+	want := tensor.FromSlice(1, 4, []float64{6, 8, 14, 16})
+	if !tensor.Equal(got, want, 1e-12) {
+		t.Errorf("maxpool output = %v, want %v", got, want)
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	logits := tensor.FromSlice(1, 2, []float64{0, 0})
+	target := tensor.FromSlice(1, 2, []float64{1, 0})
+	loss, grad := SoftmaxCrossEntropy{}.Loss(logits, target)
+	if math.Abs(loss-math.Log(2)) > 1e-12 {
+		t.Errorf("loss = %v, want ln 2", loss)
+	}
+	want := tensor.FromSlice(1, 2, []float64{-0.5, 0.5})
+	if !tensor.Equal(grad, want, 1e-12) {
+		t.Errorf("grad = %v, want %v", grad, want)
+	}
+}
+
+func TestMSEKnown(t *testing.T) {
+	pred := tensor.FromSlice(2, 1, []float64{1, 3})
+	target := tensor.FromSlice(2, 1, []float64{0, 0})
+	loss, grad := MSE{}.Loss(pred, target)
+	if math.Abs(loss-2.5) > 1e-12 {
+		t.Errorf("loss = %v, want 2.5", loss)
+	}
+	want := tensor.FromSlice(2, 1, []float64{0.5, 1.5})
+	if !tensor.Equal(grad, want, 1e-12) {
+		t.Errorf("grad = %v, want %v", grad, want)
+	}
+}
+
+func TestNewMLPErrors(t *testing.T) {
+	if _, err := NewMLP([]int{3}, nil, MSE{}, 1); err == nil {
+		t.Error("single-width MLP accepted")
+	}
+}
+
+func TestWeightCountMatchesLayers(t *testing.T) {
+	net, err := NewMLP([]int{784, 2500, 2000, 1500, 1000, 500, 10},
+		func() Layer { return &Sigmoid{} }, SoftmaxCrossEntropy{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 11,965,000 weights + 7,510 biases — the paper's Table I network.
+	if got := net.WeightCount(); got != 11965000+7510 {
+		t.Errorf("WeightCount = %d, want %d", got, 11965000+7510)
+	}
+}
+
+func TestCopyParams(t *testing.T) {
+	a, _ := NewMLP([]int{2, 3, 1}, func() Layer { return &Sigmoid{} }, MSE{}, 1)
+	b, _ := NewMLP([]int{2, 3, 1}, func() Layer { return &Sigmoid{} }, MSE{}, 99)
+	if err := b.CopyParamsFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(3, 2, 1, 5)
+	if !tensor.Equal(a.Forward(x), b.Forward(x), 1e-12) {
+		t.Error("outputs differ after CopyParamsFrom")
+	}
+	c, _ := NewMLP([]int{2, 4, 1}, func() Layer { return &Sigmoid{} }, MSE{}, 1)
+	if err := c.CopyParamsFrom(a); err == nil {
+		t.Error("mismatched architecture accepted")
+	}
+}
+
+func TestPredictAndAccuracy(t *testing.T) {
+	net := &Network{
+		Layers: []Layer{},
+		Loss:   SoftmaxCrossEntropy{},
+	}
+	// Identity network: predictions are argmax of inputs.
+	x := tensor.FromSlice(3, 2, []float64{
+		2, 1,
+		0, 5,
+		3, 3, // tie goes to the first index
+	})
+	preds := net.Predict(x)
+	want := []int{0, 1, 0}
+	for i := range want {
+		if preds[i] != want[i] {
+			t.Errorf("Predict[%d] = %d, want %d", i, preds[i], want[i])
+		}
+	}
+	if acc := net.Accuracy(x, []int{0, 1, 1}); math.Abs(acc-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 2/3", acc)
+	}
+}
+
+func TestGradientAccumulation(t *testing.T) {
+	net, _ := NewMLP([]int{2, 3, 1}, func() Layer { return &Tanh{} }, MSE{}, 1)
+	x := tensor.Randn(4, 2, 1, 5)
+	y := tensor.Randn(4, 1, 1, 6)
+
+	net.ZeroGrads()
+	net.LossAndGradient(x, y)
+	first := make([]float64, len(net.Grads()[0].Data()))
+	copy(first, net.Grads()[0].Data())
+
+	// A second backward without zeroing doubles the gradient.
+	net.LossAndGradient(x, y)
+	for i, v := range net.Grads()[0].Data() {
+		if math.Abs(v-2*first[i]) > 1e-9 {
+			t.Fatalf("gradient accumulation broken at %d: %v vs %v", i, v, 2*first[i])
+		}
+	}
+	net.ZeroGrads()
+	for _, v := range net.Grads()[0].Data() {
+		if v != 0 {
+			t.Fatal("ZeroGrads left nonzero gradient")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package nncost
+
+import (
+	"fmt"
+)
+
+// Network is an architecture: an input shape and a sequence of ops.
+type Network struct {
+	Name  string
+	Input Shape
+	Ops   []Op
+}
+
+// LayerCost is the per-layer row of a cost breakdown.
+type LayerCost struct {
+	Label        string
+	Out          Shape
+	Weights      int64
+	MultiplyAdds int64
+}
+
+// Summary aggregates a network's cost.
+type Summary struct {
+	Name   string
+	Input  Shape
+	Output Shape
+	Layers []LayerCost
+	// Weights is W, the total trainable parameter count.
+	Weights int64
+	// MultiplyAdds is the forward-pass multiply-add count per example.
+	MultiplyAdds int64
+}
+
+// ForwardFlops is the forward-pass operation count with multiplies and adds
+// counted separately: 2 × multiply-adds. This is the paper's Table I
+// "Computations" convention (24·10⁶ = 2·W for the MNIST network).
+func (s Summary) ForwardFlops() int64 { return 2 * s.MultiplyAdds }
+
+// TrainingFlops is the per-example cost of one gradient computation:
+// 3 forward-equivalent passes (forward, error back propagation, gradient),
+// the paper's 6·W for fully-connected networks and C = 3·(5·10⁹) for
+// Inception v3.
+func (s Summary) TrainingFlops() int64 { return 3 * s.ForwardFlops() }
+
+// Summarize walks the network, propagating shapes and accumulating costs.
+func (n Network) Summarize() (Summary, error) {
+	if len(n.Ops) == 0 {
+		return Summary{}, fmt.Errorf("nncost: network %q has no ops", n.Name)
+	}
+	if n.Input.H <= 0 || n.Input.W <= 0 || n.Input.C <= 0 {
+		return Summary{}, fmt.Errorf("nncost: network %q: invalid input shape %v", n.Name, n.Input)
+	}
+	sum := Summary{Name: n.Name, Input: n.Input, Layers: make([]LayerCost, 0, len(n.Ops))}
+	shape := n.Input
+	for i, op := range n.Ops {
+		out, err := op.OutShape(shape)
+		if err != nil {
+			return Summary{}, fmt.Errorf("nncost: network %q op %d: %w", n.Name, i, err)
+		}
+		lc := LayerCost{
+			Label:        op.Label(),
+			Out:          out,
+			Weights:      op.Weights(shape),
+			MultiplyAdds: op.MultiplyAdds(shape),
+		}
+		sum.Layers = append(sum.Layers, lc)
+		sum.Weights += lc.Weights
+		sum.MultiplyAdds += lc.MultiplyAdds
+		shape = out
+	}
+	sum.Output = shape
+	return sum, nil
+}
+
+// MNISTFullyConnected is the paper's Table I fully-connected network for
+// MNIST handwritten character recognition: 784 inputs, five hidden layers of
+// 2500, 2000, 1500, 1000 and 500 neurons, and 10 outputs. Bias terms are
+// omitted to match the paper's n·m weight counting; the exact weight count
+// is 11,965,000 ≈ 12·10⁶.
+func MNISTFullyConnected() Network {
+	return Network{
+		Name:  "Fully connected (MNIST)",
+		Input: Shape{H: 1, W: 1, C: 784},
+		Ops: []Op{
+			Dense{Out: 2500},
+			Dense{Out: 2000},
+			Dense{Out: 1500},
+			Dense{Out: 1000},
+			Dense{Out: 500},
+			Dense{Out: 10},
+		},
+	}
+}
+
+// Inception v3 building blocks (Szegedy et al., "Rethinking the Inception
+// Architecture for Computer Vision"). Convolutions carry no bias, matching
+// both the published architecture (batch-normalized) and the paper's
+// counting convention.
+
+func conv(k, out, stride int, pad Padding) Conv {
+	return Conv{KH: k, KW: k, Out: out, Stride: stride, Pad: pad}
+}
+
+func convRect(kh, kw, out int) Conv {
+	return Conv{KH: kh, KW: kw, Out: out, Stride: 1, Pad: Same}
+}
+
+func inceptionA(poolOut int) Branch {
+	return Branch{Paths: [][]Op{
+		{conv(1, 64, 1, Valid)},
+		{conv(1, 48, 1, Valid), conv(5, 64, 1, Same)},
+		{conv(1, 64, 1, Valid), conv(3, 96, 1, Same), conv(3, 96, 1, Same)},
+		{Pool{KH: 3, KW: 3, Stride: 1, Pad: Same, Kind: AvgPool}, conv(1, poolOut, 1, Valid)},
+	}}
+}
+
+func reductionA() Branch {
+	return Branch{Paths: [][]Op{
+		{conv(3, 384, 2, Valid)},
+		{conv(1, 64, 1, Valid), conv(3, 96, 1, Same), conv(3, 96, 2, Valid)},
+		{Pool{KH: 3, KW: 3, Stride: 2, Pad: Valid, Kind: MaxPool}},
+	}}
+}
+
+func inceptionB(c7 int) Branch {
+	return Branch{Paths: [][]Op{
+		{conv(1, 192, 1, Valid)},
+		{conv(1, c7, 1, Valid), convRect(1, 7, c7), convRect(7, 1, 192)},
+		{conv(1, c7, 1, Valid), convRect(7, 1, c7), convRect(1, 7, c7), convRect(7, 1, c7), convRect(1, 7, 192)},
+		{Pool{KH: 3, KW: 3, Stride: 1, Pad: Same, Kind: AvgPool}, conv(1, 192, 1, Valid)},
+	}}
+}
+
+func reductionB() Branch {
+	return Branch{Paths: [][]Op{
+		{conv(1, 192, 1, Valid), conv(3, 320, 2, Valid)},
+		{conv(1, 192, 1, Valid), convRect(1, 7, 192), convRect(7, 1, 192), conv(3, 192, 2, Valid)},
+		{Pool{KH: 3, KW: 3, Stride: 2, Pad: Valid, Kind: MaxPool}},
+	}}
+}
+
+func inceptionC() Branch {
+	return Branch{Paths: [][]Op{
+		{conv(1, 320, 1, Valid)},
+		{conv(1, 384, 1, Valid), Branch{Paths: [][]Op{
+			{convRect(1, 3, 384)},
+			{convRect(3, 1, 384)},
+		}}},
+		{conv(1, 448, 1, Valid), conv(3, 384, 1, Same), Branch{Paths: [][]Op{
+			{convRect(1, 3, 384)},
+			{convRect(3, 1, 384)},
+		}}},
+		{Pool{KH: 3, KW: 3, Stride: 1, Pad: Same, Kind: AvgPool}, conv(1, 192, 1, Valid)},
+	}}
+}
+
+// InceptionV3 is the paper's Table I convolutional network for the ImageNet
+// classification challenge: the canonical Inception v3 over 299×299×3
+// inputs — stem, 3 Inception-A modules, grid reduction, 4 Inception-B
+// modules, grid reduction, 2 Inception-C modules, global average pooling,
+// and a 1000-way classifier. The paper quotes 25·10⁶ parameters and 5·10⁹
+// forward computations; this encoding reproduces the architecture and lands
+// within rounding distance of both.
+func InceptionV3() Network {
+	ops := []Op{
+		// Stem: 299×299×3 → 35×35×192.
+		conv(3, 32, 2, Valid),
+		conv(3, 32, 1, Valid),
+		conv(3, 64, 1, Same),
+		Pool{KH: 3, KW: 3, Stride: 2, Pad: Valid, Kind: MaxPool},
+		conv(1, 80, 1, Valid),
+		conv(3, 192, 1, Valid),
+		Pool{KH: 3, KW: 3, Stride: 2, Pad: Valid, Kind: MaxPool},
+		// 3 × Inception-A at 35×35: 192 → 256 → 288 → 288.
+		inceptionA(32),
+		inceptionA(64),
+		inceptionA(64),
+		// Reduction-A: 35×35×288 → 17×17×768.
+		reductionA(),
+		// 4 × Inception-B at 17×17×768.
+		inceptionB(128),
+		inceptionB(160),
+		inceptionB(160),
+		inceptionB(192),
+		// Reduction-B: 17×17×768 → 8×8×1280.
+		reductionB(),
+		// 2 × Inception-C at 8×8: 1280 → 2048 → 2048.
+		inceptionC(),
+		inceptionC(),
+		// Classifier.
+		GlobalAvgPool{},
+		Dense{Out: 1000, Bias: true},
+	}
+	return Network{
+		Name:  "Inception v.3 (ImageNet)",
+		Input: Shape{H: 299, W: 299, C: 3},
+		Ops:   ops,
+	}
+}
+
+// LeNet5 is LeCun's classic digit-recognition convnet, included as a small
+// well-known reference architecture.
+func LeNet5() Network {
+	return Network{
+		Name:  "LeNet-5 (MNIST)",
+		Input: Shape{H: 32, W: 32, C: 1},
+		Ops: []Op{
+			Conv{KH: 5, KW: 5, Out: 6, Stride: 1, Pad: Valid, Bias: true},
+			Pool{KH: 2, KW: 2, Stride: 2, Pad: Valid, Kind: AvgPool},
+			Conv{KH: 5, KW: 5, Out: 16, Stride: 1, Pad: Valid, Bias: true},
+			Pool{KH: 2, KW: 2, Stride: 2, Pad: Valid, Kind: AvgPool},
+			Dense{Out: 120, Bias: true},
+			Dense{Out: 84, Bias: true},
+			Dense{Out: 10, Bias: true},
+		},
+	}
+}
+
+// AlexNet is the Krizhevsky et al. ImageNet network in its ungrouped form
+// (~62M parameters), a second convolutional reference point.
+func AlexNet() Network {
+	return Network{
+		Name:  "AlexNet (ImageNet)",
+		Input: Shape{H: 227, W: 227, C: 3},
+		Ops: []Op{
+			Conv{KH: 11, KW: 11, Out: 96, Stride: 4, Pad: Valid, Bias: true},
+			Pool{KH: 3, KW: 3, Stride: 2, Pad: Valid, Kind: MaxPool},
+			Conv{KH: 5, KW: 5, Out: 256, Stride: 1, Pad: Same, Bias: true},
+			Pool{KH: 3, KW: 3, Stride: 2, Pad: Valid, Kind: MaxPool},
+			Conv{KH: 3, KW: 3, Out: 384, Stride: 1, Pad: Same, Bias: true},
+			Conv{KH: 3, KW: 3, Out: 384, Stride: 1, Pad: Same, Bias: true},
+			Conv{KH: 3, KW: 3, Out: 256, Stride: 1, Pad: Same, Bias: true},
+			Pool{KH: 3, KW: 3, Stride: 2, Pad: Valid, Kind: MaxPool},
+			Dense{Out: 4096, Bias: true},
+			Dense{Out: 4096, Bias: true},
+			Dense{Out: 1000, Bias: true},
+		},
+	}
+}
+
+// VGG16 is the Simonyan & Zisserman 16-layer network (~138M parameters), a
+// third convolutional reference point.
+func VGG16() Network {
+	block := func(out, convs int) []Op {
+		ops := make([]Op, 0, convs+1)
+		for i := 0; i < convs; i++ {
+			ops = append(ops, Conv{KH: 3, KW: 3, Out: out, Stride: 1, Pad: Same, Bias: true})
+		}
+		ops = append(ops, Pool{KH: 2, KW: 2, Stride: 2, Pad: Valid, Kind: MaxPool})
+		return ops
+	}
+	var ops []Op
+	ops = append(ops, block(64, 2)...)
+	ops = append(ops, block(128, 2)...)
+	ops = append(ops, block(256, 3)...)
+	ops = append(ops, block(512, 3)...)
+	ops = append(ops, block(512, 3)...)
+	ops = append(ops,
+		Dense{Out: 4096, Bias: true},
+		Dense{Out: 4096, Bias: true},
+		Dense{Out: 1000, Bias: true},
+	)
+	return Network{
+		Name:  "VGG-16 (ImageNet)",
+		Input: Shape{H: 224, W: 224, C: 3},
+		Ops:   ops,
+	}
+}

@@ -1,0 +1,150 @@
+package nncost
+
+import (
+	"math"
+	"testing"
+)
+
+// within asserts |got−want|/want ≤ tol.
+func within(t *testing.T, what string, got, want int64, tol float64) {
+	t.Helper()
+	rel := math.Abs(float64(got)-float64(want)) / float64(want)
+	if rel > tol {
+		t.Errorf("%s = %d, want %d within %.0f%% (off by %.1f%%)",
+			what, got, want, tol*100, rel*100)
+	}
+}
+
+// TestTableIMNIST checks the first row of the paper's Table I: the
+// fully-connected MNIST network has 12·10⁶ parameters and 24·10⁶
+// forward-pass computations (multiply and add counted separately).
+func TestTableIMNIST(t *testing.T) {
+	s, err := MNISTFullyConnected().Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact layer-by-layer count.
+	want := int64(784*2500 + 2500*2000 + 2000*1500 + 1500*1000 + 1000*500 + 500*10)
+	if s.Weights != want {
+		t.Fatalf("weights = %d, want %d", s.Weights, want)
+	}
+	if s.Weights != 11965000 {
+		t.Fatalf("weights = %d, want 11965000", s.Weights)
+	}
+	within(t, "Table I parameters", s.Weights, 12e6, 0.01)
+	within(t, "Table I computations", s.ForwardFlops(), 24e6, 0.01)
+	// The Fig. 2 training cost is 6·W flops per example.
+	if s.TrainingFlops() != 6*s.Weights {
+		t.Errorf("training flops = %d, want 6·W = %d", s.TrainingFlops(), 6*s.Weights)
+	}
+	if s.Output != (Shape{1, 1, 10}) {
+		t.Errorf("output shape = %v, want 1x1x10", s.Output)
+	}
+}
+
+// TestTableIInception checks the second row of Table I: Inception v3 has
+// 25·10⁶ parameters and 5·10⁹ forward multiply-adds. The canonical
+// architecture actually has 23.8M parameters (the paper rounds up) and
+// 5.7G multiply-adds, so the tolerances are wider.
+func TestTableIInception(t *testing.T) {
+	s, err := InceptionV3().Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "Table I parameters", s.Weights, 25e6, 0.10)
+	within(t, "Table I multiply-adds", s.MultiplyAdds, 5e9, 0.20)
+	// Regression pins for the exact encoding.
+	if s.Weights != 23800136 {
+		t.Errorf("weights = %d, want 23800136 (canonical inception v3, no aux/BN)", s.Weights)
+	}
+	if s.Output != (Shape{1, 1, 1000}) {
+		t.Errorf("output shape = %v, want 1x1x1000", s.Output)
+	}
+}
+
+// TestInceptionShapeProgression pins the module-boundary shapes of the
+// canonical architecture.
+func TestInceptionShapeProgression(t *testing.T) {
+	s, err := InceptionV3().Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShapes := map[int]Shape{
+		6:  {35, 35, 192}, // end of stem
+		7:  {35, 35, 256}, // inception-A #1
+		9:  {35, 35, 288}, // inception-A #3
+		10: {17, 17, 768}, // reduction-A
+		14: {17, 17, 768}, // inception-B #4
+		15: {8, 8, 1280},  // reduction-B
+		17: {8, 8, 2048},  // inception-C #2
+		18: {1, 1, 2048},  // global avgpool
+		19: {1, 1, 1000},  // classifier
+	}
+	for i, want := range wantShapes {
+		if got := s.Layers[i].Out; got != want {
+			t.Errorf("layer %d (%s) out = %v, want %v", i, s.Layers[i].Label, got, want)
+		}
+	}
+}
+
+func TestLeNet5Canonical(t *testing.T) {
+	s, err := LeNet5().Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Weights != 61706 {
+		t.Errorf("LeNet-5 weights = %d, want 61706", s.Weights)
+	}
+}
+
+func TestAlexNetCanonical(t *testing.T) {
+	s, err := AlexNet().Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ungrouped AlexNet: ~62M parameters.
+	within(t, "AlexNet parameters", s.Weights, 62e6, 0.05)
+}
+
+func TestVGG16Canonical(t *testing.T) {
+	s, err := VGG16().Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Weights != 138357544 {
+		t.Errorf("VGG-16 weights = %d, want the canonical 138357544", s.Weights)
+	}
+	// VGG-16 is famously compute-heavy: ~15.5G multiply-adds.
+	within(t, "VGG-16 multiply-adds", s.MultiplyAdds, 15470264320, 0.001)
+}
+
+// TestSummaryAdditivity: the summary totals equal the sum over layers.
+func TestSummaryAdditivity(t *testing.T) {
+	for _, n := range []Network{MNISTFullyConnected(), InceptionV3(), LeNet5(), AlexNet(), VGG16()} {
+		s, err := n.Summarize()
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		var w, ma int64
+		for _, l := range s.Layers {
+			w += l.Weights
+			ma += l.MultiplyAdds
+		}
+		if w != s.Weights || ma != s.MultiplyAdds {
+			t.Errorf("%s: totals (%d, %d) != layer sums (%d, %d)", n.Name, s.Weights, s.MultiplyAdds, w, ma)
+		}
+	}
+}
+
+// TestDenseNetworkMAEqualsWeights: for bias-free dense networks, forward
+// multiply-adds equal the weight count — the identity behind the paper's
+// 6·W training cost.
+func TestDenseNetworkMAEqualsWeights(t *testing.T) {
+	s, err := MNISTFullyConnected().Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MultiplyAdds != s.Weights {
+		t.Errorf("MA = %d, weights = %d; should be equal for bias-free dense nets", s.MultiplyAdds, s.Weights)
+	}
+}

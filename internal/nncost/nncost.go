@@ -1,0 +1,311 @@
+// Package nncost counts the weights and computations of neural-network
+// architectures using the paper's formulas (§V-A):
+//
+//   - a fully-connected layer with an n×m weight matrix has w = n·m weights
+//     and w multiply-adds per forward pass;
+//   - a convolutional layer with n feature maps of size k×k over a
+//     depth-d input evaluated at c×c positions has n·(k·k·d) weights and
+//     n·(k·k·d·c·c) multiply-adds, with c = (l − k + b)/s + 1;
+//   - a forward pass costs 2 multiply-add operations per weight use
+//     ("multiply" and "add" counted separately, the paper's Table I
+//     convention), and a training step costs 3 forward passes
+//     (forward, backward, gradient) — the paper's 6·W for dense networks.
+//
+// The package generalizes the paper's square kernels to rectangular ones so
+// that Inception v3's 1×7 and 7×1 factorized convolutions can be counted.
+package nncost
+
+import (
+	"fmt"
+)
+
+// Shape is the spatial extent and channel depth of a layer input or output.
+// Fully-connected data uses H = W = 1 with C holding the feature count.
+type Shape struct {
+	H, W, C int
+}
+
+// Elements returns H·W·C.
+func (s Shape) Elements() int64 { return int64(s.H) * int64(s.W) * int64(s.C) }
+
+// String renders the shape as HxWxC.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.H, s.W, s.C) }
+
+// Padding selects how a sliding-window op treats borders.
+type Padding int
+
+// Padding modes. Valid drops border positions ((l−k)/s + 1 outputs per
+// side); Same pads so the output has ceil(l/s) positions per side — the
+// paper's "border size" b folded into the two standard conventions.
+const (
+	Valid Padding = iota
+	Same
+)
+
+func (p Padding) String() string {
+	if p == Same {
+		return "same"
+	}
+	return "valid"
+}
+
+// outDim returns the output extent of a k-window with the given stride and
+// padding over an input of extent l.
+func outDim(l, k, stride int, pad Padding) int {
+	if pad == Same {
+		return (l + stride - 1) / stride
+	}
+	return (l-k)/stride + 1
+}
+
+// Op is one architecture component that transforms a Shape and contributes
+// weights and multiply-adds.
+type Op interface {
+	// OutShape returns the output shape for the given input shape.
+	OutShape(in Shape) (Shape, error)
+	// Weights returns the number of trainable parameters for the given
+	// input shape.
+	Weights(in Shape) int64
+	// MultiplyAdds returns the multiply-add operations of one forward
+	// evaluation on a single example.
+	MultiplyAdds(in Shape) int64
+	// Label names the op in per-layer cost tables.
+	Label() string
+}
+
+// Conv is a 2-D convolution with Out feature maps of KH×KW kernels.
+type Conv struct {
+	KH, KW int
+	Out    int
+	Stride int
+	Pad    Padding
+	// Bias adds one parameter per feature map. The paper notes bias "is
+	// not commonly used for convolutional layers", and Inception v3 does
+	// not use it, so the zero value matches the paper.
+	Bias bool
+}
+
+// OutShape implements Op.
+func (c Conv) OutShape(in Shape) (Shape, error) {
+	if c.KH <= 0 || c.KW <= 0 || c.Out <= 0 {
+		return Shape{}, fmt.Errorf("nncost: conv %s: non-positive kernel or output", c.Label())
+	}
+	stride := c.stride()
+	h := outDim(in.H, c.KH, stride, c.Pad)
+	w := outDim(in.W, c.KW, stride, c.Pad)
+	if h <= 0 || w <= 0 {
+		return Shape{}, fmt.Errorf("nncost: conv %s: kernel does not fit input %v", c.Label(), in)
+	}
+	return Shape{H: h, W: w, C: c.Out}, nil
+}
+
+func (c Conv) stride() int {
+	if c.Stride <= 0 {
+		return 1
+	}
+	return c.Stride
+}
+
+// Weights implements Op: n·(k·k·d), plus n biases when enabled.
+func (c Conv) Weights(in Shape) int64 {
+	w := int64(c.Out) * int64(c.KH) * int64(c.KW) * int64(in.C)
+	if c.Bias {
+		w += int64(c.Out)
+	}
+	return w
+}
+
+// MultiplyAdds implements Op: n·(k·k·d·c·c), the paper's convolutional
+// computation formula with c·c generalized to the output's H·W.
+func (c Conv) MultiplyAdds(in Shape) int64 {
+	out, err := c.OutShape(in)
+	if err != nil {
+		return 0
+	}
+	return int64(c.Out) * int64(c.KH) * int64(c.KW) * int64(in.C) * int64(out.H) * int64(out.W)
+}
+
+// Label implements Op.
+func (c Conv) Label() string {
+	return fmt.Sprintf("conv %dx%d/%d %s ->%d", c.KH, c.KW, c.stride(), c.Pad, c.Out)
+}
+
+// PoolKind distinguishes max from average pooling.
+type PoolKind int
+
+// Pooling kinds.
+const (
+	MaxPool PoolKind = iota
+	AvgPool
+)
+
+func (k PoolKind) String() string {
+	if k == AvgPool {
+		return "avg"
+	}
+	return "max"
+}
+
+// Pool is a 2-D pooling layer. It has no weights; its comparisons/additions
+// are not multiply-adds and are omitted from counts, following the paper.
+type Pool struct {
+	KH, KW int
+	Stride int
+	Pad    Padding
+	Kind   PoolKind
+}
+
+// OutShape implements Op.
+func (p Pool) OutShape(in Shape) (Shape, error) {
+	if p.KH <= 0 || p.KW <= 0 {
+		return Shape{}, fmt.Errorf("nncost: pool: non-positive kernel")
+	}
+	stride := p.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	h := outDim(in.H, p.KH, stride, p.Pad)
+	w := outDim(in.W, p.KW, stride, p.Pad)
+	if h <= 0 || w <= 0 {
+		return Shape{}, fmt.Errorf("nncost: pool: kernel does not fit input %v", in)
+	}
+	return Shape{H: h, W: w, C: in.C}, nil
+}
+
+// Weights implements Op.
+func (p Pool) Weights(Shape) int64 { return 0 }
+
+// MultiplyAdds implements Op.
+func (p Pool) MultiplyAdds(Shape) int64 { return 0 }
+
+// Label implements Op.
+func (p Pool) Label() string {
+	stride := p.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	return fmt.Sprintf("%spool %dx%d/%d %s", p.Kind, p.KH, p.KW, stride, p.Pad)
+}
+
+// GlobalAvgPool averages each channel over the full spatial extent,
+// producing a 1×1×C output.
+type GlobalAvgPool struct{}
+
+// OutShape implements Op.
+func (GlobalAvgPool) OutShape(in Shape) (Shape, error) {
+	return Shape{H: 1, W: 1, C: in.C}, nil
+}
+
+// Weights implements Op.
+func (GlobalAvgPool) Weights(Shape) int64 { return 0 }
+
+// MultiplyAdds implements Op.
+func (GlobalAvgPool) MultiplyAdds(Shape) int64 { return 0 }
+
+// Label implements Op.
+func (GlobalAvgPool) Label() string { return "global avgpool" }
+
+// Dense is a fully-connected layer mapping the flattened input to Out
+// features.
+type Dense struct {
+	Out int
+	// Bias adds Out parameters. The paper's Table I counts only the n·m
+	// weight matrices, so its configs leave Bias false.
+	Bias bool
+}
+
+// OutShape implements Op.
+func (d Dense) OutShape(in Shape) (Shape, error) {
+	if d.Out <= 0 {
+		return Shape{}, fmt.Errorf("nncost: dense: non-positive output")
+	}
+	return Shape{H: 1, W: 1, C: d.Out}, nil
+}
+
+// Weights implements Op: n·m (+ bias).
+func (d Dense) Weights(in Shape) int64 {
+	w := in.Elements() * int64(d.Out)
+	if d.Bias {
+		w += int64(d.Out)
+	}
+	return w
+}
+
+// MultiplyAdds implements Op: one multiply-add per weight.
+func (d Dense) MultiplyAdds(in Shape) int64 {
+	return in.Elements() * int64(d.Out)
+}
+
+// Label implements Op.
+func (d Dense) Label() string { return fmt.Sprintf("dense ->%d", d.Out) }
+
+// Branch evaluates several paths on the same input and concatenates their
+// outputs along the channel axis — the Inception module pattern. All paths
+// must produce the same spatial extent.
+type Branch struct {
+	Paths [][]Op
+}
+
+// OutShape implements Op.
+func (b Branch) OutShape(in Shape) (Shape, error) {
+	if len(b.Paths) == 0 {
+		return Shape{}, fmt.Errorf("nncost: branch with no paths")
+	}
+	var out Shape
+	for i, path := range b.Paths {
+		s := in
+		for _, op := range path {
+			var err error
+			s, err = op.OutShape(s)
+			if err != nil {
+				return Shape{}, fmt.Errorf("nncost: branch path %d: %w", i, err)
+			}
+		}
+		if i == 0 {
+			out = s
+			continue
+		}
+		if s.H != out.H || s.W != out.W {
+			return Shape{}, fmt.Errorf("nncost: branch path %d: spatial mismatch %v vs %v", i, s, out)
+		}
+		out.C += s.C
+	}
+	return out, nil
+}
+
+// Weights implements Op.
+func (b Branch) Weights(in Shape) int64 {
+	var total int64
+	for _, path := range b.Paths {
+		s := in
+		for _, op := range path {
+			total += op.Weights(s)
+			next, err := op.OutShape(s)
+			if err != nil {
+				return total
+			}
+			s = next
+		}
+	}
+	return total
+}
+
+// MultiplyAdds implements Op.
+func (b Branch) MultiplyAdds(in Shape) int64 {
+	var total int64
+	for _, path := range b.Paths {
+		s := in
+		for _, op := range path {
+			total += op.MultiplyAdds(s)
+			next, err := op.OutShape(s)
+			if err != nil {
+				return total
+			}
+			s = next
+		}
+	}
+	return total
+}
+
+// Label implements Op.
+func (b Branch) Label() string { return fmt.Sprintf("branch ×%d", len(b.Paths)) }

@@ -1,0 +1,197 @@
+package nncost
+
+import (
+	"testing"
+)
+
+func mustShape(t *testing.T, op Op, in Shape) Shape {
+	t.Helper()
+	out, err := op.OutShape(in)
+	if err != nil {
+		t.Fatalf("%s.OutShape(%v): %v", op.Label(), in, err)
+	}
+	return out
+}
+
+func TestConvOutShape(t *testing.T) {
+	tests := []struct {
+		name string
+		conv Conv
+		in   Shape
+		want Shape
+	}{
+		{"valid stride 2", conv(3, 32, 2, Valid), Shape{299, 299, 3}, Shape{149, 149, 32}},
+		{"valid stride 1", conv(3, 32, 1, Valid), Shape{149, 149, 32}, Shape{147, 147, 32}},
+		{"same stride 1", conv(3, 64, 1, Same), Shape{147, 147, 32}, Shape{147, 147, 64}},
+		{"same stride 2", conv(3, 64, 2, Same), Shape{17, 17, 8}, Shape{9, 9, 64}},
+		{"1x1", conv(1, 80, 1, Valid), Shape{73, 73, 64}, Shape{73, 73, 80}},
+		{"rect 1x7", convRect(1, 7, 128), Shape{17, 17, 768}, Shape{17, 17, 128}},
+		{"rect 7x1", convRect(7, 1, 128), Shape{17, 17, 768}, Shape{17, 17, 128}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := mustShape(t, tt.conv, tt.in); got != tt.want {
+				t.Errorf("OutShape = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestConvErrors(t *testing.T) {
+	if _, err := (Conv{KH: 0, KW: 3, Out: 8}).OutShape(Shape{8, 8, 3}); err == nil {
+		t.Error("zero kernel accepted")
+	}
+	if _, err := conv(9, 8, 1, Valid).OutShape(Shape{4, 4, 3}); err == nil {
+		t.Error("kernel larger than valid input accepted")
+	}
+}
+
+func TestConvCounts(t *testing.T) {
+	// The paper's formulas: weights n·k·k·d, multiply-adds n·k·k·d·c·c.
+	c := conv(3, 32, 2, Valid) // on 299×299×3 → c = 149
+	in := Shape{299, 299, 3}
+	if got, want := c.Weights(in), int64(32*3*3*3); got != want {
+		t.Errorf("Weights = %d, want %d", got, want)
+	}
+	if got, want := c.MultiplyAdds(in), int64(32*3*3*3)*149*149; got != want {
+		t.Errorf("MultiplyAdds = %d, want %d", got, want)
+	}
+	biased := Conv{KH: 3, KW: 3, Out: 32, Stride: 2, Pad: Valid, Bias: true}
+	if got, want := biased.Weights(in), int64(32*3*3*3+32); got != want {
+		t.Errorf("biased Weights = %d, want %d", got, want)
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := Pool{KH: 3, KW: 3, Stride: 2, Pad: Valid, Kind: MaxPool}
+	if got := mustShape(t, p, Shape{147, 147, 64}); got != (Shape{73, 73, 64}) {
+		t.Errorf("pool OutShape = %v", got)
+	}
+	if p.Weights(Shape{147, 147, 64}) != 0 || p.MultiplyAdds(Shape{147, 147, 64}) != 0 {
+		t.Error("pool should contribute no weights or multiply-adds")
+	}
+	if _, err := (Pool{}).OutShape(Shape{8, 8, 3}); err == nil {
+		t.Error("zero pool kernel accepted")
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	g := GlobalAvgPool{}
+	if got := mustShape(t, g, Shape{8, 8, 2048}); got != (Shape{1, 1, 2048}) {
+		t.Errorf("OutShape = %v", got)
+	}
+	if g.Weights(Shape{8, 8, 2048}) != 0 {
+		t.Error("global avgpool has weights")
+	}
+}
+
+func TestDense(t *testing.T) {
+	d := Dense{Out: 2500}
+	in := Shape{1, 1, 784}
+	if got := mustShape(t, d, in); got != (Shape{1, 1, 2500}) {
+		t.Errorf("OutShape = %v", got)
+	}
+	if got, want := d.Weights(in), int64(784*2500); got != want {
+		t.Errorf("Weights = %d, want %d", got, want)
+	}
+	if got, want := d.MultiplyAdds(in), int64(784*2500); got != want {
+		t.Errorf("MultiplyAdds = %d, want %d", got, want)
+	}
+	biased := Dense{Out: 10, Bias: true}
+	if got, want := biased.Weights(Shape{1, 1, 500}), int64(500*10+10); got != want {
+		t.Errorf("biased Weights = %d, want %d", got, want)
+	}
+	// Dense flattens spatial input.
+	if got, want := d.Weights(Shape{2, 2, 196}), int64(784*2500); got != want {
+		t.Errorf("flattened Weights = %d, want %d", got, want)
+	}
+	if _, err := (Dense{}).OutShape(in); err == nil {
+		t.Error("zero-output dense accepted")
+	}
+}
+
+func TestBranchConcatenatesChannels(t *testing.T) {
+	b := inceptionA(32)
+	out := mustShape(t, b, Shape{35, 35, 192})
+	if out != (Shape{35, 35, 256}) {
+		t.Errorf("inception-A OutShape = %v, want 35x35x256", out)
+	}
+	// Weights and multiply-adds are the sums over paths.
+	var wantW int64
+	for _, path := range b.Paths {
+		s := Shape{35, 35, 192}
+		for _, op := range path {
+			wantW += op.Weights(s)
+			s = mustShape(t, op, s)
+		}
+	}
+	if got := b.Weights(Shape{35, 35, 192}); got != wantW {
+		t.Errorf("branch Weights = %d, want %d", got, wantW)
+	}
+}
+
+func TestBranchErrors(t *testing.T) {
+	if _, err := (Branch{}).OutShape(Shape{8, 8, 3}); err == nil {
+		t.Error("empty branch accepted")
+	}
+	mismatch := Branch{Paths: [][]Op{
+		{conv(1, 8, 1, Valid)},
+		{conv(3, 8, 2, Valid)},
+	}}
+	if _, err := mismatch.OutShape(Shape{8, 8, 3}); err == nil {
+		t.Error("spatially mismatched branch accepted")
+	}
+}
+
+func TestOutDimConventions(t *testing.T) {
+	// Same padding: ceil(l/s); valid: (l-k)/s + 1.
+	tests := []struct {
+		l, k, s int
+		pad     Padding
+		want    int
+	}{
+		{299, 3, 2, Valid, 149},
+		{35, 3, 2, Valid, 17},
+		{17, 3, 2, Valid, 8},
+		{17, 7, 1, Same, 17},
+		{35, 5, 1, Same, 35},
+		{10, 3, 2, Same, 5},
+	}
+	for _, tt := range tests {
+		if got := outDim(tt.l, tt.k, tt.s, tt.pad); got != tt.want {
+			t.Errorf("outDim(%d,%d,%d,%v) = %d, want %d", tt.l, tt.k, tt.s, tt.pad, got, tt.want)
+		}
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := (Network{Name: "empty", Input: Shape{1, 1, 1}}).Summarize(); err == nil {
+		t.Error("empty network accepted")
+	}
+	if _, err := (Network{Name: "bad", Input: Shape{0, 1, 1}, Ops: []Op{Dense{Out: 1}}}).Summarize(); err == nil {
+		t.Error("invalid input shape accepted")
+	}
+	tooSmall := Network{
+		Name:  "shrunk",
+		Input: Shape{4, 4, 3},
+		Ops:   []Op{conv(9, 8, 1, Valid)},
+	}
+	if _, err := tooSmall.Summarize(); err == nil {
+		t.Error("op that does not fit accepted")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	labels := []string{
+		conv(3, 32, 2, Valid).Label(),
+		Pool{KH: 3, KW: 3, Stride: 2, Kind: MaxPool}.Label(),
+		Dense{Out: 10}.Label(),
+		GlobalAvgPool{}.Label(),
+		Branch{Paths: [][]Op{{}, {}}}.Label(),
+	}
+	for _, l := range labels {
+		if l == "" {
+			t.Error("empty label")
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package partition
+
+import (
+	"testing"
+
+	"dmlscale/internal/graph"
+)
+
+func benchDegrees(b *testing.B, vertices int) []int32 {
+	b.Helper()
+	degrees, err := graph.ScaledDNSGraph(vertices).Degrees(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return degrees
+}
+
+func BenchmarkMonteCarloMaxEdges100K(b *testing.B) {
+	degrees := benchDegrees(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MonteCarloMaxEdges(degrees, 64, 1, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyByDegree100K(b *testing.B) {
+	degrees := benchDegrees(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GreedyByDegree(degrees, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomAssign1M(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Random(1000000, 64, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

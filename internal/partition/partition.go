@@ -1,0 +1,268 @@
+// Package partition assigns graph vertices to workers and estimates the
+// resulting per-worker edge loads — the quantity the paper's graphical-model
+// computation model is built on (§IV-B):
+//
+//	t_cp ∝ maxᵢ Eᵢ · c(S) / F
+//
+// Following the paper, the load of worker i under random assignment is
+// estimated as Eᵢ = Eᵢ_rnd − E_dup, where Eᵢ_rnd sums the degrees of the
+// worker's vertices (counting intra-worker edges twice) and
+//
+//	E_dup = ½ · (V/n − 1) · (V/n) · E / (V·(V−1)/2)
+//
+// corrects for the expected double counting.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmlscale/internal/graph"
+)
+
+// Assignment maps each vertex to a worker in [0, Workers).
+type Assignment struct {
+	Workers int
+	Owner   []int32
+}
+
+// Validate reports whether the assignment is well formed.
+func (a Assignment) Validate() error {
+	if a.Workers < 1 {
+		return fmt.Errorf("partition: %d workers", a.Workers)
+	}
+	for v, w := range a.Owner {
+		if w < 0 || int(w) >= a.Workers {
+			return fmt.Errorf("partition: vertex %d assigned to worker %d of %d", v, w, a.Workers)
+		}
+	}
+	return nil
+}
+
+// Random assigns each vertex to a uniformly random worker — the paper's
+// Monte-Carlo assignment.
+func Random(vertices, workers int, seed int64) (Assignment, error) {
+	if err := checkSizes(vertices, workers); err != nil {
+		return Assignment{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	owner := make([]int32, vertices)
+	for v := range owner {
+		owner[v] = int32(rng.Intn(workers))
+	}
+	return Assignment{Workers: workers, Owner: owner}, nil
+}
+
+// RoundRobin assigns vertex v to worker v mod n.
+func RoundRobin(vertices, workers int) (Assignment, error) {
+	if err := checkSizes(vertices, workers); err != nil {
+		return Assignment{}, err
+	}
+	owner := make([]int32, vertices)
+	for v := range owner {
+		owner[v] = int32(v % workers)
+	}
+	return Assignment{Workers: workers, Owner: owner}, nil
+}
+
+// BlockRange assigns contiguous vertex ranges of near-equal size.
+func BlockRange(vertices, workers int) (Assignment, error) {
+	if err := checkSizes(vertices, workers); err != nil {
+		return Assignment{}, err
+	}
+	owner := make([]int32, vertices)
+	base := vertices / workers
+	extra := vertices % workers
+	v := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < extra {
+			size++
+		}
+		for i := 0; i < size; i++ {
+			owner[v] = int32(w)
+			v++
+		}
+	}
+	return Assignment{Workers: workers, Owner: owner}, nil
+}
+
+// GreedyByDegree assigns vertices in decreasing-degree order, each to the
+// worker with the smallest degree sum so far (longest-processing-time
+// heuristic). This approximates what a real system like GraphLab achieves
+// with smarter-than-random placement, and serves as the "experimental"
+// partitioner in the Fig. 4 simulation.
+func GreedyByDegree(degrees []int32, workers int) (Assignment, error) {
+	if err := checkSizes(len(degrees), workers); err != nil {
+		return Assignment{}, err
+	}
+	order := make([]int, len(degrees))
+	for i := range order {
+		order[i] = i
+	}
+	// Counting sort by degree, descending: degree values are bounded by
+	// the max, and this keeps the assignment deterministic.
+	maxDeg := int32(0)
+	for _, d := range degrees {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]int, maxDeg+1)
+	for v, d := range degrees {
+		buckets[d] = append(buckets[d], v)
+	}
+	owner := make([]int32, len(degrees))
+	loads := make([]int64, workers)
+	for d := int(maxDeg); d >= 0; d-- {
+		for _, v := range buckets[d] {
+			best := 0
+			for w := 1; w < workers; w++ {
+				if loads[w] < loads[best] {
+					best = w
+				}
+			}
+			owner[v] = int32(best)
+			loads[best] += int64(degrees[v])
+		}
+	}
+	return Assignment{Workers: workers, Owner: owner}, nil
+}
+
+func checkSizes(vertices, workers int) error {
+	if vertices < 1 {
+		return fmt.Errorf("partition: %d vertices", vertices)
+	}
+	if workers < 1 {
+		return fmt.Errorf("partition: %d workers", workers)
+	}
+	return nil
+}
+
+// DegreeLoads returns Eᵢ_rnd for each worker: the sum of degrees of its
+// vertices. Intra-worker edges are counted twice, exactly as in the paper's
+// estimator.
+func DegreeLoads(degrees []int32, a Assignment) ([]int64, error) {
+	if len(degrees) != len(a.Owner) {
+		return nil, fmt.Errorf("partition: %d degrees vs %d assigned vertices", len(degrees), len(a.Owner))
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	loads := make([]int64, a.Workers)
+	for v, d := range degrees {
+		loads[a.Owner[v]] += int64(d)
+	}
+	return loads, nil
+}
+
+// DupCorrection returns the paper's E_dup estimate of edges counted twice on
+// one worker: ½·(V/n − 1)·(V/n)·E/(V(V−1)/2).
+func DupCorrection(vertices int, edges int64, workers int) float64 {
+	v := float64(vertices)
+	e := float64(edges)
+	n := float64(workers)
+	perWorker := v / n
+	pairDensity := e / (v * (v - 1) / 2)
+	return 0.5 * (perWorker - 1) * perWorker * pairDensity
+}
+
+// MaxLoad returns the maximum of loads, each corrected by dup. Results
+// below zero clamp to zero.
+func MaxLoad(loads []int64, dup float64) float64 {
+	maxEi := 0.0
+	for _, l := range loads {
+		ei := float64(l) - dup
+		if ei > maxEi {
+			maxEi = ei
+		}
+	}
+	return maxEi
+}
+
+// Estimate is the Monte-Carlo estimate of maxᵢ Eᵢ.
+type Estimate struct {
+	// MaxEdges is the mean over trials of maxᵢ(Eᵢ_rnd − E_dup).
+	MaxEdges float64
+	// Trials is how many random assignments were sampled.
+	Trials int
+}
+
+// MonteCarloMaxEdges estimates maxᵢ Eᵢ for a random assignment of the given
+// degree sequence to n workers, averaging over trials seeded assignments —
+// the paper's "Monte-Carlo-like simulation".
+func MonteCarloMaxEdges(degrees []int32, workers, trials int, seed int64) (Estimate, error) {
+	if trials < 1 {
+		return Estimate{}, fmt.Errorf("partition: %d trials", trials)
+	}
+	if err := checkSizes(len(degrees), workers); err != nil {
+		return Estimate{}, err
+	}
+	var edges int64
+	for _, d := range degrees {
+		edges += int64(d)
+	}
+	edges /= 2
+	dup := DupCorrection(len(degrees), edges, workers)
+
+	total := 0.0
+	for trial := 0; trial < trials; trial++ {
+		a, err := Random(len(degrees), workers, seed+int64(trial))
+		if err != nil {
+			return Estimate{}, err
+		}
+		loads, err := DegreeLoads(degrees, a)
+		if err != nil {
+			return Estimate{}, err
+		}
+		total += MaxLoad(loads, dup)
+	}
+	return Estimate{MaxEdges: total / float64(trials), Trials: trials}, nil
+}
+
+// ExactLoads returns, for each worker, the exact number of edges it
+// processes under the assignment: every edge is counted once per endpoint
+// owner (vertex-centric message passing works per directed edge), so an
+// intra-worker edge contributes 2 to its worker and a cross-worker edge 1 to
+// each side. This is the ground truth the estimator approximates.
+func ExactLoads(g *graph.Graph, a Assignment) ([]int64, error) {
+	if g.NumVertices() != len(a.Owner) {
+		return nil, fmt.Errorf("partition: graph has %d vertices, assignment %d", g.NumVertices(), len(a.Owner))
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	loads := make([]int64, a.Workers)
+	for v := 0; v < g.NumVertices(); v++ {
+		loads[a.Owner[v]] += int64(g.Degree(v))
+	}
+	return loads, nil
+}
+
+// ReplicationFactor returns r, the average number of remote workers that
+// need each vertex's value: the count of (vertex, worker) pairs where the
+// worker hosts a neighbor but not the vertex itself, divided by V. The
+// paper's linear-communication BP model charges 32/B · r·V·S.
+func ReplicationFactor(g *graph.Graph, a Assignment) (float64, error) {
+	if g.NumVertices() != len(a.Owner) {
+		return 0, fmt.Errorf("partition: graph has %d vertices, assignment %d", g.NumVertices(), len(a.Owner))
+	}
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	var replicas int64
+	seen := make([]int, a.Workers) // stamped per vertex to dedup workers
+	stamp := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		stamp++
+		own := a.Owner[v]
+		for _, w := range g.Neighbors(v) {
+			nw := a.Owner[w]
+			if nw != own && seen[nw] != stamp {
+				seen[nw] = stamp
+				replicas++
+			}
+		}
+	}
+	return float64(replicas) / float64(g.NumVertices()), nil
+}

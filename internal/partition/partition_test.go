@@ -1,0 +1,280 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dmlscale/internal/graph"
+)
+
+func uniformDegrees(n int, d int32) []int32 {
+	ds := make([]int32, n)
+	for i := range ds {
+		ds[i] = d
+	}
+	return ds
+}
+
+func TestRandomAssignment(t *testing.T) {
+	a, err := Random(1000, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for _, w := range a.Owner {
+		counts[w]++
+	}
+	for w, c := range counts {
+		if c < 180 || c > 320 {
+			t.Errorf("worker %d got %d vertices; badly unbalanced", w, c)
+		}
+	}
+	// Determinism.
+	b, _ := Random(1000, 4, 7)
+	for i := range a.Owner {
+		if a.Owner[i] != b.Owner[i] {
+			t.Fatal("same seed, different assignment")
+		}
+	}
+}
+
+func TestRoundRobinAndBlock(t *testing.T) {
+	rr, err := RoundRobin(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Owner[0] != 0 || rr.Owner[1] != 1 || rr.Owner[3] != 0 {
+		t.Errorf("round robin owners = %v", rr.Owner)
+	}
+	br, err := BlockRange(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sizes 4, 3, 3.
+	counts := make([]int, 3)
+	for _, w := range br.Owner {
+		counts[w]++
+	}
+	if counts[0] != 4 || counts[1] != 3 || counts[2] != 3 {
+		t.Errorf("block sizes = %v", counts)
+	}
+	// Contiguity.
+	for i := 1; i < 10; i++ {
+		if br.Owner[i] < br.Owner[i-1] {
+			t.Error("block assignment not contiguous")
+		}
+	}
+}
+
+func TestSizeErrors(t *testing.T) {
+	if _, err := Random(0, 3, 1); err == nil {
+		t.Error("zero vertices accepted")
+	}
+	if _, err := RoundRobin(5, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := GreedyByDegree(nil, 2); err == nil {
+		t.Error("empty degrees accepted")
+	}
+	bad := Assignment{Workers: 2, Owner: []int32{0, 5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range owner accepted")
+	}
+}
+
+func TestGreedyByDegreeBalances(t *testing.T) {
+	// One huge hub and many small vertices: greedy must isolate the hub.
+	degrees := append([]int32{1000}, uniformDegrees(999, 2)...)
+	a, err := GreedyByDegree(degrees, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, err := DegreeLoads(degrees, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total = 1000 + 1998 = 2998; the hub's worker should get little else.
+	hubWorker := a.Owner[0]
+	if loads[hubWorker] > 1010 {
+		t.Errorf("hub worker load = %d; greedy failed to isolate the hub", loads[hubWorker])
+	}
+	// Greedy max load is within 15%% of the random assignment's.
+	rnd, _ := Random(len(degrees), 4, 3)
+	rndLoads, _ := DegreeLoads(degrees, rnd)
+	if MaxLoad(loads, 0) > MaxLoad(rndLoads, 0) {
+		t.Errorf("greedy max load %v worse than random %v", MaxLoad(loads, 0), MaxLoad(rndLoads, 0))
+	}
+}
+
+func TestDegreeLoadsConservation(t *testing.T) {
+	// Property: loads sum to the degree sum for any assignment.
+	f := func(seed int64, rawWorkers uint8) bool {
+		workers := int(rawWorkers%8) + 1
+		degrees, err := graph.PowerLawDegrees(500, 3000, 200, seed)
+		if err != nil {
+			return false
+		}
+		a, err := Random(len(degrees), workers, seed)
+		if err != nil {
+			return false
+		}
+		loads, err := DegreeLoads(degrees, a)
+		if err != nil {
+			return false
+		}
+		var sum, want int64
+		for _, l := range loads {
+			sum += l
+		}
+		for _, d := range degrees {
+			want += int64(d)
+		}
+		return sum == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreeLoadsErrors(t *testing.T) {
+	a, _ := Random(5, 2, 1)
+	if _, err := DegreeLoads(uniformDegrees(4, 1), a); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestDupCorrectionPaperIdentities(t *testing.T) {
+	// With n = 1, E_dup = ½·(V−1)·V·E/(V(V−1)/2) = E: all edges counted
+	// twice, so E₁ = 2E − E = E exactly — the identity that makes
+	// s(n) = E/maxEᵢ(n) self-consistent.
+	v, e := 10000, int64(61000)
+	dup := DupCorrection(v, e, 1)
+	if math.Abs(dup-float64(e)) > 1e-6*float64(e) {
+		t.Errorf("E_dup(n=1) = %v, want E = %d", dup, e)
+	}
+	// E_dup decreases with n roughly as 1/n².
+	d2 := DupCorrection(v, e, 2)
+	d4 := DupCorrection(v, e, 4)
+	if ratio := d2 / d4; math.Abs(ratio-4) > 0.1 {
+		t.Errorf("E_dup(2)/E_dup(4) = %v, want ≈ 4", ratio)
+	}
+}
+
+func TestMonteCarloEstimateMatchesUniform(t *testing.T) {
+	// For a regular graph the estimate should approach E/n (perfect
+	// balance) as skew vanishes.
+	degrees := uniformDegrees(10000, 10)
+	est, err := MonteCarloMaxEdges(degrees, 4, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := float64(10000*10) / 2
+	perWorker := edges / 4 // plus double-counted intra-worker edges − dup ≈ balanced
+	// Eᵢ = loads − dup; loads ≈ 2E/n = 25000; dup is tiny here (sparse),
+	// so Eᵢ ≈ 2E/n − dup. Accept the band [E/n, 2.2·E/n].
+	if est.MaxEdges < perWorker || est.MaxEdges > 2.2*perWorker {
+		t.Errorf("MC estimate = %v, want within [%v, %v]", est.MaxEdges, perWorker, 2.2*perWorker)
+	}
+}
+
+func TestMonteCarloSkewIncreasesMax(t *testing.T) {
+	// A heavy-tailed sequence must yield a higher max load than a uniform
+	// one with the same edge count.
+	skewed, err := graph.PowerLawDegrees(10000, 50000, 5000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := uniformDegrees(10000, 10)
+	estSkew, err := MonteCarloMaxEdges(skewed, 8, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estUni, err := MonteCarloMaxEdges(uniform, 8, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estSkew.MaxEdges <= estUni.MaxEdges {
+		t.Errorf("skewed max %v should exceed uniform max %v", estSkew.MaxEdges, estUni.MaxEdges)
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	if _, err := MonteCarloMaxEdges(uniformDegrees(10, 2), 2, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := MonteCarloMaxEdges(nil, 2, 1, 1); err == nil {
+		t.Error("empty degrees accepted")
+	}
+}
+
+func TestExactLoads(t *testing.T) {
+	// 4-cycle split in half: each worker owns 2 adjacent vertices, one
+	// intra edge (counted twice) + two cross edges (once each side) = 4.
+	g, err := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Assignment{Workers: 2, Owner: []int32{0, 0, 1, 1}}
+	loads, err := ExactLoads(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads[0] != 4 || loads[1] != 4 {
+		t.Errorf("loads = %v, want [4 4]", loads)
+	}
+	if _, err := ExactLoads(g, Assignment{Workers: 2, Owner: []int32{0}}); err == nil {
+		t.Error("mismatched assignment accepted")
+	}
+}
+
+func TestReplicationFactor(t *testing.T) {
+	// 4-cycle, half/half: vertices 1 and 2 are each needed remotely once,
+	// as are 0 and 3 → 4 replicas / 4 vertices = 1.
+	g, err := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Assignment{Workers: 2, Owner: []int32{0, 0, 1, 1}}
+	r, err := ReplicationFactor(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("replication factor = %v, want 1", r)
+	}
+	// All on one worker: no replicas.
+	single := Assignment{Workers: 1, Owner: []int32{0, 0, 0, 0}}
+	r, err = ReplicationFactor(g, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("single-worker replication factor = %v, want 0", r)
+	}
+}
+
+func TestReplicationFactorBounds(t *testing.T) {
+	// Property: 0 ≤ r ≤ min(degree, workers−1) averaged — specifically
+	// r ≤ workers−1 always.
+	g, err := graph.Grid2D(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		a, err := Random(g.NumVertices(), workers, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ReplicationFactor(g, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < 0 || r > float64(workers-1) {
+			t.Errorf("workers=%d: replication factor %v out of bounds", workers, r)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package report renders experiment results into the repository's
+// EXPERIMENTS.md: a paper-vs-measured record for every table and figure,
+// generated from an actual run rather than written by hand.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dmlscale/internal/experiments"
+)
+
+// Header describes the run the report documents.
+type Header struct {
+	// Title heads the document.
+	Title string
+	// Preamble paragraphs follow the title.
+	Preamble []string
+	// Fidelity describes the options the run used.
+	Fidelity string
+}
+
+// Write renders the full Markdown report.
+func Write(w io.Writer, h Header, results []experiments.Result) error {
+	if h.Title == "" {
+		h.Title = "EXPERIMENTS"
+	}
+	if _, err := fmt.Fprintf(w, "# %s\n\n", h.Title); err != nil {
+		return err
+	}
+	for _, p := range h.Preamble {
+		if _, err := fmt.Fprintf(w, "%s\n\n", p); err != nil {
+			return err
+		}
+	}
+	if h.Fidelity != "" {
+		if _, err := fmt.Fprintf(w, "Run fidelity: %s\n\n", h.Fidelity); err != nil {
+			return err
+		}
+	}
+
+	// Summary table of every paper-vs-measured comparison.
+	if _, err := fmt.Fprintf(w, "## Paper vs. this reproduction\n\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| Experiment | Quantity | Paper | This reproduction |\n|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, res := range results {
+		for _, c := range res.PaperComparison {
+			row := fmt.Sprintf("| %s | %s | %s | %s |\n",
+				escape(res.ID), escape(c.Quantity), escape(c.Paper), escape(c.Measured))
+			if _, err := io.WriteString(w, row); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+
+	// Per-experiment sections.
+	for _, res := range results {
+		if err := writeSection(w, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSection(w io.Writer, res experiments.Result) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", res.ID, res.Title); err != nil {
+		return err
+	}
+	if res.Description != "" {
+		if _, err := fmt.Fprintf(w, "%s\n\n", res.Description); err != nil {
+			return err
+		}
+	}
+	if len(res.Metrics) > 0 {
+		keys := make([]string, 0, len(res.Metrics))
+		for k := range res.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if _, err := fmt.Fprintf(w, "| Metric | Value |\n|---|---|\n"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "| %s | %s |\n", escape(k), trimFloat(res.Metrics[k])); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	if res.Table != nil {
+		if _, err := io.WriteString(w, "```\n"); err != nil {
+			return err
+		}
+		if err := res.Table.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "```\n\n"); err != nil {
+			return err
+		}
+	}
+	if res.Plot != "" {
+		if _, err := fmt.Fprintf(w, "```\n%s```\n\n", res.Plot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func escape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}

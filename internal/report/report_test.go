@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dmlscale/internal/experiments"
+	"dmlscale/internal/textio"
+)
+
+func sampleResults() []experiments.Result {
+	table := textio.NewTable("n", "speedup").AddRow(1, 1.0).AddRow(9, 4.14)
+	return []experiments.Result{
+		{
+			ID:          "fig2",
+			Title:       "Fully connected ANN",
+			Description: "A test section.",
+			Table:       table,
+			Plot:        "plot body\n",
+			Metrics:     map[string]float64{"MAPE %": 12.5, "optimum": 9},
+			PaperComparison: []experiments.Comparison{
+				{Quantity: "MAPE", Paper: "13.7%", Measured: "12.5%"},
+			},
+		},
+		{
+			ID:    "tab1",
+			Title: "Network configurations",
+			PaperComparison: []experiments.Comparison{
+				{Quantity: "FC weights", Paper: "12e6", Measured: "11965000"},
+				{Quantity: "cells | with pipes", Paper: "a|b", Measured: "c"},
+			},
+		},
+	}
+}
+
+func render(t *testing.T, h Header) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := Write(&sb, h, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestWriteStructure(t *testing.T) {
+	out := render(t, Header{
+		Title:    "EXPERIMENTS",
+		Preamble: []string{"First paragraph.", "Second paragraph."},
+		Fidelity: "default options",
+	})
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"First paragraph.",
+		"Run fidelity: default options",
+		"## Paper vs. this reproduction",
+		"| fig2 | MAPE | 13.7% | 12.5% |",
+		"| tab1 | FC weights | 12e6 | 11965000 |",
+		"## fig2 — Fully connected ANN",
+		"| MAPE % | 12.5 |",
+		"| optimum | 9 |",
+		"plot body",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestPipeEscaping(t *testing.T) {
+	out := render(t, Header{})
+	if !strings.Contains(out, `cells \| with pipes`) || !strings.Contains(out, `a\|b`) {
+		t.Error("pipes in comparison cells not escaped")
+	}
+}
+
+func TestDefaultTitle(t *testing.T) {
+	out := render(t, Header{})
+	if !strings.HasPrefix(out, "# EXPERIMENTS") {
+		t.Errorf("default title missing: %q", out[:40])
+	}
+}
+
+func TestTableFenced(t *testing.T) {
+	out := render(t, Header{})
+	if !strings.Contains(out, "```\nn  speedup") {
+		t.Errorf("table not fenced:\n%s", out)
+	}
+}
+
+func TestMetricsSorted(t *testing.T) {
+	out := render(t, Header{})
+	i := strings.Index(out, "| MAPE % |")
+	j := strings.Index(out, "| optimum |")
+	if i < 0 || j < 0 || i > j {
+		t.Error("metrics not rendered in sorted order")
+	}
+}

@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecode checks the scenario decoder never panics and that anything it
+// accepts builds a working model.
+func FuzzDecode(f *testing.F) {
+	var fig2 strings.Builder
+	if err := Fig2().Encode(&fig2); err != nil {
+		f.Fatal(err)
+	}
+	var fig3 strings.Builder
+	if err := Fig3().Encode(&fig3); err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range []string{
+		fig2.String(),
+		fig3.String(),
+		`{}`,
+		`{"name":"x"}`,
+		`not json`,
+		`{"name":"x","workload":{"flops_per_example":-1}}`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		s, err := Decode(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		model, err := s.Model()
+		if err != nil {
+			t.Fatalf("accepted scenario does not build a model: %v", err)
+		}
+		if got := model.Speedup(1); got != got || got < 0.99 || got > 1.01 {
+			t.Fatalf("s(1) = %v for accepted scenario", got)
+		}
+		if model.Time(s.MaxN()) < 0 {
+			t.Fatalf("negative time for accepted scenario")
+		}
+	})
+}

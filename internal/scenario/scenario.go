@@ -1,0 +1,259 @@
+// Package scenario serializes complete modeling scenarios — workload,
+// hardware, communication protocol and evaluation range — as JSON, the
+// integration hook the paper's conclusion asks for ("integrate the
+// estimation software with such tools as Spark, Hadoop, and Tensorflow"):
+// a deployment tool emits a scenario file, this package turns it into a
+// speedup model.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dmlscale/internal/comm"
+	"dmlscale/internal/core"
+	"dmlscale/internal/gd"
+	"dmlscale/internal/hardware"
+	"dmlscale/internal/units"
+)
+
+// Scenario is the on-disk description of one modeling run.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// Workload holds the algorithm complexity figures.
+	Workload WorkloadSpec `json:"workload"`
+	// Hardware describes one worker node.
+	Hardware HardwareSpec `json:"hardware"`
+	// Protocol selects the communication model.
+	Protocol ProtocolSpec `json:"protocol"`
+	// Scaling is "strong" (default) or "weak".
+	Scaling string `json:"scaling,omitempty"`
+	// MaxWorkers bounds curve evaluation; 0 means 16.
+	MaxWorkers int `json:"max_workers,omitempty"`
+}
+
+// WorkloadSpec mirrors gd.Workload in JSON-friendly form.
+type WorkloadSpec struct {
+	// FlopsPerExample is C.
+	FlopsPerExample float64 `json:"flops_per_example"`
+	// BatchSize is S (per worker under weak scaling).
+	BatchSize float64 `json:"batch_size"`
+	// Parameters is W.
+	Parameters float64 `json:"parameters"`
+	// PrecisionBits is the width of one shipped parameter; 0 means 32.
+	PrecisionBits float64 `json:"precision_bits,omitempty"`
+}
+
+// HardwareSpec mirrors hardware.Node in JSON-friendly form. Either Preset
+// names a catalog entry ("xeon-e3-1240", "nvidia-k40", "dl980-core") or
+// PeakFlops/Efficiency describe a custom node.
+type HardwareSpec struct {
+	Preset     string  `json:"preset,omitempty"`
+	PeakFlops  float64 `json:"peak_flops,omitempty"`
+	Efficiency float64 `json:"efficiency,omitempty"`
+}
+
+// ProtocolSpec selects and parameterizes a comm.Model.
+type ProtocolSpec struct {
+	// Kind is one of linear, tree, two-stage-tree, spark, ring, shuffle,
+	// shared-memory.
+	Kind string `json:"kind"`
+	// BandwidthBitsPerSec is the link bandwidth; unused for
+	// shared-memory.
+	BandwidthBitsPerSec float64 `json:"bandwidth_bits_per_sec,omitempty"`
+}
+
+// presets maps preset names to catalog nodes.
+var presets = map[string]func() hardware.Node{
+	"xeon-e3-1240": hardware.XeonE31240,
+	"nvidia-k40":   hardware.NvidiaK40,
+	"dl980-core":   hardware.ProLiantDL980Core,
+}
+
+// node resolves the hardware spec.
+func (h HardwareSpec) node() (hardware.Node, error) {
+	if h.Preset != "" {
+		build, ok := presets[h.Preset]
+		if !ok {
+			return hardware.Node{}, fmt.Errorf("scenario: unknown hardware preset %q", h.Preset)
+		}
+		return build(), nil
+	}
+	eff := h.Efficiency
+	if eff == 0 {
+		eff = 1
+	}
+	n := hardware.Node{Name: "custom", PeakFlops: units.Flops(h.PeakFlops), Efficiency: eff}
+	if err := n.Validate(); err != nil {
+		return hardware.Node{}, err
+	}
+	return n, nil
+}
+
+// protocol resolves the protocol spec.
+func (p ProtocolSpec) protocol() (comm.Model, error) {
+	b := units.BitsPerSecond(p.BandwidthBitsPerSec)
+	if p.Kind != "shared-memory" && b <= 0 {
+		return nil, fmt.Errorf("scenario: protocol %q needs a positive bandwidth", p.Kind)
+	}
+	switch p.Kind {
+	case "linear":
+		return comm.Linear{Bandwidth: b}, nil
+	case "tree":
+		return comm.Tree{Bandwidth: b}, nil
+	case "two-stage-tree":
+		return comm.TwoStageTree{Bandwidth: b}, nil
+	case "spark":
+		return comm.SparkGradient(b), nil
+	case "ring":
+		return comm.RingAllReduce{Bandwidth: b}, nil
+	case "shuffle":
+		return comm.Shuffle{Bandwidth: b}, nil
+	case "shared-memory":
+		return comm.SharedMemory{}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown protocol kind %q", p.Kind)
+}
+
+// Validate reports whether the scenario is complete and consistent.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if s.Workload.FlopsPerExample <= 0 || s.Workload.BatchSize <= 0 || s.Workload.Parameters <= 0 {
+		return fmt.Errorf("scenario %q: workload figures must be positive", s.Name)
+	}
+	if _, err := s.Hardware.node(); err != nil {
+		return err
+	}
+	if _, err := s.Protocol.protocol(); err != nil {
+		return err
+	}
+	switch s.Scaling {
+	case "", "strong", "weak":
+	default:
+		return fmt.Errorf("scenario %q: scaling must be strong or weak, got %q", s.Name, s.Scaling)
+	}
+	if s.MaxWorkers < 0 {
+		return fmt.Errorf("scenario %q: negative max workers", s.Name)
+	}
+	return nil
+}
+
+// MaxN returns the evaluation bound with its default.
+func (s Scenario) MaxN() int {
+	if s.MaxWorkers <= 0 {
+		return 16
+	}
+	return s.MaxWorkers
+}
+
+// Model builds the core model the scenario describes.
+func (s Scenario) Model() (core.Model, error) {
+	if err := s.Validate(); err != nil {
+		return core.Model{}, err
+	}
+	node, err := s.Hardware.node()
+	if err != nil {
+		return core.Model{}, err
+	}
+	protocol, err := s.Protocol.protocol()
+	if err != nil {
+		return core.Model{}, err
+	}
+	precision := s.Workload.PrecisionBits
+	if precision == 0 {
+		precision = 32
+	}
+	w := gd.Workload{
+		Name:            s.Name,
+		FlopsPerExample: s.Workload.FlopsPerExample,
+		BatchSize:       s.Workload.BatchSize,
+		ModelBits:       units.Bits(precision * s.Workload.Parameters),
+	}
+	if s.Scaling == "weak" {
+		return gd.WeakScalingModel(w, node, protocol)
+	}
+	return gd.Model(w, node, protocol)
+}
+
+// Decode reads a scenario from JSON.
+func Decode(r io.Reader) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// Encode writes the scenario as indented JSON.
+func (s Scenario) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Load reads a scenario file.
+func Load(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Save writes a scenario file.
+func (s Scenario) Save(path string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	return s.Encode(f)
+}
+
+// Fig2 is the paper's Fig. 2 setup as a scenario, both a usable default and
+// a documentation example for the format.
+func Fig2() Scenario {
+	return Scenario{
+		Name: "fully connected ANN on Spark (paper Fig. 2)",
+		Workload: WorkloadSpec{
+			FlopsPerExample: 6 * 12e6,
+			BatchSize:       60000,
+			Parameters:      12e6,
+			PrecisionBits:   64,
+		},
+		Hardware: HardwareSpec{Preset: "xeon-e3-1240"},
+		Protocol: ProtocolSpec{Kind: "spark", BandwidthBitsPerSec: 1e9},
+		Scaling:  "strong",
+	}
+}
+
+// Fig3 is the paper's Fig. 3 setup as a scenario.
+func Fig3() Scenario {
+	return Scenario{
+		Name: "convolutional ANN sync SGD (paper Fig. 3)",
+		Workload: WorkloadSpec{
+			FlopsPerExample: 3 * 5e9,
+			BatchSize:       128,
+			Parameters:      25e6,
+			PrecisionBits:   32,
+		},
+		Hardware:   HardwareSpec{Preset: "nvidia-k40"},
+		Protocol:   ProtocolSpec{Kind: "two-stage-tree", BandwidthBitsPerSec: 1e9},
+		Scaling:    "weak",
+		MaxWorkers: 200,
+	}
+}

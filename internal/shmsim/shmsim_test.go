@@ -1,0 +1,144 @@
+package shmsim
+
+import (
+	"testing"
+
+	"dmlscale/internal/graph"
+	"dmlscale/internal/metrics"
+)
+
+func testDegrees(t *testing.T, vertices int) []int32 {
+	t.Helper()
+	deg, err := graph.ScaledDNSGraph(vertices).Degrees(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return deg
+}
+
+func TestConfigValidate(t *testing.T) {
+	deg := testDegrees(t, 2000)
+	if err := PaperFig4Config(deg).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Degrees = nil },
+		func(c *Config) { c.States = 1 },
+		func(c *Config) { c.Flops = 0 },
+		func(c *Config) { c.ContentionPerWorker = -1 },
+		func(c *Config) { c.SyncOverhead = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := PaperFig4Config(deg)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSuperstepTimeDecreasesThenSaturates(t *testing.T) {
+	cfg := PaperFig4Config(testDegrees(t, 16000))
+	t1, err := SuperstepTime(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := SuperstepTime(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(t8) >= 0.5*float64(t1) {
+		t.Errorf("t(8) = %v vs t(1) = %v; too little speedup", t8, t1)
+	}
+	// Contention must keep the speedup well below linear at 80 workers.
+	t80, err := SuperstepTime(cfg, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := float64(t1) / float64(t80); s > 40 {
+		t.Errorf("s(80) = %v; contention should cap speedup well below 80", s)
+	}
+	if _, err := SuperstepTime(cfg, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+// TestPaperFig4Shape reproduces the figure's qualitative structure on a
+// scaled graph: the experimental (simulated) curve exceeds the model at few
+// workers and falls below it at many workers, with MAPE in the paper's band.
+func TestPaperFig4Shape(t *testing.T) {
+	cfg := PaperFig4Config(testDegrees(t, 16000))
+	workers := []int{1, 2, 4, 8, 16, 32, 64, 80}
+	model, err := ModelCurve(cfg, workers, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SpeedupCurve(cfg, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Few workers: random assignment is conservative (model below
+	// experiment).
+	if model.Points[1].Speedup >= sim.Points[1].Speedup {
+		t.Errorf("at n=2: model %v should be below experiment %v",
+			model.Points[1].Speedup, sim.Points[1].Speedup)
+	}
+	// Many workers: execution overhead takes over (experiment below
+	// model).
+	last := len(workers) - 1
+	if sim.Points[last].Speedup >= model.Points[last].Speedup {
+		t.Errorf("at n=80: experiment %v should be below model %v",
+			sim.Points[last].Speedup, model.Points[last].Speedup)
+	}
+	// MAPE lands in the paper's reported band (19.6%–26% across graph
+	// sizes) within tolerance.
+	mape, err := metrics.MAPE(sim.Speedups(), model.Speedups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mape < 10 || mape > 45 {
+		t.Errorf("MAPE = %.1f%%, want within the paper's neighbourhood [10, 45]", mape)
+	}
+}
+
+func TestModelCurveDuplicateIdentity(t *testing.T) {
+	// s(1) must be exactly 1: E₁ = E by the paper's dedup identity.
+	cfg := PaperFig4Config(testDegrees(t, 4000))
+	model, err := ModelCurve(cfg, []int{1}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := model.Points[0].Speedup; s < 0.999 || s > 1.001 {
+		t.Errorf("model s(1) = %v, want 1", s)
+	}
+}
+
+func TestCurveErrors(t *testing.T) {
+	cfg := PaperFig4Config(testDegrees(t, 2000))
+	if _, err := SpeedupCurve(cfg, nil); err == nil {
+		t.Error("empty worker list accepted")
+	}
+	if _, err := ModelCurve(cfg, nil, 1, 1); err == nil {
+		t.Error("empty worker list accepted for model")
+	}
+	bad := cfg
+	bad.States = 0
+	if _, err := SpeedupCurve(bad, []int{1}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := PaperFig4Config(testDegrees(t, 4000))
+	a, err := ModelCurve(cfg, []int{8}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ModelCurve(cfg, []int{8}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points[0].Speedup != b.Points[0].Speedup {
+		t.Error("model curve not deterministic")
+	}
+}

@@ -1,0 +1,42 @@
+package tensor
+
+import "testing"
+
+func benchPair(b *testing.B, n int) (*Dense, *Dense) {
+	b.Helper()
+	return Randn(n, n, 1, 1), Randn(n, n, 1, 2)
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	x, y := benchPair(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	x, y := benchPair(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulTransA128(b *testing.B) {
+	x, y := benchPair(b, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransA(x, y)
+	}
+}
+
+func BenchmarkAXPY(b *testing.B) {
+	x, y := benchPair(b, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.AXPY(0.5, y)
+	}
+}

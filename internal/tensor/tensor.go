@@ -1,0 +1,325 @@
+// Package tensor provides the small dense linear-algebra kernel the
+// trainable neural networks in this module are built on: row-major float64
+// matrices with the multiply/transpose/elementwise operations forward and
+// back propagation need. It favours clarity and correctness over blocked
+// performance — the experiments measure model predictions, not GEMM.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major rows×cols matrix of float64.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zeroed rows×cols matrix. It panics if either dimension is
+// not positive; matrix shapes are programmer-controlled, so a bad shape is a
+// bug, not an input error.
+func New(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: non-positive dimensions %d×%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major, length rows*cols) in a matrix. The slice
+// is used directly, not copied.
+func FromSlice(rows, cols int, data []float64) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: non-positive dimensions %d×%d", rows, cols))
+	}
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match %d×%d", len(data), rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: data}
+}
+
+// Randn returns a rows×cols matrix with N(0, stddev²) entries drawn from a
+// deterministic source seeded with seed.
+func Randn(rows, cols int, stddev float64, seed int64) *Dense {
+	m := New(rows, cols)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64() * stddev
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Data returns the underlying row-major slice. Mutating it mutates the
+// matrix.
+func (m *Dense) Data() []float64 { return m.data }
+
+// Row returns row i as a slice view into the matrix.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := New(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Dense) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// shapeEqual panics unless a and b have identical shapes. Mismatched shapes
+// in these kernels are programming errors.
+func shapeEqual(op string, a, b *Dense) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("tensor: %s: shape mismatch %d×%d vs %d×%d", op, a.rows, a.cols, b.rows, b.cols))
+	}
+}
+
+// MatMul returns a·b for a (r×k) and b (k×c).
+func MatMul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("tensor: matmul: inner dimensions %d vs %d", a.cols, b.rows))
+	}
+	out := New(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ·b for a (k×r) and b (k×c): the gradient-of-weights
+// product in dense-layer backprop.
+func MatMulTransA(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("tensor: matmul-trans-a: outer dimensions %d vs %d", a.rows, b.rows))
+	}
+	out := New(a.cols, b.cols)
+	for k := 0; k < a.rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a·bᵀ for a (r×k) and b (c×k): the gradient-of-inputs
+// product in dense-layer backprop.
+func MatMulTransB(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("tensor: matmul-trans-b: inner dimensions %d vs %d", a.cols, b.cols))
+	}
+	out := New(a.rows, b.rows)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.rows; j++ {
+			brow := b.Row(j)
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			orow[j] = sum
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Dense) Transpose() *Dense {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Dense) *Dense {
+	shapeEqual("add", a, b)
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a − b elementwise.
+func Sub(a, b *Dense) *Dense {
+	shapeEqual("sub", a, b)
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v - b.data[i]
+	}
+	return out
+}
+
+// Mul returns the Hadamard (elementwise) product a ⊙ b.
+func Mul(a, b *Dense) *Dense {
+	shapeEqual("mul", a, b)
+	out := New(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v * b.data[i]
+	}
+	return out
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Dense) Scale(s float64) *Dense {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+	return m
+}
+
+// AddInPlace adds b into m elementwise and returns m.
+func (m *Dense) AddInPlace(b *Dense) *Dense {
+	shapeEqual("add-in-place", m, b)
+	for i := range m.data {
+		m.data[i] += b.data[i]
+	}
+	return m
+}
+
+// AXPY computes m += alpha·b in place and returns m.
+func (m *Dense) AXPY(alpha float64, b *Dense) *Dense {
+	shapeEqual("axpy", m, b)
+	for i := range m.data {
+		m.data[i] += alpha * b.data[i]
+	}
+	return m
+}
+
+// AddRowVector adds the 1×cols row vector v to every row of m in place — the
+// bias addition of a dense layer.
+func (m *Dense) AddRowVector(v *Dense) *Dense {
+	if v.rows != 1 || v.cols != m.cols {
+		panic(fmt.Sprintf("tensor: add-row-vector: vector is %d×%d, matrix has %d cols", v.rows, v.cols, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v.data[j]
+		}
+	}
+	return m
+}
+
+// SumRows returns the 1×cols vector of column sums — the bias gradient of a
+// dense layer.
+func (m *Dense) SumRows() *Dense {
+	out := New(1, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}
+
+// Apply returns f applied elementwise.
+func (m *Dense) Apply(f func(float64) float64) *Dense {
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// Dot returns the Frobenius inner product Σ aᵢⱼ·bᵢⱼ.
+func Dot(a, b *Dense) float64 {
+	shapeEqual("dot", a, b)
+	var sum float64
+	for i, v := range a.data {
+		sum += v * b.data[i]
+	}
+	return sum
+}
+
+// Norm returns the Frobenius norm.
+func (m *Dense) Norm() float64 {
+	var sum float64
+	for _, v := range m.data {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between a
+// and b, for approximate-equality checks in tests.
+func MaxAbsDiff(a, b *Dense) float64 {
+	shapeEqual("max-abs-diff", a, b)
+	var maxDiff float64
+	for i, v := range a.data {
+		if d := math.Abs(v - b.data[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return maxDiff
+}
+
+// Equal reports whether a and b have the same shape and all elements within
+// tol of each other.
+func Equal(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	return MaxAbsDiff(a, b) <= tol
+}
+
+// String renders small matrices for debugging.
+func (m *Dense) String() string {
+	s := fmt.Sprintf("Dense %d×%d", m.rows, m.cols)
+	if m.rows*m.cols <= 64 {
+		s += " ["
+		for i := 0; i < m.rows; i++ {
+			if i > 0 {
+				s += "; "
+			}
+			for j := 0; j < m.cols; j++ {
+				if j > 0 {
+					s += " "
+				}
+				s += fmt.Sprintf("%.4g", m.At(i, j))
+			}
+		}
+		s += "]"
+	}
+	return s
+}

@@ -1,0 +1,242 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %d×%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7)
+	if got := m.At(1, 2); got != 7 {
+		t.Errorf("At(1,2) = %v", got)
+	}
+	if got := m.Row(1); got[2] != 7 {
+		t.Errorf("Row(1) = %v", got)
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v", m.At(1, 0))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("FromSlice with wrong length did not panic")
+			}
+		}()
+		FromSlice(2, 2, []float64{1})
+	}()
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched matmul did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestTransposedVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		r, k, c := rng.Intn(5)+1, rng.Intn(5)+1, rng.Intn(5)+1
+		a := Randn(k, r, 1, int64(trial))
+		b := Randn(k, c, 1, int64(trial+100))
+		// MatMulTransA(a,b) == MatMul(aᵀ, b)
+		if !Equal(MatMulTransA(a, b), MatMul(a.Transpose(), b), 1e-10) {
+			t.Fatalf("trial %d: MatMulTransA disagrees with explicit transpose", trial)
+		}
+		x := Randn(r, k, 1, int64(trial+200))
+		y := Randn(c, k, 1, int64(trial+300))
+		// MatMulTransB(x,y) == MatMul(x, yᵀ)
+		if !Equal(MatMulTransB(x, y), MatMul(x, y.Transpose()), 1e-10) {
+			t.Fatalf("trial %d: MatMulTransB disagrees with explicit transpose", trial)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := rng.Intn(6)+1, rng.Intn(6)+1
+		m := Randn(r, c, 1, seed)
+		return Equal(m.Transpose().Transpose(), m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElementwise(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{4, 5, 6})
+	if got := Add(a, b); !Equal(got, FromSlice(1, 3, []float64{5, 7, 9}), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(b, a); !Equal(got, FromSlice(1, 3, []float64{3, 3, 3}), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Mul(a, b); !Equal(got, FromSlice(1, 3, []float64{4, 10, 18}), 0) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	m.Scale(2)
+	if !Equal(m, FromSlice(2, 2, []float64{2, 4, 6, 8}), 0) {
+		t.Errorf("Scale = %v", m)
+	}
+	m.AXPY(0.5, FromSlice(2, 2, []float64{2, 2, 2, 2}))
+	if !Equal(m, FromSlice(2, 2, []float64{3, 5, 7, 9}), 0) {
+		t.Errorf("AXPY = %v", m)
+	}
+	m.AddInPlace(FromSlice(2, 2, []float64{1, 1, 1, 1}))
+	if !Equal(m, FromSlice(2, 2, []float64{4, 6, 8, 10}), 0) {
+		t.Errorf("AddInPlace = %v", m)
+	}
+	m.Zero()
+	if m.Norm() != 0 {
+		t.Errorf("Zero left norm %v", m.Norm())
+	}
+}
+
+func TestBiasHelpers(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	bias := FromSlice(1, 3, []float64{10, 20, 30})
+	m.AddRowVector(bias)
+	want := FromSlice(2, 3, []float64{11, 22, 33, 14, 25, 36})
+	if !Equal(m, want, 0) {
+		t.Errorf("AddRowVector = %v", m)
+	}
+	sums := want.SumRows()
+	if !Equal(sums, FromSlice(1, 3, []float64{25, 47, 69}), 0) {
+		t.Errorf("SumRows = %v", sums)
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := FromSlice(1, 3, []float64{-1, 0, 2})
+	relu := m.Apply(func(v float64) float64 { return math.Max(0, v) })
+	if !Equal(relu, FromSlice(1, 3, []float64{0, 0, 2}), 0) {
+		t.Errorf("Apply relu = %v", relu)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestRandnDeterministic(t *testing.T) {
+	a := Randn(3, 3, 1, 42)
+	b := Randn(3, 3, 1, 42)
+	if !Equal(a, b, 0) {
+		t.Error("Randn with the same seed differs")
+	}
+	c := Randn(3, 3, 1, 43)
+	if Equal(a, c, 1e-12) {
+		t.Error("Randn with different seeds identical")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestMatMulTransposeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, k, c := rng.Intn(4)+1, rng.Intn(4)+1, rng.Intn(4)+1
+		a := Randn(r, k, 1, seed)
+		b := Randn(k, c, 1, seed+1)
+		left := MatMul(a, b).Transpose()
+		right := MatMul(b.Transpose(), a.Transpose())
+		return Equal(left, right, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matmul distributes over addition: A·(B+C) == A·B + A·C.
+func TestMatMulDistributes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, k, c := rng.Intn(4)+1, rng.Intn(4)+1, rng.Intn(4)+1
+		a := Randn(r, k, 1, seed)
+		b := Randn(k, c, 1, seed+1)
+		cm := Randn(k, c, 1, seed+2)
+		left := MatMul(a, Add(b, cm))
+		right := Add(MatMul(a, b), MatMul(a, cm))
+		return Equal(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxAbsDiffAndEqual(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 2})
+	b := FromSlice(1, 2, []float64{1.1, 2})
+	if d := MaxAbsDiff(a, b); math.Abs(d-0.1) > 1e-12 {
+		t.Errorf("MaxAbsDiff = %v", d)
+	}
+	if Equal(a, b, 0.05) {
+		t.Error("Equal too lenient")
+	}
+	if !Equal(a, b, 0.2) {
+		t.Error("Equal too strict")
+	}
+	if Equal(a, New(2, 1), 100) {
+		t.Error("Equal ignores shape")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromSlice(2, 2, []float64{1, 2, 3, 4}).String()
+	if !strings.Contains(s, "2×2") || !strings.Contains(s, "1 2; 3 4") {
+		t.Errorf("String = %q", s)
+	}
+	big := New(100, 100).String()
+	if strings.Contains(big, "[") {
+		t.Errorf("large matrix should not render elements: %q", big)
+	}
+}

@@ -1,0 +1,54 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseFlops checks the parser never panics and that accepted inputs
+// round-trip through formatting.
+func FuzzParseFlops(f *testing.F) {
+	for _, seed := range []string{
+		"211.2 GFLOPS", "4.28 TFLOPS", "1e9", "105.6GFLOPS", "", "FLOPS",
+		"-3 kFLOPS", "1e999 GFLOPS", "0.5 PFLOPS", "9 QFLOPS", "1 flops",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseFlops(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(float64(v)) {
+			t.Fatalf("ParseFlops(%q) accepted NaN", s)
+		}
+		if float64(v) > 0 && !math.IsInf(float64(v), 0) {
+			back, err := ParseFlops(v.String())
+			if err != nil {
+				t.Fatalf("formatted value %q does not parse back: %v", v.String(), err)
+			}
+			rel := math.Abs(float64(back-v)) / float64(v)
+			if rel > 5e-3 {
+				t.Fatalf("round trip %q -> %v -> %q -> %v (rel err %v)", s, v, v.String(), back, rel)
+			}
+		}
+	})
+}
+
+// FuzzParseBandwidth mirrors FuzzParseFlops for the bandwidth parser.
+func FuzzParseBandwidth(f *testing.F) {
+	for _, seed := range []string{
+		"1 Gbit/s", "100 Mbit/s", "1e9", "10Gbit/s", "", "bit/s", "1 QQbit/s",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseBandwidth(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(float64(v)) {
+			t.Fatalf("ParseBandwidth(%q) accepted NaN", s)
+		}
+	})
+}

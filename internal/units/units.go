@@ -1,0 +1,230 @@
+// Package units defines the physical quantities the scalability models are
+// expressed in — floating-point throughput, network bandwidth, data sizes and
+// durations — together with parsing and human-readable formatting.
+//
+// All quantities are simple float64 wrappers so they compose with the math
+// package without conversions, but the distinct types keep FLOPS from being
+// accidentally added to bits per second.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Flops is a computation rate in floating-point operations per second.
+type Flops float64
+
+// Common computation rates.
+const (
+	KiloFlops Flops = 1e3
+	MegaFlops Flops = 1e6
+	GigaFlops Flops = 1e9
+	TeraFlops Flops = 1e12
+	PetaFlops Flops = 1e15
+)
+
+// BitsPerSecond is a network bandwidth.
+type BitsPerSecond float64
+
+// Common bandwidths.
+const (
+	Kbps BitsPerSecond = 1e3
+	Mbps BitsPerSecond = 1e6
+	Gbps BitsPerSecond = 1e9
+	Tbps BitsPerSecond = 1e12
+)
+
+// Bits is a data size in bits.
+type Bits float64
+
+// Bytes is a data size in bytes.
+type Bytes float64
+
+// Common byte sizes (decimal, matching how the paper quotes hardware).
+const (
+	KB Bytes = 1e3
+	MB Bytes = 1e6
+	GB Bytes = 1e9
+	TB Bytes = 1e12
+)
+
+// Seconds is a duration. The models work in plain seconds rather than
+// time.Duration because superstep times routinely fall below a nanosecond
+// once normalized, and because speedup is a ratio of these values.
+type Seconds float64
+
+// Bits converts a byte count to bits.
+func (b Bytes) Bits() Bits { return Bits(b * 8) }
+
+// Bytes converts a bit count to bytes.
+func (b Bits) Bytes() Bytes { return Bytes(b / 8) }
+
+// TransferTime returns how long moving b bits through a link of bandwidth bw
+// takes. A non-positive bandwidth yields +Inf: the transfer never completes.
+func TransferTime(b Bits, bw BitsPerSecond) Seconds {
+	if bw <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(b) / float64(bw))
+}
+
+// ComputeTime returns how long executing ops floating-point operations on a
+// device of the given throughput takes. A non-positive throughput yields
+// +Inf.
+func ComputeTime(ops float64, f Flops) Seconds {
+	if f <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(ops / float64(f))
+}
+
+// String formats the rate with an SI prefix, e.g. "211.2 GFLOPS".
+func (f Flops) String() string {
+	v, prefix := siSplit(float64(f))
+	return trimFloat(v) + " " + prefix + "FLOPS"
+}
+
+// String formats the bandwidth with an SI prefix, e.g. "1 Gbit/s".
+func (b BitsPerSecond) String() string {
+	v, prefix := siSplit(float64(b))
+	return trimFloat(v) + " " + prefix + "bit/s"
+}
+
+// String formats the size with an SI prefix, e.g. "16 GB".
+func (b Bytes) String() string {
+	v, prefix := siSplit(float64(b))
+	return trimFloat(v) + " " + prefix + "B"
+}
+
+// String formats the size with an SI prefix, e.g. "768 Mbit".
+func (b Bits) String() string {
+	v, prefix := siSplit(float64(b))
+	return trimFloat(v) + " " + prefix + "bit"
+}
+
+// String formats the duration with an engineering prefix, e.g. "51.1 s",
+// "3.07 ms".
+func (s Seconds) String() string {
+	v := float64(s)
+	switch {
+	case math.IsInf(v, 0) || math.IsNaN(v):
+		return strconv.FormatFloat(v, 'g', -1, 64) + " s"
+	case v == 0:
+		return "0 s"
+	}
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1:
+		return trimFloat(v) + " s"
+	case abs >= 1e-3:
+		return trimFloat(v*1e3) + " ms"
+	case abs >= 1e-6:
+		return trimFloat(v*1e6) + " µs"
+	default:
+		return trimFloat(v*1e9) + " ns"
+	}
+}
+
+// siSplit reduces v to a mantissa in [1, 1000) and the matching SI prefix.
+func siSplit(v float64) (mantissa float64, prefix string) {
+	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return v, ""
+	}
+	prefixes := []string{"", "k", "M", "G", "T", "P", "E"}
+	abs := math.Abs(v)
+	i := 0
+	for abs >= 1000 && i < len(prefixes)-1 {
+		abs /= 1000
+		v /= 1000
+		i++
+	}
+	return v, prefixes[i]
+}
+
+// trimFloat formats v with up to three significant decimals, trimming
+// trailing zeros.
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+var siFactors = map[string]float64{
+	"": 1, "k": 1e3, "K": 1e3, "M": 1e6, "G": 1e9, "T": 1e12, "P": 1e15,
+	"E": 1e18,
+}
+
+// ParseFlops parses strings like "211.2 GFLOPS", "4.28 TFLOPS" or "1e9".
+func ParseFlops(s string) (Flops, error) {
+	v, err := parseSI(s, "FLOPS")
+	if err != nil {
+		return 0, fmt.Errorf("units: parse flops %q: %w", s, err)
+	}
+	return Flops(v), nil
+}
+
+// ParseBandwidth parses strings like "1 Gbit/s", "100 Mbit/s" or "1e9".
+func ParseBandwidth(s string) (BitsPerSecond, error) {
+	v, err := parseSI(s, "bit/s")
+	if err != nil {
+		return 0, fmt.Errorf("units: parse bandwidth %q: %w", s, err)
+	}
+	return BitsPerSecond(v), nil
+}
+
+// parseSI parses "<number> [<prefix>]<unit>" with an optional space and a
+// case-insensitive unit. A bare number is accepted as the base unit.
+func parseSI(s, unit string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	// Split the leading numeric part from the suffix.
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if (c >= '0' && c <= '9') || c == '.' || c == '+' || c == '-' ||
+			c == 'e' || c == 'E' {
+			// 'e'/'E' may begin the unit (none here) or an exponent; accept it
+			// only when followed by a digit or sign.
+			if c == 'e' || c == 'E' {
+				if i+1 >= len(s) {
+					break
+				}
+				next := s[i+1]
+				if !(next >= '0' && next <= '9') && next != '+' && next != '-' {
+					break
+				}
+			}
+			i++
+			continue
+		}
+		break
+	}
+	num, suffix := s[:i], strings.TrimSpace(s[i:])
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", num)
+	}
+	if suffix == "" {
+		return v, nil
+	}
+	lowUnit := strings.ToLower(unit)
+	lowSuffix := strings.ToLower(suffix)
+	if !strings.HasSuffix(lowSuffix, lowUnit) {
+		return 0, fmt.Errorf("expected unit %q", unit)
+	}
+	prefix := strings.TrimSpace(suffix[:len(suffix)-len(unit)])
+	factor, ok := siFactors[prefix]
+	if !ok {
+		return 0, fmt.Errorf("unknown SI prefix %q", prefix)
+	}
+	return v * factor, nil
+}

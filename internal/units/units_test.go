@@ -1,0 +1,150 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransferTime(t *testing.T) {
+	tests := []struct {
+		name string
+		bits Bits
+		bw   BitsPerSecond
+		want Seconds
+	}{
+		{"model broadcast", Bits(64 * 12e6), Gbps, Seconds(0.768)},
+		{"one bit on 1bps", 1, 1, 1},
+		{"zero payload", 0, Gbps, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := TransferTime(tt.bits, tt.bw)
+			if math.Abs(float64(got-tt.want)) > 1e-12 {
+				t.Errorf("TransferTime(%v, %v) = %v, want %v", tt.bits, tt.bw, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTransferTimeZeroBandwidth(t *testing.T) {
+	if got := TransferTime(1, 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("TransferTime with zero bandwidth = %v, want +Inf", got)
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	// The paper's Fig. 2 computation term: 6·W·S flops on one node.
+	ops := 6.0 * 12e6 * 60000
+	f := Flops(0.8 * 105.6e9)
+	got := ComputeTime(ops, f)
+	want := ops / (0.8 * 105.6e9)
+	if math.Abs(float64(got)-want) > 1e-9 {
+		t.Errorf("ComputeTime = %v, want %v", got, want)
+	}
+	if got := ComputeTime(1, 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("ComputeTime with zero flops = %v, want +Inf", got)
+	}
+}
+
+func TestBitsBytesRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > math.MaxFloat64/8 {
+			return true
+		}
+		b := Bytes(v)
+		back := b.Bits().Bytes()
+		return math.Abs(float64(back-b)) <= 1e-9*math.Abs(float64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{Flops(211.2e9).String(), "211.2 GFLOPS"},
+		{Flops(4.28e12).String(), "4.28 TFLOPS"},
+		{Gbps.String(), "1 Gbit/s"},
+		{BitsPerSecond(100e6).String(), "100 Mbit/s"},
+		{Bytes(16e9).String(), "16 GB"},
+		{Bytes(2e12).String(), "2 TB"},
+		{Seconds(51.136).String(), "51.136 s"},
+		{Seconds(0.00307).String(), "3.07 ms"},
+		{Seconds(0).String(), "0 s"},
+		{Seconds(2.5e-7).String(), "250 ns"},
+		{Bits(768e6).String(), "768 Mbit"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("got %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestParseFlops(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Flops
+		wantErr bool
+	}{
+		{"211.2 GFLOPS", 211.2e9, false},
+		{"4.28 TFLOPS", 4.28e12, false},
+		{"105.6GFLOPS", 105.6e9, false},
+		{"1e9", 1e9, false},
+		{"3 MFLOPS", 3e6, false},
+		{"", 0, true},
+		{"fast", 0, true},
+		{"3 Gbit/s", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseFlops(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseFlops(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && math.Abs(float64(got-tt.want)) > 1e-3 {
+			t.Errorf("ParseFlops(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseBandwidth(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    BitsPerSecond
+		wantErr bool
+	}{
+		{"1 Gbit/s", 1e9, false},
+		{"100 Mbit/s", 100e6, false},
+		{"1e9", 1e9, false},
+		{"10Gbit/s", 10e9, false},
+		{"1 QQbit/s", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseBandwidth(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseBandwidth(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && math.Abs(float64(got-tt.want)) > 1e-3 {
+			t.Errorf("ParseBandwidth(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseFormatsRoundTrip(t *testing.T) {
+	// String output must parse back to the same value.
+	for _, f := range []Flops{1, 1e3, 211.2e9, 4.28e12, 84.48e9} {
+		back, err := ParseFlops(f.String())
+		if err != nil {
+			t.Fatalf("ParseFlops(%q): %v", f.String(), err)
+		}
+		if rel := math.Abs(float64(back-f)) / float64(f); rel > 1e-3 {
+			t.Errorf("round trip %v -> %q -> %v", f, f.String(), back)
+		}
+	}
+}
