@@ -8,9 +8,13 @@ package dmlscale_test
 // figures.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	"dmlscale"
 	"dmlscale/internal/experiments"
+	"dmlscale/internal/scenario"
 )
 
 func benchOptions() experiments.Options {
@@ -105,4 +109,57 @@ func BenchmarkAblationConvergence(b *testing.B) {
 // BenchmarkAblationPartition regenerates the estimator-quality ablation.
 func BenchmarkAblationPartition(b *testing.B) {
 	benchmarkExperiment(b, "abl-part", "estimate/exact worst")
+}
+
+// benchSuite is a 10-scenario suite whose curves are individually expensive
+// (Monte-Carlo graph inference on 60K-vertex DNS graphs), the case the
+// concurrent evaluation layer exists for.
+func benchSuite() dmlscale.Suite {
+	scenarios := make([]dmlscale.Scenario, 0, 10)
+	for i := 0; i < 10; i++ {
+		scenarios = append(scenarios, dmlscale.Scenario{
+			Name: fmt.Sprintf("bp sweep seed %d", i),
+			Workload: scenario.WorkloadSpec{
+				Family: "mrf",
+				Graph:  &scenario.GraphSpec{Family: "dns", Vertices: 60000, Seed: int64(i)},
+				States: 2,
+				Trials: 3,
+				Seed:   int64(i),
+			},
+			Hardware:   scenario.HardwareSpec{Preset: "dl980-core"},
+			Protocol:   scenario.ProtocolSpec{Kind: "shared-memory"},
+			MaxWorkers: 16,
+		})
+	}
+	return dmlscale.Suite{Name: "bench suite", Scenarios: scenarios}
+}
+
+// benchmarkSuiteEval evaluates the benchmark suite at the given
+// parallelism, failing on any per-curve error.
+func benchmarkSuiteEval(b *testing.B, parallelism int) {
+	b.Helper()
+	suite := benchSuite()
+	for i := 0; i < b.N; i++ {
+		results, err := dmlscale.EvaluateSuite(suite, parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteSerial is the baseline: the 10-curve suite evaluated one
+// curve at a time.
+func BenchmarkSuiteSerial(b *testing.B) {
+	benchmarkSuiteEval(b, 1)
+}
+
+// BenchmarkSuiteParallel evaluates the same suite on the full worker pool;
+// compare ns/op against BenchmarkSuiteSerial to see the speedup.
+func BenchmarkSuiteParallel(b *testing.B) {
+	benchmarkSuiteEval(b, runtime.GOMAXPROCS(0))
 }

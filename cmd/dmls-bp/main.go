@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dmls-bp [-graph grid|cycle|tree|dns] [-vertices N] [-states S]
+//	dmls-bp [-graph family] [-vertices N] [-states S]
 //	        [-workers list] [-coupling J] [-field h] [-iters N]
 package main
 
@@ -17,38 +17,15 @@ import (
 	"time"
 
 	"dmlscale/internal/bp"
-	"dmlscale/internal/graph"
 	"dmlscale/internal/mrf"
 	"dmlscale/internal/partition"
+	"dmlscale/internal/registry"
 	"dmlscale/internal/textio"
 )
 
-func buildGraph(kind string, vertices int, seed int64) (*graph.Graph, error) {
-	switch kind {
-	case "grid":
-		side := 1
-		for side*side < vertices {
-			side++
-		}
-		return graph.Grid2D(side, side)
-	case "cycle":
-		return graph.Cycle(vertices)
-	case "tree":
-		return graph.CompleteBinaryTree(vertices)
-	case "dns":
-		spec := graph.ScaledDNSGraph(vertices)
-		degrees, err := spec.Degrees(seed)
-		if err != nil {
-			return nil, err
-		}
-		return graph.ChungLu(degrees, seed+1)
-	}
-	return nil, fmt.Errorf("unknown graph %q (grid, cycle, tree, dns)", kind)
-}
-
 func main() {
 	var (
-		kind     = flag.String("graph", "grid", "graph family: grid, cycle, tree, dns")
+		kind     = flag.String("graph", "grid", "graph family: "+strings.Join(registry.GraphFamilies(), ", "))
 		vertices = flag.Int("vertices", 1024, "approximate vertex count")
 		states   = flag.Int("states", 2, "states per variable")
 		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
@@ -64,7 +41,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	g, err := buildGraph(*kind, *vertices, *seed)
+	g, err := registry.BuildGraph(registry.GraphSpec{Family: *kind, Vertices: *vertices, Seed: *seed})
 	if err != nil {
 		fail(err)
 	}

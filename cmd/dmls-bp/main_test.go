@@ -2,9 +2,13 @@ package main
 
 import (
 	"testing"
+
+	"dmlscale/internal/registry"
 )
 
-func TestBuildGraph(t *testing.T) {
+// TestGraphFamiliesForCLI: the families the -graph flag accepts come from
+// the one registry and all materialize.
+func TestGraphFamiliesForCLI(t *testing.T) {
 	cases := []struct {
 		kind     string
 		vertices int
@@ -16,7 +20,7 @@ func TestBuildGraph(t *testing.T) {
 		{"dns", 500, 500},
 	}
 	for _, tt := range cases {
-		g, err := buildGraph(tt.kind, tt.vertices, 3)
+		g, err := registry.BuildGraph(registry.GraphSpec{Family: tt.kind, Vertices: tt.vertices, Seed: 3})
 		if err != nil {
 			t.Errorf("%s: %v", tt.kind, err)
 			continue
@@ -25,14 +29,14 @@ func TestBuildGraph(t *testing.T) {
 			t.Errorf("%s: %d vertices, want ≥ %d", tt.kind, g.NumVertices(), tt.minV)
 		}
 	}
-	if _, err := buildGraph("torus", 10, 1); err == nil {
+	if _, err := registry.BuildGraph(registry.GraphSpec{Family: "torus", Vertices: 10, Seed: 1}); err == nil {
 		t.Error("unknown graph kind accepted")
 	}
 }
 
-func TestBuildGraphGridRoundsUp(t *testing.T) {
+func TestGridRoundsUp(t *testing.T) {
 	// 'grid' rounds up to the next square.
-	g, err := buildGraph("grid", 10, 1)
+	g, err := registry.BuildGraph(registry.GraphSpec{Family: "grid", Vertices: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

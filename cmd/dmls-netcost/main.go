@@ -4,39 +4,36 @@
 //
 // Usage:
 //
-//	dmls-netcost [-network fc-mnist|inception-v3|lenet-5|alexnet|vgg-16] [-layers]
+//	dmls-netcost [-network name] [-layers]
+//
+// Architectures come from the registry catalog (fc-mnist, inception-v3,
+// lenet-5, alexnet, vgg-16); the same names work in scenario files via the
+// workload "architecture" field.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"dmlscale/internal/nncost"
+	"dmlscale/internal/registry"
 	"dmlscale/internal/textio"
 )
 
-var networks = map[string]func() nncost.Network{
-	"fc-mnist":     nncost.MNISTFullyConnected,
-	"inception-v3": nncost.InceptionV3,
-	"lenet-5":      nncost.LeNet5,
-	"alexnet":      nncost.AlexNet,
-	"vgg-16":       nncost.VGG16,
-}
-
 func main() {
 	var (
-		network = flag.String("network", "fc-mnist", "architecture: fc-mnist, inception-v3, lenet-5, alexnet, vgg-16")
+		network = flag.String("network", "fc-mnist", "architecture: "+strings.Join(registry.Architectures(), ", "))
 		layers  = flag.Bool("layers", false, "print the per-layer breakdown")
 	)
 	flag.Parse()
 
-	build, ok := networks[*network]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "dmls-netcost: unknown network %q\n", *network)
+	net, err := registry.Architecture(*network)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmls-netcost: %v\n", err)
 		os.Exit(1)
 	}
-	summary, err := build().Summarize()
+	summary, err := net.Summarize()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dmls-netcost: %v\n", err)
 		os.Exit(1)

@@ -3,6 +3,11 @@
 // speedup curve, the communication/computation crossover and the optimal
 // worker count.
 //
+// Flags assemble a scenario and hand it to the registry-driven engine — the
+// same path JSON scenario files and the experiment harness use. A -config
+// file replaces the flags entirely; for whole suites and parameter sweeps
+// see dmls-sweep.
+//
 // Example (the paper's Fig. 2 workload):
 //
 //	dmls-speedup -flops-per-example 72e6 -batch 60000 -params 12e6 \
@@ -14,51 +19,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dmlscale/internal/asciiplot"
-	"dmlscale/internal/comm"
 	"dmlscale/internal/core"
-	"dmlscale/internal/gd"
-	"dmlscale/internal/hardware"
+	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
 	"dmlscale/internal/textio"
-	"dmlscale/internal/units"
 )
-
-func protocolFor(name string, b units.BitsPerSecond) (comm.Model, error) {
-	switch name {
-	case "linear":
-		return comm.Linear{Bandwidth: b}, nil
-	case "tree":
-		return comm.Tree{Bandwidth: b}, nil
-	case "two-stage-tree":
-		return comm.TwoStageTree{Bandwidth: b}, nil
-	case "spark":
-		return comm.SparkGradient(b), nil
-	case "ring":
-		return comm.RingAllReduce{Bandwidth: b}, nil
-	case "shuffle":
-		return comm.Shuffle{Bandwidth: b}, nil
-	case "none", "shared-memory":
-		return comm.SharedMemory{}, nil
-	}
-	return nil, fmt.Errorf("unknown protocol %q (linear, tree, two-stage-tree, spark, ring, shuffle, none)", name)
-}
 
 func main() {
 	var (
 		configPath      = flag.String("config", "", "JSON scenario file (overrides the other flags)")
 		emitConfig      = flag.Bool("emit-config", false, "print the paper's Fig. 2 setup as a scenario file and exit")
+		family          = flag.String("family", "gd-strong", "workload family: "+strings.Join(registry.Families(), ", "))
 		flopsPerExample = flag.Float64("flops-per-example", 6*12e6, "C: training flops per example")
 		batch           = flag.Float64("batch", 60000, "S: batch size")
 		params          = flag.Float64("params", 12e6, "W: model parameter count")
 		precision       = flag.Float64("precision", 64, "bits per shipped parameter")
+		architecture    = flag.String("architecture", "", "derive C and W from a cataloged network: "+strings.Join(registry.Architectures(), ", "))
+		hwPreset        = flag.String("hardware", "", "hardware preset ("+strings.Join(registry.NodePresets(), ", ")+"); overrides -peak-flops")
 		peakFlops       = flag.Float64("peak-flops", 105.6e9, "node peak flops")
 		efficiency      = flag.Float64("efficiency", 0.8, "achievable fraction of peak")
 		bandwidth       = flag.Float64("bandwidth", 1e9, "network bandwidth, bit/s")
-		protocol        = flag.String("protocol", "spark", "communication protocol")
+		protocol        = flag.String("protocol", "spark", "communication protocol: "+strings.Join(registry.LeafProtocolKinds(), ", ")+" (composed protocols need -config)")
 		maxN            = flag.Int("max", 16, "largest worker count to evaluate")
-		weak            = flag.Bool("weak", false, "weak scaling: fixed per-worker batch, per-instance time")
+		weak            = flag.Bool("weak", false, "weak scaling: shorthand for -family gd-weak")
 	)
 	flag.Parse()
 
@@ -74,13 +60,10 @@ func main() {
 		return
 	}
 
-	var model core.Model
+	var sc scenario.Scenario
 	if *configPath != "" {
-		sc, err := scenario.Load(*configPath)
-		if err != nil {
-			fail(err)
-		}
-		model, err = sc.Model()
+		var err error
+		sc, err = scenario.Load(*configPath)
 		if err != nil {
 			fail(err)
 		}
@@ -89,29 +72,44 @@ func main() {
 		}
 		fmt.Printf("scenario: %s\n\n", sc.Name)
 	} else {
-		p, err := protocolFor(*protocol, units.BitsPerSecond(*bandwidth))
-		if err != nil {
-			fail(err)
-		}
-		node := hardware.Node{
-			Name:       "custom node",
-			PeakFlops:  units.Flops(*peakFlops),
-			Efficiency: *efficiency,
-		}
-		w := gd.Workload{
-			Name:            "workload",
-			FlopsPerExample: *flopsPerExample,
-			BatchSize:       *batch,
-			ModelBits:       units.Bits(*precision * *params),
-		}
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 		if *weak {
-			model, err = gd.WeakScalingModel(w, node, p)
-		} else {
-			model, err = gd.Model(w, node, p)
+			if explicit["family"] && *family != "gd-weak" && *family != "weak" {
+				fail(fmt.Errorf("-weak conflicts with -family %s", *family))
+			}
+			*family = "gd-weak"
 		}
-		if err != nil {
-			fail(err)
+		sc = scenario.Scenario{
+			Name: "workload",
+			Workload: scenario.WorkloadSpec{
+				Family:          *family,
+				Architecture:    *architecture,
+				FlopsPerExample: *flopsPerExample,
+				BatchSize:       *batch,
+				Parameters:      *params,
+				PrecisionBits:   *precision,
+			},
+			Hardware:   scenario.HardwareSpec{Preset: *hwPreset, PeakFlops: *peakFlops, Efficiency: *efficiency, Name: "custom node"},
+			Protocol:   scenario.ProtocolSpec{Kind: *protocol, BandwidthBitsPerSec: *bandwidth},
+			MaxWorkers: *maxN,
 		}
+		if *architecture != "" {
+			// Let the catalog fill the counted figures — but only where
+			// the user didn't pass an explicit value; the flag defaults
+			// are placeholders, explicit flags win over the catalog.
+			if !explicit["flops-per-example"] {
+				sc.Workload.FlopsPerExample = 0
+			}
+			if !explicit["params"] {
+				sc.Workload.Parameters = 0
+			}
+		}
+	}
+
+	model, err := sc.Model()
+	if err != nil {
+		fail(err)
 	}
 
 	workers := core.Range(1, *maxN)

@@ -1,0 +1,159 @@
+// Command dmls-sweep evaluates a whole suite of scenarios — an explicit
+// list, a parameter sweep (bandwidth × protocol × precision × worker range)
+// over a base scenario, or both — concurrently, and renders the comparison:
+// one row per scenario with its peak speedup and optimum, plus an overlaid
+// speedup plot.
+//
+// Usage:
+//
+//	dmls-sweep -suite examples/suites/fig2-bandwidth-sweep.json
+//	dmls-sweep -emit-example > suite.json
+//	dmls-sweep -suite suite.json -parallel 4 -curves
+//
+// A failing scenario (unknown preset, bad figures) reports its error in the
+// table; the rest of the suite still evaluates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmlscale/internal/asciiplot"
+	"dmlscale/internal/scenario"
+	"dmlscale/internal/textio"
+)
+
+// maxPlotCurves bounds how many curves the overlay plot draws before it
+// stops being readable.
+const maxPlotCurves = 8
+
+func main() {
+	var (
+		suitePath   = flag.String("suite", "", "JSON suite (or single-scenario) file")
+		parallelism = flag.Int("parallel", 0, "concurrent curve evaluations; 0 means GOMAXPROCS")
+		curves      = flag.Bool("curves", false, "print every scenario's full speedup curve")
+		noPlot      = flag.Bool("no-plot", false, "skip the overlaid speedup plot")
+		emitExample = flag.Bool("emit-example", false, "print an example sweep suite and exit")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "dmls-sweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *emitExample {
+		if err := exampleSuite().Encode(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *suitePath == "" {
+		fail(fmt.Errorf("missing -suite (or -emit-example)"))
+	}
+	suite, err := scenario.LoadSuite(*suitePath)
+	if err != nil {
+		fail(err)
+	}
+	results, err := scenario.EvaluateSuite(suite, *parallelism)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("suite: %s (%d scenarios)\n\n", suite.Name, len(results))
+	fmt.Println(summaryTable(results).String())
+
+	if !*noPlot {
+		if plot, ok := overlayPlot(results); ok {
+			fmt.Println(plot)
+		}
+	}
+	if *curves {
+		for _, res := range results {
+			if res.Err != nil {
+				continue
+			}
+			fmt.Printf("\n%s\n", res.Scenario.Name)
+			table := textio.NewTable("workers", "t (s)", "speedup")
+			for _, p := range res.Curve.Points {
+				table.AddRow(p.N, float64(p.Time), p.Speedup)
+			}
+			fmt.Println(table.String())
+		}
+	}
+
+	failed := 0
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+		}
+	}
+	if failed == len(results) {
+		fail(fmt.Errorf("all %d scenarios failed", failed))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "dmls-sweep: %d of %d scenarios failed (see table)\n", failed, len(results))
+	}
+}
+
+// summaryTable renders one row per scenario: optimum, peak, tail speedup,
+// or the error that stopped it.
+func summaryTable(results []scenario.Result) *textio.Table {
+	table := textio.NewTable("scenario", "optimal workers", "peak speedup", "s(max)", "status")
+	for _, res := range results {
+		if res.Err != nil {
+			table.AddRow(res.Scenario.Name, "-", "-", "-", res.Err.Error())
+			continue
+		}
+		tail := res.Curve.Points[len(res.Curve.Points)-1]
+		table.AddRow(res.Scenario.Name, res.OptimalN,
+			fmt.Sprintf("%.2f", res.PeakSpeedup),
+			fmt.Sprintf("%.2f at %d", tail.Speedup, tail.N),
+			"ok")
+	}
+	return table
+}
+
+// overlayPlot draws the successful curves on one canvas, up to
+// maxPlotCurves of them.
+func overlayPlot(results []scenario.Result) (string, bool) {
+	var (
+		names    []string
+		workers  [][]int
+		speedups [][]float64
+	)
+	for _, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		names = append(names, res.Scenario.Name)
+		workers = append(workers, res.Curve.Workers())
+		speedups = append(speedups, res.Curve.Speedups())
+		if len(names) == maxPlotCurves {
+			break
+		}
+	}
+	if len(names) == 0 {
+		return "", false
+	}
+	plot, err := asciiplot.CurvePlot("speedup", names, workers, speedups, 72, 18)
+	if err != nil {
+		return "", false
+	}
+	return plot, true
+}
+
+// exampleSuite is the -emit-example payload: the Fig. 2 workload swept over
+// bandwidth and protocol.
+func exampleSuite() scenario.Suite {
+	return scenario.Suite{
+		Name: "Fig. 2 workload: bandwidth × protocol sweep",
+		Sweep: &scenario.Sweep{
+			Base:                 scenario.Fig2(),
+			BandwidthsBitsPerSec: []float64{1e9, 10e9},
+			Protocols:            []string{"spark", "two-stage-tree", "ring", "linear"},
+		},
+		MaxWorkers: 32,
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dmlscale/internal/scenario"
+)
+
+func TestExampleSuiteEvaluates(t *testing.T) {
+	suite := exampleSuite()
+	scenarios, err := suite.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 8 {
+		t.Fatalf("example suite expands to %d scenarios, want 8", len(scenarios))
+	}
+	results, err := scenario.EvaluateSuite(suite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			t.Errorf("%s: %v", res.Scenario.Name, res.Err)
+		}
+	}
+	table := summaryTable(results)
+	if !strings.Contains(table.String(), "ok") {
+		t.Error("summary table missing ok rows")
+	}
+	if _, ok := overlayPlot(results); !ok {
+		t.Error("overlay plot failed for healthy results")
+	}
+}
+
+func TestSummaryTableReportsErrors(t *testing.T) {
+	bad := scenario.Fig2()
+	bad.Name = "bad"
+	bad.Hardware = scenario.HardwareSpec{Preset: "abacus"}
+	results, err := scenario.EvaluateSuite(scenario.Suite{
+		Name:      "mixed",
+		Scenarios: []scenario.Scenario{scenario.Fig2(), bad},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := summaryTable(results).String()
+	if !strings.Contains(rendered, "abacus") {
+		t.Errorf("error row missing from table:\n%s", rendered)
+	}
+	if _, ok := overlayPlot(results); !ok {
+		t.Error("overlay plot should still draw the healthy curve")
+	}
+	if _, ok := overlayPlot(results[1:]); ok {
+		t.Error("overlay plot drew with zero healthy curves")
+	}
+}

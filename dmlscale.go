@@ -19,8 +19,25 @@
 //	model, err := dmlscale.GradientDescent(w, dmlscale.XeonE31240(), dmlscale.SparkComm())
 //	n, s, err := model.OptimalWorkers(16)
 //
+// Every named construction — communication protocols (including composed
+// ones), hardware presets, graph families, network architectures and
+// workload families (strong/weak gradient descent, graph inference, MRF
+// belief propagation, asynchronous gradient descent) — resolves through a
+// single registry, so the same names work identically in Go code, in the
+// CLIs and in JSON scenario files. ProtocolKinds, HardwarePresets,
+// WorkloadFamilies and Architectures list the catalogs.
+//
+// Beyond single models, a JSON Suite declares many scenarios at once — an
+// explicit list and/or a parameter sweep over bandwidth × protocol ×
+// precision × worker range — and EvaluateSuite computes every speedup curve
+// concurrently on a bounded worker pool with per-curve error isolation:
+//
+//	suite, err := dmlscale.LoadSuite("sweep.json")
+//	results, err := dmlscale.EvaluateSuite(suite, 0) // 0 = GOMAXPROCS
+//
 // The subpackages under internal implement the full system: analytic models
-// (core, comm), substrates (nn, nncost, gd, graph, partition, mrf, bp),
+// (core, comm), the catalog (registry), the scenario/suite schema
+// (scenario), substrates (nn, nncost, gd, graph, partition, mrf, bp),
 // discrete-event experiment simulators (cluster, sparksim, gpusim, shmsim)
 // and the per-figure reproduction harness (experiments).
 package dmlscale
@@ -31,7 +48,8 @@ import (
 	"dmlscale/internal/experiments"
 	"dmlscale/internal/gd"
 	"dmlscale/internal/hardware"
-	"dmlscale/internal/partition"
+	"dmlscale/internal/registry"
+	"dmlscale/internal/scenario"
 	"dmlscale/internal/units"
 )
 
@@ -63,6 +81,18 @@ type (
 	Bits = units.Bits
 )
 
+// Scenario and suite types: the JSON schema deployment tools emit.
+type (
+	// Scenario is the on-disk description of one modeling run.
+	Scenario = scenario.Scenario
+	// Suite declares many scenarios: a list, a sweep, or both.
+	Suite = scenario.Suite
+	// Sweep is a parameter grid over a base scenario.
+	Sweep = scenario.Sweep
+	// SuiteResult is one evaluated suite entry (curve or isolated error).
+	SuiteResult = scenario.Result
+)
+
 // GradientDescent builds the paper's strong-scaling gradient-descent model
 // t(n) = C·S/(F·n) + t_cm(W bits, n) on the given hardware and protocol.
 func GradientDescent(w Workload, node Node, protocol CommModel) (Model, error) {
@@ -79,32 +109,12 @@ func GradientDescentWeak(w Workload, node Node, protocol CommModel) (Model, erro
 // (§IV-B): computation proportional to the Monte-Carlo estimate of the
 // maximum per-worker edge count for the given degree sequence, with zero
 // communication (shared memory). opsPerEdge is c(S), e.g. bp.OpsPerEdge.
-func GraphInference(name string, degrees []int32, opsPerEdge float64, f Flops, trials int, seed int64) Model {
-	cache := map[int]float64{}
-	maxEdges := func(n int) float64 {
-		if v, ok := cache[n]; ok {
-			return v
-		}
-		est, err := partition.MonteCarloMaxEdges(degrees, n, trials, seed+int64(n))
-		if err != nil {
-			// Degenerate inputs surface as +Inf time rather than a
-			// panic; Validate on the inputs beforehand for errors.
-			cache[n] = -1
-			return -1
-		}
-		cache[n] = est.MaxEdges
-		return est.MaxEdges
-	}
-	return Model{
-		Name: name,
-		Computation: func(n int) Seconds {
-			e := maxEdges(n)
-			if e < 0 {
-				return Seconds(0)
-			}
-			return units.ComputeTime(e*opsPerEdge, f)
-		},
-	}
+// Degenerate inputs (empty degrees, non-positive ops, flops or trials)
+// return an error instead of silently producing infinite speedups, and the
+// per-worker-count memo is goroutine-safe, so the model can be evaluated
+// from concurrent suite workers.
+func GraphInference(name string, degrees []int32, opsPerEdge float64, f Flops, trials int, seed int64) (Model, error) {
+	return registry.GraphInferenceModel(name, degrees, opsPerEdge, f, trials, seed)
 }
 
 // Hardware catalog (the paper's testbeds).
@@ -148,6 +158,45 @@ func PipelinedTreeComm(b BitsPerSecond, chunks int) CommModel {
 
 // SharedMemoryComm models free in-machine communication.
 func SharedMemoryComm() CommModel { return comm.SharedMemory{} }
+
+// Protocol builds a cataloged or composed protocol by name — the registry
+// path scenario files use. kind is one of ProtocolKinds.
+func Protocol(kind string, b BitsPerSecond) (CommModel, error) {
+	return registry.Protocol(registry.ProtocolSpec{Kind: kind, BandwidthBitsPerSec: float64(b)})
+}
+
+// Registry catalogs: the names scenario files, CLIs and Protocol accept.
+
+// ProtocolKinds lists the registered protocol kinds.
+func ProtocolKinds() []string { return registry.ProtocolKinds() }
+
+// HardwarePresets lists the cataloged hardware node names.
+func HardwarePresets() []string { return registry.NodePresets() }
+
+// WorkloadFamilies lists the canonical workload-family names.
+func WorkloadFamilies() []string { return registry.Families() }
+
+// Architectures lists the cataloged network architectures.
+func Architectures() []string { return registry.Architectures() }
+
+// GraphFamilies lists the synthetic graph families.
+func GraphFamilies() []string { return registry.GraphFamilies() }
+
+// Scenarios and suites.
+
+// LoadScenario reads a single-scenario JSON file.
+func LoadScenario(path string) (Scenario, error) { return scenario.Load(path) }
+
+// LoadSuite reads a suite (or single-scenario) JSON file.
+func LoadSuite(path string) (Suite, error) { return scenario.LoadSuite(path) }
+
+// EvaluateSuite expands a suite and computes every speedup curve
+// concurrently on a bounded pool (parallelism ≤ 0 picks GOMAXPROCS). A
+// failing scenario yields a SuiteResult with Err set; the rest of the suite
+// still evaluates.
+func EvaluateSuite(s Suite, parallelism int) ([]SuiteResult, error) {
+	return scenario.EvaluateSuite(s, parallelism)
+}
 
 // Workers is a convenience for the worker counts lo..hi.
 func Workers(lo, hi int) []int { return core.Range(lo, hi) }

@@ -7,6 +7,7 @@ import (
 	"dmlscale"
 	"dmlscale/internal/bp"
 	"dmlscale/internal/graph"
+	"dmlscale/internal/scenario"
 )
 
 func fig2Workload() dmlscale.Workload {
@@ -58,8 +59,11 @@ func TestGraphInferenceFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model := dmlscale.GraphInference("bp", degrees, bp.OpsPerEdge(2),
+	model, err := dmlscale.GraphInference("bp", degrees, bp.OpsPerEdge(2),
 		dmlscale.Flops(0.6e9), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s := model.Speedup(1); math.Abs(s-1) > 1e-9 {
 		t.Errorf("s(1) = %v", s)
 	}
@@ -128,6 +132,89 @@ func TestExperimentRegistryFacade(t *testing.T) {
 	}
 	if _, err := dmlscale.RunExperiment("bogus"); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestGraphInferenceRejectsDegenerateInputs(t *testing.T) {
+	if _, err := dmlscale.GraphInference("bad", nil, 14, 1e9, 2, 0); err == nil {
+		t.Error("empty degree sequence accepted")
+	}
+	if _, err := dmlscale.GraphInference("bad", []int32{1, 2}, 0, 1e9, 2, 0); err == nil {
+		t.Error("zero ops per edge accepted")
+	}
+	if _, err := dmlscale.GraphInference("bad", []int32{1, 2}, 14, 1e9, 0, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestRegistryCatalogFacades(t *testing.T) {
+	if len(dmlscale.ProtocolKinds()) < 10 {
+		t.Errorf("protocol kinds = %v", dmlscale.ProtocolKinds())
+	}
+	if len(dmlscale.HardwarePresets()) < 3 {
+		t.Errorf("hardware presets = %v", dmlscale.HardwarePresets())
+	}
+	if len(dmlscale.WorkloadFamilies()) != 5 {
+		t.Errorf("workload families = %v", dmlscale.WorkloadFamilies())
+	}
+	if len(dmlscale.Architectures()) < 5 {
+		t.Errorf("architectures = %v", dmlscale.Architectures())
+	}
+	if len(dmlscale.GraphFamilies()) < 4 {
+		t.Errorf("graph families = %v", dmlscale.GraphFamilies())
+	}
+	p, err := dmlscale.Protocol("ring", 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time(1e9, 4) != 1.5 {
+		t.Errorf("ring t = %v, want 1.5", p.Time(1e9, 4))
+	}
+	if _, err := dmlscale.Protocol("warp", 1e9); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestSuiteFacade(t *testing.T) {
+	suite := dmlscale.Suite{
+		Name: "facade suite",
+		Sweep: &dmlscale.Sweep{
+			Base:                 scenario.Fig2(),
+			BandwidthsBitsPerSec: []float64{1e9, 10e9},
+			Protocols:            []string{"spark", "ring", "linear", "two-stage-tree"},
+		},
+	}
+	results, err := dmlscale.EvaluateSuite(suite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("suite produced %d results, want 8", len(results))
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			t.Errorf("%s: %v", res.Scenario.Name, res.Err)
+			continue
+		}
+		if res.OptimalN < 1 || res.PeakSpeedup < 1 {
+			t.Errorf("%s: optimum %d (%.2f×)", res.Scenario.Name, res.OptimalN, res.PeakSpeedup)
+		}
+	}
+	// Faster links push the optimum out (or at least never pull it in):
+	// compare the 1 and 10 Gbit/s spark variants.
+	var slow, fast dmlscale.SuiteResult
+	for _, res := range results {
+		if res.Scenario.Protocol.Kind != "spark" {
+			continue
+		}
+		if res.Scenario.Protocol.BandwidthBitsPerSec == 1e9 {
+			slow = res
+		} else {
+			fast = res
+		}
+	}
+	if fast.PeakSpeedup < slow.PeakSpeedup {
+		t.Errorf("10 Gbit/s peak %.2f below 1 Gbit/s peak %.2f", fast.PeakSpeedup, slow.PeakSpeedup)
 	}
 }
 

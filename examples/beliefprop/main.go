@@ -76,8 +76,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	model := dmlscale.GraphInference("BP on DNS graph", bigger,
+	model, err := dmlscale.GraphInference("BP on DNS graph", bigger,
 		bp.OpsPerEdge(2), dmlscale.Flops(0.6e9), 3, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("paper model, 400K-vertex graph (s(n) = E / maxEi(n)):")
 	fmt.Println("workers  speedup")
 	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 80} {

@@ -1,0 +1,3 @@
+module dmlscale
+
+go 1.24

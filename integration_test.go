@@ -133,8 +133,11 @@ func TestBPSpeedupModelAgainstRealPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model := dmlscale.GraphInference("bp", degrees, bp.OpsPerEdge(2),
+	model, err := dmlscale.GraphInference("bp", degrees, bp.OpsPerEdge(2),
 		dmlscale.Flops(1e9), 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s16 := model.Speedup(16)
 	if s16 >= 16 {
 		t.Errorf("model s(16) = %v; skew should keep it below linear", s16)

@@ -267,6 +267,30 @@ func (w withLatency) Time(payload units.Bits, n int) units.Seconds {
 // Name implements Model.
 func (w withLatency) Name() string { return w.inner.Name() + "+latency" }
 
+// perIter multiplies a per-iteration model by an iteration count.
+type perIter struct {
+	iterations float64
+	inner      Model
+}
+
+// PerIter lifts a per-superstep model to a whole-run model by multiplying by
+// an iteration count: t_run = k · t_iter. It is Scale with intent — the
+// paper's models are per-iteration, and planning questions ("how long will
+// 100 epochs take?") need the product.
+func PerIter(iterations float64, inner Model) Model {
+	return perIter{iterations: iterations, inner: inner}
+}
+
+// Time implements Model.
+func (p perIter) Time(payload units.Bits, n int) units.Seconds {
+	return units.Seconds(p.iterations) * p.inner.Time(payload, n)
+}
+
+// Name implements Model.
+func (p perIter) Name() string {
+	return fmt.Sprintf("%g iters of %s", p.iterations, p.inner.Name())
+}
+
 // PipelinedTree models a chunked, pipelined tree broadcast: the payload is
 // split into Chunks pieces streamed down a depth-ceil(log2 n) tree, so
 //

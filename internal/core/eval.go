@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one curve to evaluate: a model builder plus the worker counts to
+// sample. Build runs inside the evaluation pool, so expensive construction
+// (graph generation, Monte-Carlo estimation) parallelizes along with curve
+// sampling.
+type Job struct {
+	// Name labels the job in results; it also labels errors.
+	Name string
+	// Build constructs the model. It runs once, in the pool.
+	Build func() (Model, error)
+	// Workers are the counts to sample.
+	Workers []int
+	// Base is the speedup reference count; 0 means 1.
+	Base int
+}
+
+// JobResult is one evaluated curve, or the error that stopped it. Results
+// keep the order of the jobs they came from.
+type JobResult struct {
+	// Name echoes the job name.
+	Name string
+	// Curve holds the sampled points when Err is nil.
+	Curve Curve
+	// Err records why this job failed; other jobs are unaffected.
+	Err error
+}
+
+// EvaluateAll evaluates every job concurrently on a bounded worker pool and
+// returns one result per job, in job order. parallelism ≤ 0 picks
+// GOMAXPROCS. A failing or panicking job yields an error result without
+// aborting the rest — per-curve error isolation, so one bad scenario in a
+// suite cannot take down the sweep.
+func EvaluateAll(jobs []Job, parallelism int) []JobResult {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(jobs) {
+		parallelism = len(jobs)
+	}
+	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for p := 0; p < parallelism; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = evaluateOne(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// evaluateOne runs a single job, converting panics into errors so a broken
+// model cannot kill the pool.
+func evaluateOne(job Job) (res JobResult) {
+	res.Name = job.Name
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("core: job %q panicked: %v", job.Name, r)
+		}
+	}()
+	if job.Build == nil {
+		res.Err = fmt.Errorf("core: job %q has no builder", job.Name)
+		return res
+	}
+	model, err := job.Build()
+	if err != nil {
+		res.Err = fmt.Errorf("core: job %q: %w", job.Name, err)
+		return res
+	}
+	base := job.Base
+	if base <= 0 {
+		base = 1
+	}
+	curve, err := model.SpeedupCurveRelative(base, job.Workers)
+	if err != nil {
+		res.Err = fmt.Errorf("core: job %q: %w", job.Name, err)
+		return res
+	}
+	res.Curve = curve
+	return res
+}

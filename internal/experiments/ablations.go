@@ -10,8 +10,8 @@ import (
 	"dmlscale/internal/convergence"
 	"dmlscale/internal/gd"
 	"dmlscale/internal/graph"
-	"dmlscale/internal/hardware"
 	"dmlscale/internal/partition"
+	"dmlscale/internal/registry"
 	"dmlscale/internal/textio"
 	"dmlscale/internal/units"
 )
@@ -30,13 +30,19 @@ func init() {
 func AblationCommTopology(opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	w := Fig2Workload()
-	node := hardware.XeonE31240()
-	protocols := []comm.Model{
-		comm.Linear{Bandwidth: units.Gbps},
-		comm.TwoStageTree{Bandwidth: units.Gbps},
-		comm.SparkGradient(units.Gbps),
-		comm.RingAllReduce{Bandwidth: units.Gbps},
-		comm.Shuffle{Bandwidth: units.Gbps},
+	node, err := registry.PresetNode("xeon-e3-1240")
+	if err != nil {
+		return Result{}, err
+	}
+	// The compared protocols, resolved by name through the one registry.
+	kinds := []string{"linear", "two-stage-tree", "spark", "ring", "shuffle"}
+	protocols := make([]comm.Model, len(kinds))
+	for i, kind := range kinds {
+		p, err := registry.Protocol(registry.ProtocolSpec{Kind: kind, BandwidthBitsPerSec: float64(units.Gbps)})
+		if err != nil {
+			return Result{}, err
+		}
+		protocols[i] = p
 	}
 	const maxN = 64
 	table := textio.NewTable("protocol", "optimal workers", "peak speedup", "s(16)", "s(64)")
@@ -110,7 +116,10 @@ func AblationCommTopology(opts Options) (Result, error) {
 func AblationAsyncGD(opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	w := Fig2Workload()
-	node := hardware.XeonE31240()
+	node, err := registry.PresetNode("xeon-e3-1240")
+	if err != nil {
+		return Result{}, err
+	}
 	computeTime := units.ComputeTime(w.FlopsPerExample*w.BatchSize, node.EffectiveFlops())
 	commTime := units.TransferTime(w.ModelBits, units.Gbps)
 	model := asyncgd.Model{

@@ -120,21 +120,21 @@ func (o Options) withDefaults() Options {
 // Runner produces one experiment result.
 type Runner func(Options) (Result, error)
 
-// registry maps experiment IDs to runners. Populated by init functions in
+// runners maps experiment IDs to runners. Populated by init functions in
 // the per-experiment files.
-var registry = map[string]Runner{}
+var runners = map[string]Runner{}
 
 func register(id string, r Runner) {
-	if _, dup := registry[id]; dup {
+	if _, dup := runners[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
-	registry[id] = r
+	runners[id] = r
 }
 
 // IDs returns the registered experiment IDs in stable order.
 func IDs() []string {
-	ids := make([]string, 0, len(registry))
-	for id := range registry {
+	ids := make([]string, 0, len(runners))
+	for id := range runners {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
@@ -143,7 +143,7 @@ func IDs() []string {
 
 // Run executes one experiment by ID.
 func Run(id string, opts Options) (Result, error) {
-	r, ok := registry[id]
+	r, ok := runners[id]
 	if !ok {
 		return Result{}, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}

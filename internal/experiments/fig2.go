@@ -4,11 +4,10 @@ import (
 	"fmt"
 
 	"dmlscale/internal/asciiplot"
-	"dmlscale/internal/comm"
 	"dmlscale/internal/core"
 	"dmlscale/internal/gd"
-	"dmlscale/internal/hardware"
 	"dmlscale/internal/metrics"
+	"dmlscale/internal/scenario"
 	"dmlscale/internal/sparksim"
 	"dmlscale/internal/textio"
 	"dmlscale/internal/units"
@@ -32,9 +31,10 @@ func Fig2Workload() gd.Workload {
 // Fig2Model is the paper's analytic model for Fig. 2: computation
 // 6·W·S/(F·n) on derated Xeon E3-1240 workers, communication
 // (64·W/B)·log2(n) + 2·(64·W/B)·ceil(sqrt(n)) — torrent broadcast plus
-// Spark's two-wave aggregation over 1 Gbit/s Ethernet.
+// Spark's two-wave aggregation over 1 Gbit/s Ethernet. It is built from the
+// canonical Fig. 2 scenario, the same registry path user scenario files take.
 func Fig2Model() (core.Model, error) {
-	return gd.Model(Fig2Workload(), hardware.XeonE31240(), comm.SparkGradient(units.Gbps))
+	return scenario.Fig2().Model()
 }
 
 // Figure2 reproduces the paper's Fig. 2: speedup of one training iteration

@@ -4,12 +4,11 @@ import (
 	"fmt"
 
 	"dmlscale/internal/asciiplot"
-	"dmlscale/internal/comm"
 	"dmlscale/internal/core"
 	"dmlscale/internal/gd"
 	"dmlscale/internal/gpusim"
-	"dmlscale/internal/hardware"
 	"dmlscale/internal/metrics"
+	"dmlscale/internal/scenario"
 	"dmlscale/internal/textio"
 	"dmlscale/internal/units"
 )
@@ -29,10 +28,10 @@ func Fig3Workload() gd.Workload {
 }
 
 // Fig3Model is the paper's weak-scaling model:
-// t(n) = ((C·S)/F + 2·(32·W/B)·log n)/n on derated K40 workers.
+// t(n) = ((C·S)/F + 2·(32·W/B)·log n)/n on derated K40 workers, built from
+// the canonical Fig. 3 scenario through the registry.
 func Fig3Model() (core.Model, error) {
-	return gd.WeakScalingModel(Fig3Workload(), hardware.NvidiaK40(),
-		comm.TwoStageTree{Bandwidth: units.Gbps})
+	return scenario.Fig3().Model()
 }
 
 // fig3Workers are the cluster sizes Chen et al. report around the paper's
@@ -78,9 +77,10 @@ func Figure3(opts Options) (Result, error) {
 
 	// The weak-scaling contrast the paper discusses: under a linear
 	// communication model the per-instance speedup flattens instead of
-	// growing without bound.
-	linModel, err := gd.WeakScalingModel(Fig3Workload(), hardware.NvidiaK40(),
-		comm.Linear{Bandwidth: units.Gbps})
+	// growing without bound. Same scenario, protocol swapped by name.
+	linScenario := scenario.Fig3()
+	linScenario.Protocol.Kind = "linear"
+	linModel, err := linScenario.Model()
 	if err != nil {
 		return Result{}, err
 	}

@@ -3,10 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"dmlscale/internal/comm"
 	"dmlscale/internal/gd"
-	"dmlscale/internal/hardware"
 	"dmlscale/internal/mlalgs"
+	"dmlscale/internal/registry"
 	"dmlscale/internal/textio"
 	"dmlscale/internal/units"
 )
@@ -24,8 +23,14 @@ func StudySparkML(opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	node := hardware.XeonE31240()
-	protocol := comm.SparkGradient(units.Gbps)
+	node, err := registry.PresetNode("xeon-e3-1240")
+	if err != nil {
+		return Result{}, err
+	}
+	protocol, err := registry.Protocol(registry.ProtocolSpec{Kind: "spark", BandwidthBitsPerSec: float64(units.Gbps)})
+	if err != nil {
+		return Result{}, err
+	}
 	const maxN = 64
 
 	table := textio.NewTable("algorithm", "compute t(1)", "per-transfer t_cm",

@@ -1,0 +1,776 @@
+// Package registry is the single catalog behind every name-keyed construction
+// in the module: communication protocols (including composed ones), hardware
+// node and network presets, graph families, neural-network architectures and
+// workload families. The scenario schema, the command-line tools and the
+// experiment harness all resolve names through this package, so each
+// name→constructor switch exists exactly once.
+//
+// The split follows Verbraeken et al.'s survey axes: topology and bridging
+// model live in the protocol registry, the machine catalog in the hardware
+// registry, and the algorithm family (synchronous gradient descent, weak
+// scaling, graph inference, MRF inference, asynchronous gradient descent) in
+// the workload-family registry. One JSON scenario names one point in that
+// cross product.
+package registry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"dmlscale/internal/asyncgd"
+	"dmlscale/internal/bp"
+	"dmlscale/internal/comm"
+	"dmlscale/internal/core"
+	"dmlscale/internal/gd"
+	"dmlscale/internal/graph"
+	"dmlscale/internal/hardware"
+	"dmlscale/internal/nncost"
+	"dmlscale/internal/partition"
+	"dmlscale/internal/units"
+)
+
+// ---------------------------------------------------------------------------
+// Protocols
+// ---------------------------------------------------------------------------
+
+// ProtocolSpec names and parameterizes a comm.Model in JSON-friendly form.
+// Leaf kinds (linear, tree, two-stage-tree, spark, sqrt-waves, ring,
+// recursive-doubling, shuffle, pipelined-tree, shared-memory/none) read the
+// scalar fields; composite kinds (sum, scale, per-iter, with-latency) wrap
+// the specs in Of.
+type ProtocolSpec struct {
+	// Kind selects the protocol; ProtocolKinds lists the options.
+	Kind string `json:"kind"`
+	// BandwidthBitsPerSec is the link bandwidth; required by every leaf
+	// kind except shared-memory.
+	BandwidthBitsPerSec float64 `json:"bandwidth_bits_per_sec,omitempty"`
+	// Chunks is the pipelined-tree pipeline depth; 0 means 64.
+	Chunks int `json:"chunks,omitempty"`
+	// Waves is the sqrt-waves wave count; 0 means the paper's 2.
+	Waves int `json:"waves,omitempty"`
+	// Factor scales the inner model (kind scale).
+	Factor float64 `json:"factor,omitempty"`
+	// Iterations multiplies the inner per-iteration model (kind per-iter).
+	Iterations float64 `json:"iterations,omitempty"`
+	// LatencySeconds is the per-stage fixed cost (kind with-latency).
+	LatencySeconds float64 `json:"latency_seconds,omitempty"`
+	// Stages is the with-latency stage-count law: "tree" (default) or
+	// "linear".
+	Stages string `json:"stages,omitempty"`
+	// Label names a composed protocol in reports; optional.
+	Label string `json:"label,omitempty"`
+	// Of holds the inner specs of a composite kind.
+	Of []ProtocolSpec `json:"of,omitempty"`
+}
+
+// protocolEntry is one protocol-registry row.
+type protocolEntry struct {
+	// needsBandwidth marks leaf kinds that require a positive bandwidth.
+	needsBandwidth bool
+	// composite marks kinds that wrap inner specs in Of — expressible in
+	// scenario files but not through a single CLI flag.
+	composite bool
+	build     func(ProtocolSpec) (comm.Model, error)
+}
+
+// protocols is THE protocol registry — the only place in the module that
+// maps protocol names to comm.Model constructors. The composite kinds (sum,
+// scale, per-iter, with-latency) recurse through Protocol, so they are
+// registered in init to break the initialization cycle.
+var protocols map[string]protocolEntry
+
+func init() {
+	protocols = map[string]protocolEntry{
+		"linear": {needsBandwidth: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			return comm.Linear{Bandwidth: units.BitsPerSecond(s.BandwidthBitsPerSec)}, nil
+		}},
+		"tree": {needsBandwidth: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			return comm.Tree{Bandwidth: units.BitsPerSecond(s.BandwidthBitsPerSec)}, nil
+		}},
+		"two-stage-tree": {needsBandwidth: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			return comm.TwoStageTree{Bandwidth: units.BitsPerSecond(s.BandwidthBitsPerSec)}, nil
+		}},
+		"spark": {needsBandwidth: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			return comm.SparkGradient(units.BitsPerSecond(s.BandwidthBitsPerSec)), nil
+		}},
+		"sqrt-waves": {needsBandwidth: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			if s.Waves < 0 {
+				return nil, fmt.Errorf("registry: protocol sqrt-waves: negative waves %d", s.Waves)
+			}
+			return comm.SqrtWaves{Bandwidth: units.BitsPerSecond(s.BandwidthBitsPerSec), Waves: s.Waves}, nil
+		}},
+		"ring": {needsBandwidth: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			return comm.RingAllReduce{Bandwidth: units.BitsPerSecond(s.BandwidthBitsPerSec)}, nil
+		}},
+		"recursive-doubling": {needsBandwidth: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			return comm.RecursiveDoubling{Bandwidth: units.BitsPerSecond(s.BandwidthBitsPerSec)}, nil
+		}},
+		"shuffle": {needsBandwidth: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			return comm.Shuffle{Bandwidth: units.BitsPerSecond(s.BandwidthBitsPerSec)}, nil
+		}},
+		"pipelined-tree": {needsBandwidth: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			if s.Chunks < 0 {
+				return nil, fmt.Errorf("registry: protocol pipelined-tree: negative chunks %d", s.Chunks)
+			}
+			return comm.PipelinedTree{Bandwidth: units.BitsPerSecond(s.BandwidthBitsPerSec), Chunks: s.Chunks}, nil
+		}},
+		"shared-memory": {build: func(ProtocolSpec) (comm.Model, error) {
+			return comm.SharedMemory{}, nil
+		}},
+		// none is the CLI-friendly alias for shared-memory.
+		"none": {build: func(ProtocolSpec) (comm.Model, error) {
+			return comm.SharedMemory{}, nil
+		}},
+		"sum": {composite: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			if len(s.Of) == 0 {
+				return nil, fmt.Errorf("registry: protocol sum needs at least one inner protocol in 'of'")
+			}
+			inner := make([]comm.Model, len(s.Of))
+			for i, child := range s.Of {
+				m, err := Protocol(child)
+				if err != nil {
+					return nil, err
+				}
+				inner[i] = m
+			}
+			label := s.Label
+			if label == "" {
+				label = "sum"
+			}
+			return comm.Sum(label, inner...), nil
+		}},
+		"scale": {composite: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			if s.Factor <= 0 {
+				return nil, fmt.Errorf("registry: protocol scale needs a positive factor, got %g", s.Factor)
+			}
+			m, err := onlyInner(s)
+			if err != nil {
+				return nil, err
+			}
+			return comm.Scale(s.Factor, m), nil
+		}},
+		"per-iter": {composite: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			if s.Iterations <= 0 {
+				return nil, fmt.Errorf("registry: protocol per-iter needs positive iterations, got %g", s.Iterations)
+			}
+			m, err := onlyInner(s)
+			if err != nil {
+				return nil, err
+			}
+			return comm.PerIter(s.Iterations, m), nil
+		}},
+		"with-latency": {composite: true, build: func(s ProtocolSpec) (comm.Model, error) {
+			if s.LatencySeconds < 0 {
+				return nil, fmt.Errorf("registry: protocol with-latency needs non-negative latency, got %g", s.LatencySeconds)
+			}
+			var stages func(int) float64
+			switch s.Stages {
+			case "", "tree":
+				stages = comm.TreeStages
+			case "linear":
+				stages = comm.LinearStages
+			default:
+				return nil, fmt.Errorf("registry: protocol with-latency: unknown stages law %q (tree, linear)", s.Stages)
+			}
+			m, err := onlyInner(s)
+			if err != nil {
+				return nil, err
+			}
+			return comm.WithLatency(m, units.Seconds(s.LatencySeconds), stages), nil
+		}},
+	}
+}
+
+// onlyInner resolves the single inner spec of a composite kind.
+func onlyInner(s ProtocolSpec) (comm.Model, error) {
+	if len(s.Of) != 1 {
+		return nil, fmt.Errorf("registry: protocol %s needs exactly one inner protocol in 'of', got %d", s.Kind, len(s.Of))
+	}
+	return Protocol(s.Of[0])
+}
+
+// Protocol builds the comm.Model a spec describes, recursing through
+// composite kinds.
+func Protocol(s ProtocolSpec) (comm.Model, error) {
+	entry, ok := protocols[s.Kind]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown protocol kind %q (known: %s)", s.Kind, joined(ProtocolKinds()))
+	}
+	if entry.needsBandwidth && s.BandwidthBitsPerSec <= 0 {
+		return nil, fmt.Errorf("registry: protocol %q needs a positive bandwidth", s.Kind)
+	}
+	return entry.build(s)
+}
+
+// ProtocolKinds returns the registered protocol kinds in stable order.
+func ProtocolKinds() []string {
+	return sortedKeys(protocols)
+}
+
+// LeafProtocolKinds returns the kinds a bare name fully describes — the
+// ones a single CLI flag or a sweep's protocol axis can select. Composite
+// kinds (sum, scale, per-iter, with-latency) need inner specs and are
+// omitted.
+func LeafProtocolKinds() []string {
+	var kinds []string
+	for _, kind := range sortedKeys(protocols) {
+		if !protocols[kind].composite {
+			kinds = append(kinds, kind)
+		}
+	}
+	return kinds
+}
+
+// ---------------------------------------------------------------------------
+// Hardware
+// ---------------------------------------------------------------------------
+
+// HardwareSpec names a catalog node or describes a custom one.
+type HardwareSpec struct {
+	// Preset names a catalog entry; NodePresets lists the options.
+	Preset string `json:"preset,omitempty"`
+	// PeakFlops and Efficiency describe a custom node when Preset is empty.
+	PeakFlops  float64 `json:"peak_flops,omitempty"`
+	Efficiency float64 `json:"efficiency,omitempty"`
+	// Name labels a custom node; empty means "custom".
+	Name string `json:"name,omitempty"`
+}
+
+// nodePresets is THE hardware-preset table — the only name→node catalog in
+// the module.
+var nodePresets = map[string]func() hardware.Node{
+	"xeon-e3-1240": hardware.XeonE31240,
+	"nvidia-k40":   hardware.NvidiaK40,
+	"dl980-core":   hardware.ProLiantDL980Core,
+}
+
+// networkPresets maps names to the cataloged networks.
+var networkPresets = map[string]func() hardware.Network{
+	"gigabit-ethernet":     hardware.GigabitEthernet,
+	"ten-gigabit-ethernet": hardware.TenGigabitEthernet,
+	"shared-memory":        hardware.SharedMemoryBus,
+}
+
+// Node resolves a hardware spec against the preset table, or validates the
+// custom node it describes.
+func Node(s HardwareSpec) (hardware.Node, error) {
+	if s.Preset != "" {
+		return PresetNode(s.Preset)
+	}
+	eff := s.Efficiency
+	if eff == 0 {
+		eff = 1
+	}
+	name := s.Name
+	if name == "" {
+		name = "custom"
+	}
+	n := hardware.Node{Name: name, PeakFlops: units.Flops(s.PeakFlops), Efficiency: eff}
+	if err := n.Validate(); err != nil {
+		return hardware.Node{}, err
+	}
+	return n, nil
+}
+
+// PresetNode resolves a catalog node by name.
+func PresetNode(name string) (hardware.Node, error) {
+	build, ok := nodePresets[name]
+	if !ok {
+		return hardware.Node{}, fmt.Errorf("registry: unknown hardware preset %q (known: %s)", name, joined(NodePresets()))
+	}
+	return build(), nil
+}
+
+// NodePresets returns the cataloged node names in stable order.
+func NodePresets() []string {
+	return sortedKeys(nodePresets)
+}
+
+// PresetNetwork resolves a cataloged network by name.
+func PresetNetwork(name string) (hardware.Network, error) {
+	build, ok := networkPresets[name]
+	if !ok {
+		return hardware.Network{}, fmt.Errorf("registry: unknown network preset %q (known: %s)", name, joined(NetworkPresets()))
+	}
+	return build(), nil
+}
+
+// NetworkPresets returns the cataloged network names in stable order.
+func NetworkPresets() []string {
+	return sortedKeys(networkPresets)
+}
+
+// ---------------------------------------------------------------------------
+// Graph families
+// ---------------------------------------------------------------------------
+
+// maxGraphVertices bounds generated graphs so a malformed scenario cannot
+// request an absurd allocation. The paper's full DNS graph (16.26M vertices)
+// fits with headroom.
+const maxGraphVertices = 50_000_000
+
+// GraphSpec describes a synthetic graph by family and size.
+type GraphSpec struct {
+	// Family selects the generator; GraphFamilies lists the options.
+	Family string `json:"family"`
+	// Vertices is the (approximate) vertex count.
+	Vertices int `json:"vertices"`
+	// Edges is the target edge count (power-law only).
+	Edges int64 `json:"edges,omitempty"`
+	// MaxDegree caps the degree distribution (power-law only).
+	MaxDegree int32 `json:"max_degree,omitempty"`
+	// Seed drives the randomized generators.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// graphEntry generates a degree sequence and, optionally, a materialized
+// graph for one family.
+type graphEntry struct {
+	degrees func(GraphSpec) ([]int32, error)
+	build   func(GraphSpec) (*graph.Graph, error)
+}
+
+// materialized adapts a concrete-graph constructor into a degree generator.
+func materialized(build func(GraphSpec) (*graph.Graph, error)) graphEntry {
+	return graphEntry{
+		degrees: func(s GraphSpec) ([]int32, error) {
+			g, err := build(s)
+			if err != nil {
+				return nil, err
+			}
+			return g.Degrees(), nil
+		},
+		build: build,
+	}
+}
+
+// graphFamilies is THE graph-family registry — the only name→generator
+// switch in the module.
+var graphFamilies = map[string]graphEntry{
+	"dns": {
+		degrees: func(s GraphSpec) ([]int32, error) {
+			return graph.ScaledDNSGraph(s.Vertices).Degrees(s.Seed)
+		},
+		build: func(s GraphSpec) (*graph.Graph, error) {
+			degrees, err := graph.ScaledDNSGraph(s.Vertices).Degrees(s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return graph.ChungLu(degrees, s.Seed+1)
+		},
+	},
+	"power-law": {
+		degrees: func(s GraphSpec) ([]int32, error) {
+			return graph.PowerLawDegrees(s.Vertices, s.Edges, s.MaxDegree, s.Seed)
+		},
+		build: func(s GraphSpec) (*graph.Graph, error) {
+			degrees, err := graph.PowerLawDegrees(s.Vertices, s.Edges, s.MaxDegree, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return graph.ChungLu(degrees, s.Seed+1)
+		},
+	},
+	"grid": materialized(func(s GraphSpec) (*graph.Graph, error) {
+		side := 1
+		for side*side < s.Vertices {
+			side++
+		}
+		return graph.Grid2D(side, side)
+	}),
+	"cycle": materialized(func(s GraphSpec) (*graph.Graph, error) {
+		return graph.Cycle(s.Vertices)
+	}),
+	"tree": materialized(func(s GraphSpec) (*graph.Graph, error) {
+		return graph.CompleteBinaryTree(s.Vertices)
+	}),
+	"star": materialized(func(s GraphSpec) (*graph.Graph, error) {
+		return graph.Star(s.Vertices - 1)
+	}),
+}
+
+// validateGraph checks the spec before dispatch.
+func validateGraph(s GraphSpec) error {
+	if _, ok := graphFamilies[s.Family]; !ok {
+		return fmt.Errorf("registry: unknown graph family %q (known: %s)", s.Family, joined(GraphFamilies()))
+	}
+	if s.Vertices < 1 {
+		return fmt.Errorf("registry: graph family %q: vertices %d < 1", s.Family, s.Vertices)
+	}
+	if s.Vertices > maxGraphVertices {
+		return fmt.Errorf("registry: graph family %q: vertices %d exceed the %d cap", s.Family, s.Vertices, maxGraphVertices)
+	}
+	return nil
+}
+
+// GraphDegrees generates the degree sequence of the described graph — all
+// the paper's graph-inference model needs.
+func GraphDegrees(s GraphSpec) ([]int32, error) {
+	if err := validateGraph(s); err != nil {
+		return nil, err
+	}
+	return graphFamilies[s.Family].degrees(s)
+}
+
+// BuildGraph materializes the described graph for algorithms that need the
+// edges, not just the degrees.
+func BuildGraph(s GraphSpec) (*graph.Graph, error) {
+	if err := validateGraph(s); err != nil {
+		return nil, err
+	}
+	return graphFamilies[s.Family].build(s)
+}
+
+// GraphFamilies returns the registered graph families in stable order.
+func GraphFamilies() []string {
+	return sortedKeys(graphFamilies)
+}
+
+// ---------------------------------------------------------------------------
+// Architectures
+// ---------------------------------------------------------------------------
+
+// architectures is THE architecture table: name → nncost cost-counter
+// network, the Table I catalog.
+var architectures = map[string]func() nncost.Network{
+	"fc-mnist":     nncost.MNISTFullyConnected,
+	"inception-v3": nncost.InceptionV3,
+	"lenet-5":      nncost.LeNet5,
+	"alexnet":      nncost.AlexNet,
+	"vgg-16":       nncost.VGG16,
+}
+
+// Architecture resolves a cost-counter network by name.
+func Architecture(name string) (nncost.Network, error) {
+	build, ok := architectures[name]
+	if !ok {
+		return nncost.Network{}, fmt.Errorf("registry: unknown architecture %q (known: %s)", name, joined(Architectures()))
+	}
+	return build(), nil
+}
+
+// Architectures returns the cataloged architecture names in stable order.
+func Architectures() []string {
+	return sortedKeys(architectures)
+}
+
+// ---------------------------------------------------------------------------
+// Workload families
+// ---------------------------------------------------------------------------
+
+// WorkloadSpec describes the algorithm side of a scenario. Which fields
+// matter depends on Family; Families documents each.
+type WorkloadSpec struct {
+	// Family selects the model builder; empty means gd-strong. Families
+	// lists the options.
+	Family string `json:"family,omitempty"`
+
+	// Architecture optionally names a cataloged network whose counted
+	// training flops and parameters fill FlopsPerExample and Parameters
+	// when those are zero (gradient-descent families).
+	Architecture string `json:"architecture,omitempty"`
+	// FlopsPerExample is C, the training cost of one example.
+	FlopsPerExample float64 `json:"flops_per_example,omitempty"`
+	// BatchSize is S (per worker under weak scaling).
+	BatchSize float64 `json:"batch_size,omitempty"`
+	// Parameters is W.
+	Parameters float64 `json:"parameters,omitempty"`
+	// PrecisionBits is the width of one shipped value; 0 means 32.
+	PrecisionBits float64 `json:"precision_bits,omitempty"`
+
+	// Graph describes the inference graph (graph-inference and mrf).
+	Graph *GraphSpec `json:"graph,omitempty"`
+	// States is S, the per-variable state count (mrf); 0 means 2.
+	States int `json:"states,omitempty"`
+	// OpsPerEdge is c(S), the per-edge operation count (graph-inference).
+	OpsPerEdge float64 `json:"ops_per_edge,omitempty"`
+	// Trials is the Monte-Carlo sample count; 0 means 3.
+	Trials int `json:"trials,omitempty"`
+	// Seed drives the Monte-Carlo assignments.
+	Seed int64 `json:"seed,omitempty"`
+
+	// ConvergencePenalty is the async-gd staleness penalty γ.
+	ConvergencePenalty float64 `json:"convergence_penalty,omitempty"`
+}
+
+// maxMonteCarloTrials bounds scenario-driven Monte-Carlo sampling.
+const maxMonteCarloTrials = 10_000
+
+// Family is one workload-family registry row.
+type Family struct {
+	// Name is the registry key.
+	Name string
+	// Description is a one-line summary for catalogs and CLI help.
+	Description string
+	// Build constructs the core model for a validated spec.
+	Build func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error)
+}
+
+// familyAliases maps accepted spellings to canonical family names. The empty
+// family and the legacy scaling words keep old scenario files working.
+var familyAliases = map[string]string{
+	"":          "gd-strong",
+	"gd":        "gd-strong",
+	"strong":    "gd-strong",
+	"weak":      "gd-weak",
+	"async":     "async-gd",
+	"bp":        "graph-inference",
+	"gi":        "graph-inference",
+	"inference": "graph-inference",
+}
+
+// families is THE workload-family registry — the only place mapping family
+// names to model constructors.
+var families = map[string]Family{
+	"gd-strong": {
+		Name:        "gd-strong",
+		Description: "strong-scaling gradient descent: t = C·S/(F·n) + t_cm(W, n)",
+		Build: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error) {
+			w, err := gdWorkload(name, spec)
+			if err != nil {
+				return core.Model{}, err
+			}
+			return gd.Model(w, node, protocol)
+		},
+	},
+	"gd-weak": {
+		Name:        "gd-weak",
+		Description: "weak-scaling gradient descent: fixed per-worker batch, per-instance time",
+		Build: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error) {
+			w, err := gdWorkload(name, spec)
+			if err != nil {
+				return core.Model{}, err
+			}
+			return gd.WeakScalingModel(w, node, protocol)
+		},
+	},
+	"graph-inference": {
+		Name:        "graph-inference",
+		Description: "graphical-model inference: t_cp ∝ Monte-Carlo maxᵢEᵢ · ops/edge",
+		Build: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error) {
+			if spec.OpsPerEdge <= 0 {
+				return core.Model{}, fmt.Errorf("registry: family graph-inference: ops_per_edge must be positive, got %g", spec.OpsPerEdge)
+			}
+			return graphModel(name, spec, spec.OpsPerEdge, node, protocol)
+		},
+	},
+	"mrf": {
+		Name:        "mrf",
+		Description: "pairwise-MRF belief propagation: ops/edge = c(S) = S + 2·(S + S²)",
+		Build: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error) {
+			states := spec.States
+			if states == 0 {
+				states = 2
+			}
+			if states < 2 {
+				return core.Model{}, fmt.Errorf("registry: family mrf: states %d < 2", states)
+			}
+			return graphModel(name, spec, bp.OpsPerEdge(states), node, protocol)
+		},
+	},
+	"async-gd": {
+		Name:        "async-gd",
+		Description: "asynchronous gradient descent: pipelined updates, staleness-penalized speedup",
+		Build: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error) {
+			w, err := gdWorkload(name, spec)
+			if err != nil {
+				return core.Model{}, err
+			}
+			m := asyncgd.Model{
+				ComputePerBatch: units.ComputeTime(w.FlopsPerExample*w.BatchSize, node.EffectiveFlops()),
+				// One worker↔parameter-server exchange, priced as the
+				// protocol's two-party time.
+				CommPerUpdate:      protocol.Time(w.ModelBits, 2),
+				ConvergencePenalty: spec.ConvergencePenalty,
+			}
+			if err := m.Validate(); err != nil {
+				return core.Model{}, err
+			}
+			return m.CoreModel(name), nil
+		},
+	},
+}
+
+// gdWorkload assembles the gd.Workload a gradient-descent-shaped spec
+// describes, resolving an architecture preset when one is named.
+func gdWorkload(name string, spec WorkloadSpec) (gd.Workload, error) {
+	c, w := spec.FlopsPerExample, spec.Parameters
+	if spec.Architecture != "" {
+		net, err := Architecture(spec.Architecture)
+		if err != nil {
+			return gd.Workload{}, err
+		}
+		summary, err := net.Summarize()
+		if err != nil {
+			return gd.Workload{}, err
+		}
+		if c == 0 {
+			c = float64(summary.TrainingFlops())
+		}
+		if w == 0 {
+			w = float64(summary.Weights)
+		}
+	}
+	precision := spec.PrecisionBits
+	if precision == 0 {
+		precision = 32
+	}
+	if precision < 0 {
+		return gd.Workload{}, fmt.Errorf("registry: workload %q: negative precision", name)
+	}
+	wl := gd.Workload{
+		Name:            name,
+		FlopsPerExample: c,
+		BatchSize:       spec.BatchSize,
+		ModelBits:       units.Bits(precision * w),
+	}
+	if err := wl.Validate(); err != nil {
+		return gd.Workload{}, err
+	}
+	return wl, nil
+}
+
+// graphModel builds the §IV-B inference model for the two graph families:
+// computation from the memoized Monte-Carlo maxᵢEᵢ estimate, communication
+// from the protocol moving every vertex's S-state belief (zero under the
+// paper's shared-memory assumption).
+func graphModel(name string, spec WorkloadSpec, opsPerEdge float64, node hardware.Node, protocol comm.Model) (core.Model, error) {
+	if spec.Graph == nil {
+		return core.Model{}, fmt.Errorf("registry: workload %q: graph families need a graph spec", name)
+	}
+	trials := spec.Trials
+	if trials == 0 {
+		trials = 3
+	}
+	if trials < 0 || trials > maxMonteCarloTrials {
+		return core.Model{}, fmt.Errorf("registry: workload %q: trials %d outside [1, %d]", name, trials, maxMonteCarloTrials)
+	}
+	degrees, err := GraphDegrees(*spec.Graph)
+	if err != nil {
+		return core.Model{}, err
+	}
+	model, err := GraphInferenceModel(name, degrees, opsPerEdge, node.EffectiveFlops(), trials, spec.Seed)
+	if err != nil {
+		return core.Model{}, err
+	}
+	if protocol != nil {
+		precision := spec.PrecisionBits
+		if precision == 0 {
+			precision = 32
+		}
+		states := spec.States
+		if states == 0 {
+			states = 2
+		}
+		payload := units.Bits(precision * float64(states) * float64(len(degrees)))
+		model.Communication = func(n int) units.Seconds {
+			return protocol.Time(payload, n)
+		}
+	}
+	return model, nil
+}
+
+// GraphInferenceModel builds the paper's graphical-model inference model
+// (§IV-B): computation proportional to the Monte-Carlo estimate of the
+// maximum per-worker edge count for the given degree sequence. The
+// per-worker-count estimates are memoized behind a mutex, so the model is
+// safe to evaluate from concurrent goroutines. Degenerate inputs are
+// rejected here rather than surfacing as infinite speedups later.
+func GraphInferenceModel(name string, degrees []int32, opsPerEdge float64, f units.Flops, trials int, seed int64) (core.Model, error) {
+	if len(degrees) == 0 {
+		return core.Model{}, fmt.Errorf("registry: graph inference %q: empty degree sequence", name)
+	}
+	if opsPerEdge <= 0 || math.IsNaN(opsPerEdge) || math.IsInf(opsPerEdge, 0) {
+		return core.Model{}, fmt.Errorf("registry: graph inference %q: ops per edge must be positive and finite, got %g", name, opsPerEdge)
+	}
+	if f <= 0 {
+		return core.Model{}, fmt.Errorf("registry: graph inference %q: flops must be positive, got %v", name, f)
+	}
+	if trials < 1 {
+		return core.Model{}, fmt.Errorf("registry: graph inference %q: trials %d < 1", name, trials)
+	}
+	var (
+		mu    sync.Mutex
+		cache = map[int]float64{}
+	)
+	maxEdges := func(n int) float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		if v, ok := cache[n]; ok {
+			return v
+		}
+		// The inputs are validated above, so the estimator can only fail
+		// on a non-positive worker count; infinite time marks that misuse
+		// without poisoning the cache for valid counts.
+		est, err := partition.MonteCarloMaxEdges(degrees, n, trials, seed+int64(n))
+		if err != nil {
+			return math.Inf(1)
+		}
+		cache[n] = est.MaxEdges
+		return est.MaxEdges
+	}
+	return core.Model{
+		Name: name,
+		Computation: func(n int) units.Seconds {
+			return units.ComputeTime(maxEdges(n)*opsPerEdge, f)
+		},
+	}, nil
+}
+
+// CanonicalFamily resolves a family name or alias to its registry key.
+func CanonicalFamily(name string) (string, error) {
+	if canonical, ok := familyAliases[name]; ok {
+		name = canonical
+	}
+	if _, ok := families[name]; !ok {
+		return "", fmt.Errorf("registry: unknown workload family %q (known: %s)", name, joined(Families()))
+	}
+	return name, nil
+}
+
+// LookupFamily returns the registry row for a family name or alias.
+func LookupFamily(name string) (Family, error) {
+	canonical, err := CanonicalFamily(name)
+	if err != nil {
+		return Family{}, err
+	}
+	return families[canonical], nil
+}
+
+// Families returns the canonical workload-family names in stable order.
+func Families() []string {
+	return sortedKeys(families)
+}
+
+// BuildModel constructs the core model one (family, workload, hardware,
+// protocol) point describes — the single construction path behind the
+// scenario schema, the CLIs and the experiment harness.
+func BuildModel(family, name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error) {
+	f, err := LookupFamily(family)
+	if err != nil {
+		return core.Model{}, err
+	}
+	return f.Build(name, spec, node, protocol)
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// joined renders a name list for error messages.
+func joined(names []string) string {
+	return strings.Join(names, ", ")
+}

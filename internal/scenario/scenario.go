@@ -1,9 +1,20 @@
-// Package scenario serializes complete modeling scenarios — workload,
+// Package scenario serializes complete modeling scenarios — workload family,
 // hardware, communication protocol and evaluation range — as JSON, the
 // integration hook the paper's conclusion asks for ("integrate the
 // estimation software with such tools as Spark, Hadoop, and Tensorflow"):
 // a deployment tool emits a scenario file, this package turns it into a
 // speedup model.
+//
+// Every name in a scenario resolves through package registry, the module's
+// single catalog, so a scenario file can describe any model family the
+// library exposes: strong- and weak-scaling gradient descent, graphical
+// inference, pairwise-MRF belief propagation and asynchronous gradient
+// descent, over any cataloged or composed protocol and any hardware preset
+// or custom node.
+//
+// Beyond single scenarios, a Suite declares many at once — an explicit list,
+// a parameter sweep (bandwidth × protocol × precision × worker range), or
+// both — and evaluates them concurrently; see suite.go.
 package scenario
 
 import (
@@ -12,135 +23,80 @@ import (
 	"io"
 	"os"
 
-	"dmlscale/internal/comm"
 	"dmlscale/internal/core"
-	"dmlscale/internal/gd"
-	"dmlscale/internal/hardware"
-	"dmlscale/internal/units"
+	"dmlscale/internal/registry"
+)
+
+// Specs are the registry's JSON-friendly descriptions; the scenario schema
+// embeds them verbatim so the catalog and the file format cannot drift.
+type (
+	// WorkloadSpec selects a workload family and its figures.
+	WorkloadSpec = registry.WorkloadSpec
+	// HardwareSpec names a preset or describes a custom node.
+	HardwareSpec = registry.HardwareSpec
+	// ProtocolSpec selects and parameterizes a comm.Model, recursively
+	// for composed protocols.
+	ProtocolSpec = registry.ProtocolSpec
+	// GraphSpec describes the inference graph of the graph families.
+	GraphSpec = registry.GraphSpec
 )
 
 // Scenario is the on-disk description of one modeling run.
 type Scenario struct {
 	// Name labels the scenario in reports.
 	Name string `json:"name"`
-	// Workload holds the algorithm complexity figures.
+	// Workload holds the family and its complexity figures.
 	Workload WorkloadSpec `json:"workload"`
 	// Hardware describes one worker node.
 	Hardware HardwareSpec `json:"hardware"`
 	// Protocol selects the communication model.
 	Protocol ProtocolSpec `json:"protocol"`
-	// Scaling is "strong" (default) or "weak".
+	// Scaling is the legacy family selector: "strong" (default) or
+	// "weak". Workload.Family supersedes it; setting both to conflicting
+	// values is an error.
 	Scaling string `json:"scaling,omitempty"`
 	// MaxWorkers bounds curve evaluation; 0 means 16.
 	MaxWorkers int `json:"max_workers,omitempty"`
 }
 
-// WorkloadSpec mirrors gd.Workload in JSON-friendly form.
-type WorkloadSpec struct {
-	// FlopsPerExample is C.
-	FlopsPerExample float64 `json:"flops_per_example"`
-	// BatchSize is S (per worker under weak scaling).
-	BatchSize float64 `json:"batch_size"`
-	// Parameters is W.
-	Parameters float64 `json:"parameters"`
-	// PrecisionBits is the width of one shipped parameter; 0 means 32.
-	PrecisionBits float64 `json:"precision_bits,omitempty"`
-}
-
-// HardwareSpec mirrors hardware.Node in JSON-friendly form. Either Preset
-// names a catalog entry ("xeon-e3-1240", "nvidia-k40", "dl980-core") or
-// PeakFlops/Efficiency describe a custom node.
-type HardwareSpec struct {
-	Preset     string  `json:"preset,omitempty"`
-	PeakFlops  float64 `json:"peak_flops,omitempty"`
-	Efficiency float64 `json:"efficiency,omitempty"`
-}
-
-// ProtocolSpec selects and parameterizes a comm.Model.
-type ProtocolSpec struct {
-	// Kind is one of linear, tree, two-stage-tree, spark, ring, shuffle,
-	// shared-memory.
-	Kind string `json:"kind"`
-	// BandwidthBitsPerSec is the link bandwidth; unused for
-	// shared-memory.
-	BandwidthBitsPerSec float64 `json:"bandwidth_bits_per_sec,omitempty"`
-}
-
-// presets maps preset names to catalog nodes.
-var presets = map[string]func() hardware.Node{
-	"xeon-e3-1240": hardware.XeonE31240,
-	"nvidia-k40":   hardware.NvidiaK40,
-	"dl980-core":   hardware.ProLiantDL980Core,
-}
-
-// node resolves the hardware spec.
-func (h HardwareSpec) node() (hardware.Node, error) {
-	if h.Preset != "" {
-		build, ok := presets[h.Preset]
-		if !ok {
-			return hardware.Node{}, fmt.Errorf("scenario: unknown hardware preset %q", h.Preset)
-		}
-		return build(), nil
-	}
-	eff := h.Efficiency
-	if eff == 0 {
-		eff = 1
-	}
-	n := hardware.Node{Name: "custom", PeakFlops: units.Flops(h.PeakFlops), Efficiency: eff}
-	if err := n.Validate(); err != nil {
-		return hardware.Node{}, err
-	}
-	return n, nil
-}
-
-// protocol resolves the protocol spec.
-func (p ProtocolSpec) protocol() (comm.Model, error) {
-	b := units.BitsPerSecond(p.BandwidthBitsPerSec)
-	if p.Kind != "shared-memory" && b <= 0 {
-		return nil, fmt.Errorf("scenario: protocol %q needs a positive bandwidth", p.Kind)
-	}
-	switch p.Kind {
-	case "linear":
-		return comm.Linear{Bandwidth: b}, nil
-	case "tree":
-		return comm.Tree{Bandwidth: b}, nil
-	case "two-stage-tree":
-		return comm.TwoStageTree{Bandwidth: b}, nil
-	case "spark":
-		return comm.SparkGradient(b), nil
-	case "ring":
-		return comm.RingAllReduce{Bandwidth: b}, nil
-	case "shuffle":
-		return comm.Shuffle{Bandwidth: b}, nil
-	case "shared-memory":
-		return comm.SharedMemory{}, nil
-	}
-	return nil, fmt.Errorf("scenario: unknown protocol kind %q", p.Kind)
-}
-
-// Validate reports whether the scenario is complete and consistent.
-func (s Scenario) Validate() error {
-	if s.Name == "" {
-		return fmt.Errorf("scenario: missing name")
-	}
-	if s.Workload.FlopsPerExample <= 0 || s.Workload.BatchSize <= 0 || s.Workload.Parameters <= 0 {
-		return fmt.Errorf("scenario %q: workload figures must be positive", s.Name)
-	}
-	if _, err := s.Hardware.node(); err != nil {
-		return err
-	}
-	if _, err := s.Protocol.protocol(); err != nil {
-		return err
-	}
+// Family resolves the canonical workload family this scenario models,
+// reconciling the legacy Scaling field with Workload.Family.
+func (s Scenario) Family() (string, error) {
+	name := s.Workload.Family
 	switch s.Scaling {
-	case "", "strong", "weak":
+	case "":
+	case "strong", "weak":
+		legacy, err := registry.CanonicalFamily(s.Scaling)
+		if err != nil {
+			return "", err
+		}
+		if name == "" {
+			name = legacy
+			break
+		}
+		canonical, err := registry.CanonicalFamily(name)
+		if err != nil {
+			return "", fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		if canonical != legacy {
+			return "", fmt.Errorf("scenario %q: scaling %q conflicts with workload family %q", s.Name, s.Scaling, name)
+		}
 	default:
-		return fmt.Errorf("scenario %q: scaling must be strong or weak, got %q", s.Name, s.Scaling)
+		return "", fmt.Errorf("scenario %q: scaling must be strong or weak, got %q", s.Name, s.Scaling)
 	}
-	if s.MaxWorkers < 0 {
-		return fmt.Errorf("scenario %q: negative max workers", s.Name)
+	canonical, err := registry.CanonicalFamily(name)
+	if err != nil {
+		return "", fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
-	return nil
+	return canonical, nil
+}
+
+// Validate reports whether the scenario is complete and consistent. It
+// resolves every name through the registry and builds the model once, so a
+// scenario that validates is a scenario that evaluates.
+func (s Scenario) Validate() error {
+	_, err := s.Model()
+	return err
 }
 
 // MaxN returns the evaluation bound with its default.
@@ -151,33 +107,37 @@ func (s Scenario) MaxN() int {
 	return s.MaxWorkers
 }
 
-// Model builds the core model the scenario describes.
+// Workers returns the worker counts the scenario evaluates: 1..MaxN.
+func (s Scenario) Workers() []int {
+	return core.Range(1, s.MaxN())
+}
+
+// Model builds the core model the scenario describes through the registry —
+// the same construction path the CLIs and the experiment harness use.
 func (s Scenario) Model() (core.Model, error) {
-	if err := s.Validate(); err != nil {
-		return core.Model{}, err
+	if s.Name == "" {
+		return core.Model{}, fmt.Errorf("scenario: missing name")
 	}
-	node, err := s.Hardware.node()
+	if s.MaxWorkers < 0 {
+		return core.Model{}, fmt.Errorf("scenario %q: negative max workers", s.Name)
+	}
+	family, err := s.Family()
 	if err != nil {
 		return core.Model{}, err
 	}
-	protocol, err := s.Protocol.protocol()
+	node, err := registry.Node(s.Hardware)
 	if err != nil {
-		return core.Model{}, err
+		return core.Model{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
-	precision := s.Workload.PrecisionBits
-	if precision == 0 {
-		precision = 32
+	protocol, err := registry.Protocol(s.Protocol)
+	if err != nil {
+		return core.Model{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
-	w := gd.Workload{
-		Name:            s.Name,
-		FlopsPerExample: s.Workload.FlopsPerExample,
-		BatchSize:       s.Workload.BatchSize,
-		ModelBits:       units.Bits(precision * s.Workload.Parameters),
+	model, err := registry.BuildModel(family, s.Name, s.Workload, node, protocol)
+	if err != nil {
+		return core.Model{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
-	if s.Scaling == "weak" {
-		return gd.WeakScalingModel(w, node, protocol)
-	}
-	return gd.Model(w, node, protocol)
+	return model, nil
 }
 
 // Decode reads a scenario from JSON.
@@ -255,5 +215,23 @@ func Fig3() Scenario {
 		Protocol:   ProtocolSpec{Kind: "two-stage-tree", BandwidthBitsPerSec: 1e9},
 		Scaling:    "weak",
 		MaxWorkers: 200,
+	}
+}
+
+// Fig4 is the paper's Fig. 4 setup as a scenario: belief propagation on a
+// DNS-like graph under the shared-memory assumption, downscaled to the
+// paper's first validation size.
+func Fig4() Scenario {
+	return Scenario{
+		Name: "loopy BP on DNS traffic graph (paper Fig. 4, 16K downscale)",
+		Workload: WorkloadSpec{
+			Family: "mrf",
+			Graph:  &GraphSpec{Family: "dns", Vertices: 16000, Seed: 42},
+			States: 2,
+			Trials: 3,
+		},
+		Hardware:   HardwareSpec{Preset: "dl980-core"},
+		Protocol:   ProtocolSpec{Kind: "shared-memory"},
+		MaxWorkers: 80,
 	}
 }

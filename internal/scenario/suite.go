@@ -1,0 +1,295 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dmlscale/internal/core"
+	"dmlscale/internal/units"
+)
+
+// Suite declares many scenarios at once: an explicit list, a parameter
+// sweep expanded from a base scenario, or both. One suite file drives a
+// whole comparison study — the "as many scenarios as you can imagine"
+// direction of the roadmap.
+type Suite struct {
+	// Name labels the suite in reports.
+	Name string `json:"name"`
+	// Scenarios are evaluated as given.
+	Scenarios []Scenario `json:"scenarios,omitempty"`
+	// Sweep expands a base scenario over a parameter grid.
+	Sweep *Sweep `json:"sweep,omitempty"`
+	// MaxWorkers overrides every scenario's evaluation bound; 0 keeps
+	// each scenario's own.
+	MaxWorkers int `json:"max_workers,omitempty"`
+}
+
+// Sweep is a parameter grid over a base scenario: the cross product of the
+// listed bandwidths, protocol kinds, precisions and worker ranges, each axis
+// defaulting to the base's own value when empty.
+type Sweep struct {
+	// Base is the scenario every grid point starts from.
+	Base Scenario `json:"base"`
+	// BandwidthsBitsPerSec sweeps the link bandwidth.
+	BandwidthsBitsPerSec []float64 `json:"bandwidths_bits_per_sec,omitempty"`
+	// Protocols sweeps the protocol kind (leaf kinds; the bandwidth axis
+	// applies to each).
+	Protocols []string `json:"protocols,omitempty"`
+	// PrecisionsBits sweeps the shipped-parameter width.
+	PrecisionsBits []float64 `json:"precisions_bits,omitempty"`
+	// MaxWorkers sweeps the evaluation bound.
+	MaxWorkers []int `json:"max_workers,omitempty"`
+}
+
+// maxSuiteScenarios bounds suite expansion so a malformed sweep cannot
+// request a combinatorial explosion.
+const maxSuiteScenarios = 4096
+
+// Expand returns the sweep's scenarios: one per grid point, named after the
+// base plus the swept values.
+func (sw Sweep) Expand() ([]Scenario, error) {
+	protocols := sw.Protocols
+	if len(protocols) == 0 {
+		protocols = []string{""} // keep the base protocol
+	}
+	bandwidths := sw.BandwidthsBitsPerSec
+	if len(bandwidths) == 0 {
+		bandwidths = []float64{0} // keep the base bandwidth
+	}
+	precisions := sw.PrecisionsBits
+	if len(precisions) == 0 {
+		precisions = []float64{0} // keep the base precision
+	}
+	maxWorkers := sw.MaxWorkers
+	if len(maxWorkers) == 0 {
+		maxWorkers = []int{0} // keep the base bound
+	}
+	// Refuse oversized grids before materializing anything: the cap is a
+	// guard against combinatorial explosion, so it must fire first. The
+	// per-axis check also keeps the product from overflowing.
+	points := 1
+	for _, n := range []int{len(protocols), len(bandwidths), len(precisions), len(maxWorkers)} {
+		points *= n
+		if points > maxSuiteScenarios {
+			return nil, fmt.Errorf("scenario: sweep expands to at least %d scenarios, cap is %d", points, maxSuiteScenarios)
+		}
+	}
+
+	out := make([]Scenario, 0, points)
+	for _, kind := range protocols {
+		for _, b := range bandwidths {
+			for _, prec := range precisions {
+				for _, maxN := range maxWorkers {
+					s := sw.Base
+					name := s.Name
+					if kind != "" {
+						if kind != s.Protocol.Kind {
+							// A different kind starts from a fresh spec
+							// carrying only the bandwidth (on a composite
+							// base that lives in the leaf children): the
+							// base's chunks/waves/latency belong to its
+							// own kind.
+							s.Protocol = ProtocolSpec{Kind: kind, BandwidthBitsPerSec: firstBandwidth(s.Protocol)}
+						}
+						name += ", " + kind
+					}
+					if b != 0 {
+						s.Protocol = withBandwidth(s.Protocol, b)
+						name += fmt.Sprintf(", %s", units.BitsPerSecond(b))
+					}
+					if prec != 0 {
+						s.Workload.PrecisionBits = prec
+						name += fmt.Sprintf(", %g-bit", prec)
+					}
+					if maxN != 0 {
+						s.MaxWorkers = maxN
+						name += fmt.Sprintf(", ≤%d workers", maxN)
+					}
+					s.Name = name
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// firstBandwidth returns the spec's own bandwidth or, for composite specs
+// that carry none themselves, the first positive bandwidth among the inner
+// leaves.
+func firstBandwidth(p ProtocolSpec) float64 {
+	if p.BandwidthBitsPerSec > 0 {
+		return p.BandwidthBitsPerSec
+	}
+	for _, inner := range p.Of {
+		if b := firstBandwidth(inner); b > 0 {
+			return b
+		}
+	}
+	return 0
+}
+
+// withBandwidth returns a copy of the protocol spec with the bandwidth set,
+// recursing into composite kinds so a sweep can re-price a composed
+// protocol. The Of slice is cloned, never written through: the base
+// scenario's spec is shared by every grid point.
+func withBandwidth(p ProtocolSpec, b float64) ProtocolSpec {
+	p.BandwidthBitsPerSec = b
+	if len(p.Of) > 0 {
+		of := make([]ProtocolSpec, len(p.Of))
+		for i := range p.Of {
+			of[i] = withBandwidth(p.Of[i], b)
+		}
+		p.Of = of
+	}
+	return p
+}
+
+// Expand returns every scenario the suite declares: the explicit list
+// followed by the sweep grid, with the suite-level MaxWorkers override
+// applied.
+func (s Suite) Expand() ([]Scenario, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("scenario: suite: missing name")
+	}
+	if len(s.Scenarios) == 0 && s.Sweep == nil {
+		return nil, fmt.Errorf("scenario: suite %q: no scenarios and no sweep", s.Name)
+	}
+	if s.MaxWorkers > 0 && s.Sweep != nil && len(s.Sweep.MaxWorkers) > 0 {
+		// Applying the suite-level bound over a swept worker axis would
+		// rewrite every grid point to the same bound — duplicate curves
+		// under labels claiming different ones. Refuse the ambiguity.
+		return nil, fmt.Errorf("scenario: suite %q: max_workers conflicts with the sweep's max_workers axis", s.Name)
+	}
+	out := append([]Scenario(nil), s.Scenarios...)
+	if s.Sweep != nil {
+		swept, err := s.Sweep.Expand()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: suite %q: %w", s.Name, err)
+		}
+		out = append(out, swept...)
+	}
+	if len(out) > maxSuiteScenarios {
+		return nil, fmt.Errorf("scenario: suite %q expands to %d scenarios, cap is %d", s.Name, len(out), maxSuiteScenarios)
+	}
+	if s.MaxWorkers > 0 {
+		for i := range out {
+			out[i].MaxWorkers = s.MaxWorkers
+		}
+	}
+	seen := make(map[string]bool, len(out))
+	for _, sc := range out {
+		if seen[sc.Name] {
+			return nil, fmt.Errorf("scenario: suite %q: duplicate scenario name %q", s.Name, sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+	return out, nil
+}
+
+// Result is one evaluated suite entry. Err carries a per-scenario failure;
+// the rest of the suite still evaluates.
+type Result struct {
+	// Scenario is the expanded scenario this result belongs to.
+	Scenario Scenario
+	// Curve holds the sampled speedups when Err is nil.
+	Curve core.Curve
+	// OptimalN is argmax s(n) over the curve; PeakSpeedup is s there.
+	OptimalN    int
+	PeakSpeedup float64
+	// Err records why this scenario failed.
+	Err error
+}
+
+// EvaluateSuite expands the suite and computes every curve concurrently on a
+// bounded pool (parallelism ≤ 0 picks GOMAXPROCS). Scenario errors isolate:
+// a bad grid point yields a Result with Err set and the rest of the suite
+// completes.
+func EvaluateSuite(s Suite, parallelism int) ([]Result, error) {
+	scenarios, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]core.Job, len(scenarios))
+	for i, sc := range scenarios {
+		jobs[i] = core.Job{
+			Name:    sc.Name,
+			Build:   sc.Model,
+			Workers: sc.Workers(),
+		}
+	}
+	evaluated := core.EvaluateAll(jobs, parallelism)
+	results := make([]Result, len(scenarios))
+	for i, ev := range evaluated {
+		res := Result{Scenario: scenarios[i], Curve: ev.Curve, Err: ev.Err}
+		if ev.Err == nil {
+			if peak, ok := ev.Curve.Peak(); ok {
+				res.OptimalN = peak.N
+				res.PeakSpeedup = peak.Speedup
+			}
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// DecodeSuite reads a suite from JSON. A file holding a single scenario is
+// accepted too and wrapped as a one-entry suite, so every scenario file is
+// also a suite file.
+func DecodeSuite(r io.Reader) (Suite, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return Suite{}, fmt.Errorf("scenario: suite: %w", err)
+	}
+	var probe struct {
+		Scenarios []json.RawMessage `json:"scenarios"`
+		Sweep     json.RawMessage   `json:"sweep"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return Suite{}, fmt.Errorf("scenario: suite: decode: %w", err)
+	}
+	if len(probe.Scenarios) == 0 && probe.Sweep == nil {
+		var sc Scenario
+		dec := newStrictDecoder(raw)
+		if err := dec.Decode(&sc); err != nil {
+			return Suite{}, fmt.Errorf("scenario: suite: decode: %w", err)
+		}
+		return Suite{Name: sc.Name, Scenarios: []Scenario{sc}}, nil
+	}
+	var s Suite
+	dec := newStrictDecoder(raw)
+	if err := dec.Decode(&s); err != nil {
+		return Suite{}, fmt.Errorf("scenario: suite: decode: %w", err)
+	}
+	if _, err := s.Expand(); err != nil {
+		return Suite{}, err
+	}
+	return s, nil
+}
+
+// newStrictDecoder decodes from bytes rejecting unknown fields.
+func newStrictDecoder(raw []byte) *json.Decoder {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec
+}
+
+// EncodeSuite writes the suite as indented JSON.
+func (s Suite) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// LoadSuite reads a suite (or single-scenario) file.
+func LoadSuite(path string) (Suite, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Suite{}, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	return DecodeSuite(f)
+}

@@ -1,0 +1,327 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// testSuite returns a suite that expands to ≥ 8 scenarios: the family tour
+// plus a bandwidth × protocol sweep of the Fig. 2 base.
+func testSuite() Suite {
+	return Suite{
+		Name:      "test suite",
+		Scenarios: familyScenarios(),
+		Sweep: &Sweep{
+			Base:                 Fig2(),
+			BandwidthsBitsPerSec: []float64{1e9, 10e9},
+			Protocols:            []string{"spark", "ring"},
+		},
+	}
+}
+
+func TestSuiteExpansion(t *testing.T) {
+	suite := testSuite()
+	scenarios, err := suite.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(familyScenarios()) + 4
+	if len(scenarios) != want {
+		t.Fatalf("expanded to %d scenarios, want %d", len(scenarios), want)
+	}
+	names := map[string]bool{}
+	for _, sc := range scenarios {
+		if names[sc.Name] {
+			t.Errorf("duplicate name %q", sc.Name)
+		}
+		names[sc.Name] = true
+	}
+	// The sweep override axes really changed the scenarios.
+	bandwidths := map[float64]bool{}
+	kinds := map[string]bool{}
+	for _, sc := range scenarios[len(familyScenarios()):] {
+		bandwidths[sc.Protocol.BandwidthBitsPerSec] = true
+		kinds[sc.Protocol.Kind] = true
+	}
+	if len(bandwidths) != 2 || len(kinds) != 2 {
+		t.Errorf("sweep axes collapsed: bandwidths %v kinds %v", bandwidths, kinds)
+	}
+}
+
+// TestSweepBandwidthDoesNotAliasComposedBase: re-pricing a composed base
+// protocol must not write through the shared Of slice — each grid point
+// keeps its own bandwidth, and the base spec stays untouched.
+func TestSweepBandwidthDoesNotAliasComposedBase(t *testing.T) {
+	base := Fig2()
+	base.Protocol = ProtocolSpec{
+		Kind: "sum",
+		Of: []ProtocolSpec{
+			{Kind: "tree", BandwidthBitsPerSec: 1e9},
+			{Kind: "sqrt-waves", BandwidthBitsPerSec: 1e9},
+		},
+	}
+	sweep := Sweep{Base: base, BandwidthsBitsPerSec: []float64{1e9, 1e10}}
+	scenarios, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 2 {
+		t.Fatalf("expanded to %d scenarios", len(scenarios))
+	}
+	for i, want := range []float64{1e9, 1e10} {
+		for j, inner := range scenarios[i].Protocol.Of {
+			if inner.BandwidthBitsPerSec != want {
+				t.Errorf("grid point %d inner %d: bandwidth %g, want %g",
+					i, j, inner.BandwidthBitsPerSec, want)
+			}
+		}
+	}
+	for _, inner := range base.Protocol.Of {
+		if inner.BandwidthBitsPerSec != 1e9 {
+			t.Errorf("base spec mutated: inner bandwidth %g", inner.BandwidthBitsPerSec)
+		}
+	}
+}
+
+// TestSweepKeepsBaseParamsForMatchingKind: when the protocol axis names the
+// base's own kind, the base's parameters (chunks, waves, latency) survive;
+// a different kind starts from a fresh spec.
+func TestSweepKeepsBaseParamsForMatchingKind(t *testing.T) {
+	base := Fig2()
+	base.Protocol = ProtocolSpec{Kind: "pipelined-tree", BandwidthBitsPerSec: 1e9, Chunks: 8}
+	sweep := Sweep{Base: base, Protocols: []string{"pipelined-tree", "ring"}}
+	scenarios, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scenarios[0].Protocol; got.Kind != "pipelined-tree" || got.Chunks != 8 {
+		t.Errorf("matching kind lost base params: %+v", got)
+	}
+	if got := scenarios[1].Protocol; got.Kind != "ring" || got.Chunks != 0 {
+		t.Errorf("fresh kind carried foreign params: %+v", got)
+	}
+	if got := scenarios[1].Protocol.BandwidthBitsPerSec; got != 1e9 {
+		t.Errorf("fresh kind lost bandwidth: %g", got)
+	}
+}
+
+// TestSweepComposedBaseProtocolAxis: sweeping the protocol axis over a
+// composite base pulls the bandwidth from the inner leaves, so the fresh
+// grid points actually build.
+func TestSweepComposedBaseProtocolAxis(t *testing.T) {
+	base := Fig2()
+	base.Protocol = ProtocolSpec{
+		Kind: "sum",
+		Of: []ProtocolSpec{
+			{Kind: "tree", BandwidthBitsPerSec: 1e9},
+			{Kind: "sqrt-waves", BandwidthBitsPerSec: 1e9},
+		},
+	}
+	sweep := Sweep{Base: base, Protocols: []string{"ring"}}
+	scenarios, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scenarios[0].Protocol; got.Kind != "ring" || got.BandwidthBitsPerSec != 1e9 {
+		t.Fatalf("swept spec = %+v, want ring at 1e9", got)
+	}
+	if _, err := scenarios[0].Model(); err != nil {
+		t.Errorf("swept grid point does not build: %v", err)
+	}
+}
+
+// TestSweepCapFiresBeforeMaterializing: an absurd grid errors without
+// allocating the scenarios.
+func TestSweepCapFiresBeforeMaterializing(t *testing.T) {
+	axis := make([]float64, 100000)
+	for i := range axis {
+		axis[i] = float64(i + 1)
+	}
+	sweep := Sweep{
+		Base:                 Fig2(),
+		BandwidthsBitsPerSec: axis,
+		PrecisionsBits:       axis,
+		MaxWorkers:           []int{8, 16, 32},
+	}
+	// 100000 × 100000 × 3 grid points: must error fast, not allocate.
+	if _, err := sweep.Expand(); err == nil {
+		t.Fatal("oversized grid accepted")
+	}
+}
+
+func TestSuiteMaxWorkersOverride(t *testing.T) {
+	suite := testSuite()
+	suite.MaxWorkers = 24
+	scenarios, err := suite.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scenarios {
+		if sc.MaxN() != 24 {
+			t.Errorf("%s: MaxN = %d, want 24", sc.Name, sc.MaxN())
+		}
+	}
+}
+
+// TestSuiteMaxWorkersConflictsWithSweptAxis: a suite-level bound over a
+// swept worker axis is ambiguous and refused.
+func TestSuiteMaxWorkersConflictsWithSweptAxis(t *testing.T) {
+	suite := Suite{
+		Name:       "conflict",
+		MaxWorkers: 32,
+		Sweep:      &Sweep{Base: Fig2(), MaxWorkers: []int{8, 16}},
+	}
+	if _, err := suite.Expand(); err == nil {
+		t.Fatal("conflicting worker bounds accepted")
+	}
+	// Without the suite-level override the axis sweeps cleanly.
+	suite.MaxWorkers = 0
+	scenarios, err := suite.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scenarios[0].MaxN() != 8 || scenarios[1].MaxN() != 16 {
+		t.Errorf("swept bounds = %d, %d", scenarios[0].MaxN(), scenarios[1].MaxN())
+	}
+}
+
+func TestSuiteRejectsBadShapes(t *testing.T) {
+	if _, err := (Suite{}).Expand(); err == nil {
+		t.Error("empty suite accepted")
+	}
+	if _, err := (Suite{Name: "x"}).Expand(); err == nil {
+		t.Error("suite without scenarios accepted")
+	}
+	dup := Suite{Name: "x", Scenarios: []Scenario{Fig2(), Fig2()}}
+	if _, err := dup.Expand(); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	big := Suite{Name: "x", Sweep: &Sweep{
+		Base:                 Fig2(),
+		BandwidthsBitsPerSec: make([]float64, 100),
+		PrecisionsBits:       make([]float64, 100),
+	}}
+	for i := range big.Sweep.BandwidthsBitsPerSec {
+		big.Sweep.BandwidthsBitsPerSec[i] = float64(i+1) * 1e9
+	}
+	for i := range big.Sweep.PrecisionsBits {
+		big.Sweep.PrecisionsBits[i] = float64(i + 1)
+	}
+	if _, err := big.Expand(); err == nil {
+		t.Error("10000-scenario expansion accepted")
+	}
+}
+
+// TestEvaluateSuiteConcurrently: ≥ 8 scenarios evaluate on the pool and the
+// results match a serial evaluation.
+func TestEvaluateSuiteConcurrently(t *testing.T) {
+	suite := testSuite()
+	parallel, err := EvaluateSuite(suite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := EvaluateSuite(suite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) < 8 {
+		t.Fatalf("suite evaluated %d scenarios, want ≥ 8", len(parallel))
+	}
+	for i := range parallel {
+		if parallel[i].Err != nil {
+			t.Errorf("%s: %v", parallel[i].Scenario.Name, parallel[i].Err)
+			continue
+		}
+		if parallel[i].OptimalN < 1 || parallel[i].PeakSpeedup < 1 {
+			t.Errorf("%s: peak %d/%v", parallel[i].Scenario.Name,
+				parallel[i].OptimalN, parallel[i].PeakSpeedup)
+		}
+		// Monte-Carlo seeds are per-worker-count, so parallel evaluation
+		// is deterministic and must equal serial evaluation exactly.
+		for j, p := range parallel[i].Curve.Points {
+			if p != serial[i].Curve.Points[j] {
+				t.Errorf("%s point %d: parallel %+v vs serial %+v",
+					parallel[i].Scenario.Name, j, p, serial[i].Curve.Points[j])
+			}
+		}
+	}
+}
+
+// TestEvaluateSuiteIsolatesBadScenario: one bad grid point errors without
+// taking down the suite.
+func TestEvaluateSuiteIsolatesBadScenario(t *testing.T) {
+	bad := Fig2()
+	bad.Name = "bad: unknown preset"
+	bad.Hardware = HardwareSpec{Preset: "abacus"}
+	suite := testSuite()
+	suite.Scenarios = append(suite.Scenarios, bad)
+	results, err := EvaluateSuite(suite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+			if res.Scenario.Name != bad.Name {
+				t.Errorf("unexpected failure: %s: %v", res.Scenario.Name, res.Err)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Errorf("%d failures, want exactly the bad scenario", failed)
+	}
+}
+
+func TestDecodeSuiteAcceptsSingleScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig2().Encode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	suite, err := DecodeSuite(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Scenarios) != 1 || suite.Scenarios[0].Name != Fig2().Name {
+		t.Errorf("wrapped suite = %+v", suite)
+	}
+}
+
+func TestSuiteRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := testSuite().Encode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSuite(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := testSuite().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("expansion changed: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Errorf("scenario %d renamed: %q vs %q", i, a[i].Name, b[i].Name)
+		}
+	}
+}
+
+func TestDecodeSuiteRejectsGarbage(t *testing.T) {
+	for i, raw := range []string{
+		`not json`,
+		`{"scenarios": [{}], "bogus": 1}`,
+		`{"name":"x","scenarios":[]}`, // no scenarios and no sweep
+	} {
+		if _, err := DecodeSuite(strings.NewReader(raw)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package dmlscale_test
+
+// Every suite file shipped under examples/suites must load, expand and
+// evaluate cleanly — the examples are exercised here so they cannot rot.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dmlscale"
+)
+
+func TestExampleSuiteFilesEvaluate(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("examples", "suites", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("expected example suites under examples/suites, found %v", paths)
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			suite, err := dmlscale.LoadSuite(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := dmlscale.EvaluateSuite(suite, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) == 0 {
+				t.Fatal("suite evaluated to nothing")
+			}
+			for _, res := range results {
+				if res.Err != nil {
+					t.Errorf("%s: %v", res.Scenario.Name, res.Err)
+					continue
+				}
+				if res.OptimalN < 1 || res.PeakSpeedup < 1 {
+					t.Errorf("%s: optimum %d (%.2f×)", res.Scenario.Name, res.OptimalN, res.PeakSpeedup)
+				}
+			}
+		})
+	}
+}
+
+// TestFamilyTourCoversEveryFamily: the shipped family-tour suite really
+// builds every workload family the public API exposes.
+func TestFamilyTourCoversEveryFamily(t *testing.T) {
+	suite, err := dmlscale.LoadSuite(filepath.Join("examples", "suites", "model-family-tour.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := suite.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, sc := range scenarios {
+		family, err := sc.Family()
+		if err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+			continue
+		}
+		covered[family] = true
+	}
+	for _, family := range dmlscale.WorkloadFamilies() {
+		if !covered[family] {
+			t.Errorf("family %q not covered by the family tour", family)
+		}
+	}
+}
