@@ -163,3 +163,39 @@ func BenchmarkSuiteSerial(b *testing.B) {
 func BenchmarkSuiteParallel(b *testing.B) {
 	benchmarkSuiteEval(b, runtime.GOMAXPROCS(0))
 }
+
+// benchmarkSingleCurve evaluates ONE expensive curve (the benchSuite cell:
+// Monte-Carlo graph inference on a 60K-vertex DNS graph, 16 worker counts)
+// at a fixed shared-budget setting. Suite-level concurrency cannot help a
+// one-scenario run; the serial-vs-parallel gap here is pure intra-curve
+// parallelism (worker-count sharding plus Monte-Carlo trial sharding), and
+// the outputs are bit-identical either way.
+func benchmarkSingleCurve(b *testing.B, parallelism int) {
+	b.Helper()
+	suite := dmlscale.Suite{Name: "single curve", Scenarios: benchSuite().Scenarios[:1]}
+	defer dmlscale.SetParallelism(0)
+	dmlscale.SetParallelism(parallelism)
+	for i := 0; i < b.N; i++ {
+		results, err := dmlscale.EvaluateSuite(suite, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSingleCurveSerial is the intra-curve baseline: budget 1, every
+// worker count and trial evaluated on one goroutine.
+func BenchmarkSingleCurveSerial(b *testing.B) {
+	benchmarkSingleCurve(b, 1)
+}
+
+// BenchmarkSingleCurveParallel evaluates the same curve on the full budget;
+// compare ns/op against BenchmarkSingleCurveSerial.
+func BenchmarkSingleCurveParallel(b *testing.B) {
+	benchmarkSingleCurve(b, runtime.GOMAXPROCS(0))
+}

@@ -89,7 +89,7 @@ func main() {
 		fail(err)
 	}
 	for _, n := range []int{1, 2, 4, 8, 16} {
-		en, err := partition.MonteCarloMaxEdges(degrees, n, 3, *seed+int64(n))
+		en, err := partition.MonteCarloMaxEdges(degrees, n, 3, *seed)
 		if err != nil {
 			fail(err)
 		}

@@ -45,8 +45,12 @@ func main() {
 		protocol        = flag.String("protocol", "spark", "communication protocol: "+strings.Join(registry.LeafProtocolKinds(), ", ")+" (composed protocols need -config)")
 		maxN            = flag.Int("max", 16, "largest worker count to evaluate")
 		weak            = flag.Bool("weak", false, "weak scaling: shorthand for -family gd-weak")
+		parallelism     = flag.Int("parallel", 0, "parallelism budget for curve sampling and Monte-Carlo trials; 0 means GOMAXPROCS, 1 forces serial")
 	)
 	flag.Parse()
+	if *parallelism > 0 {
+		core.SetParallelism(*parallelism)
+	}
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "dmls-speedup: %v\n", err)

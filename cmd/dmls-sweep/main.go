@@ -9,6 +9,13 @@
 //	dmls-sweep -suite examples/suites/fig2-bandwidth-sweep.json
 //	dmls-sweep -emit-example > suite.json
 //	dmls-sweep -suite suite.json -parallel 4 -curves
+//	dmls-sweep -suite suite.json -format csv > results.csv
+//	dmls-sweep -suite suite.json -format json | jq .results
+//
+// -format csv|json replaces the ASCII rendering with a machine-readable
+// export so deployment tools can consume sweep results. -parallel sizes the
+// shared parallelism budget that both suite-level curve workers and
+// intra-curve Monte-Carlo shards draw from.
 //
 // A failing scenario (unknown preset, bad figures) reports its error in the
 // table; the rest of the suite still evaluates.
@@ -20,6 +27,7 @@ import (
 	"os"
 
 	"dmlscale/internal/asciiplot"
+	"dmlscale/internal/core"
 	"dmlscale/internal/scenario"
 	"dmlscale/internal/textio"
 )
@@ -31,8 +39,9 @@ const maxPlotCurves = 8
 func main() {
 	var (
 		suitePath   = flag.String("suite", "", "JSON suite (or single-scenario) file")
-		parallelism = flag.Int("parallel", 0, "concurrent curve evaluations; 0 means GOMAXPROCS")
-		curves      = flag.Bool("curves", false, "print every scenario's full speedup curve")
+		parallelism = flag.Int("parallel", 0, "total parallelism budget shared by suite-level curve workers and intra-curve Monte-Carlo shards; 0 means GOMAXPROCS")
+		format      = flag.String("format", "table", "output format: table, csv or json")
+		curves      = flag.Bool("curves", false, "print every scenario's full speedup curve (table format)")
 		noPlot      = flag.Bool("no-plot", false, "skip the overlaid speedup plot")
 		emitExample = flag.Bool("emit-example", false, "print an example sweep suite and exit")
 	)
@@ -52,13 +61,34 @@ func main() {
 	if *suitePath == "" {
 		fail(fmt.Errorf("missing -suite (or -emit-example)"))
 	}
+	if *format != "table" && *format != "csv" && *format != "json" {
+		fail(fmt.Errorf("unknown -format %q (table, csv, json)", *format))
+	}
 	suite, err := scenario.LoadSuite(*suitePath)
 	if err != nil {
 		fail(err)
 	}
-	results, err := scenario.EvaluateSuite(suite, *parallelism)
+	if *parallelism > 0 {
+		core.SetParallelism(*parallelism)
+	}
+	results, err := scenario.EvaluateSuite(suite, 0)
 	if err != nil {
 		fail(err)
+	}
+
+	switch *format {
+	case "csv":
+		if err := scenario.WriteResultsCSV(os.Stdout, results); err != nil {
+			fail(err)
+		}
+		exitReportingFailures(results)
+		return
+	case "json":
+		if err := scenario.WriteResultsJSON(os.Stdout, suite.Name, results); err != nil {
+			fail(err)
+		}
+		exitReportingFailures(results)
+		return
 	}
 
 	fmt.Printf("suite: %s (%d scenarios)\n\n", suite.Name, len(results))
@@ -83,17 +113,24 @@ func main() {
 		}
 	}
 
+	exitReportingFailures(results)
+}
+
+// exitReportingFailures warns about partially failed suites on stderr and
+// exits non-zero when nothing evaluated.
+func exitReportingFailures(results []scenario.Result) {
 	failed := 0
 	for _, res := range results {
 		if res.Err != nil {
 			failed++
 		}
 	}
-	if failed == len(results) {
-		fail(fmt.Errorf("all %d scenarios failed", failed))
+	if failed == len(results) && failed > 0 {
+		fmt.Fprintf(os.Stderr, "dmls-sweep: all %d scenarios failed\n", failed)
+		os.Exit(1)
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "dmls-sweep: %d of %d scenarios failed (see table)\n", failed, len(results))
+		fmt.Fprintf(os.Stderr, "dmls-sweep: %d of %d scenarios failed (see results)\n", failed, len(results))
 	}
 }
 

@@ -30,10 +30,13 @@
 // Beyond single models, a JSON Suite declares many scenarios at once — an
 // explicit list and/or a parameter sweep over bandwidth × protocol ×
 // precision × worker range — and EvaluateSuite computes every speedup curve
-// concurrently on a bounded worker pool with per-curve error isolation:
+// concurrently with per-curve error isolation. Suite-level workers and
+// intra-curve parallelism (worker-count sampling, Monte-Carlo trial
+// sharding) draw from one shared budget sized by SetParallelism (default
+// GOMAXPROCS), and results are bit-identical at any setting:
 //
 //	suite, err := dmlscale.LoadSuite("sweep.json")
-//	results, err := dmlscale.EvaluateSuite(suite, 0) // 0 = GOMAXPROCS
+//	results, err := dmlscale.EvaluateSuite(suite, 0) // 0 = whole budget
 //
 // The subpackages under internal implement the full system: analytic models
 // (core, comm), the catalog (registry), the scenario/suite schema
@@ -191,12 +194,25 @@ func LoadScenario(path string) (Scenario, error) { return scenario.Load(path) }
 func LoadSuite(path string) (Suite, error) { return scenario.LoadSuite(path) }
 
 // EvaluateSuite expands a suite and computes every speedup curve
-// concurrently on a bounded pool (parallelism ≤ 0 picks GOMAXPROCS). A
-// failing scenario yields a SuiteResult with Err set; the rest of the suite
-// still evaluates.
+// concurrently. Workers come from the shared parallelism budget (default
+// GOMAXPROCS; size it with SetParallelism), which suite-level curve workers
+// and intra-curve Monte-Carlo shards split between them; the parallelism
+// argument only caps the suite-level workers within that budget (≤ 0 means
+// no extra cap — it cannot raise concurrency above the budget). A failing
+// scenario yields a SuiteResult with Err set; the rest of the suite still
+// evaluates.
 func EvaluateSuite(s Suite, parallelism int) ([]SuiteResult, error) {
 	return scenario.EvaluateSuite(s, parallelism)
 }
+
+// SetParallelism sizes the shared parallelism budget that suite-level curve
+// workers and intra-curve Monte-Carlo shards draw from (≤ 0 means
+// GOMAXPROCS). Evaluation is deterministic at any setting; call it before
+// evaluating, not concurrently with it.
+func SetParallelism(limit int) { core.SetParallelism(limit) }
+
+// Parallelism returns the shared budget's total worker limit.
+func Parallelism() int { return core.Parallelism() }
 
 // Workers is a convenience for the worker counts lo..hi.
 func Workers(lo, hi int) []int { return core.Range(lo, hi) }

@@ -143,7 +143,11 @@ func (m Model) SpeedupCurve(workers []int) (Curve, error) {
 }
 
 // SpeedupCurveRelative evaluates the model at each worker count with
-// speedups relative to the given base worker count.
+// speedups relative to the given base worker count. Points are sampled in
+// parallel on the shared budget, so a single expensive curve (Monte-Carlo
+// graph inference) scales with cores; the model's time functions must be
+// deterministic and safe for concurrent calls, which every model built by
+// this module is. The result is bit-identical at any parallelism.
 func (m Model) SpeedupCurveRelative(base int, workers []int) (Curve, error) {
 	if err := m.Validate(); err != nil {
 		return Curve{}, err
@@ -154,16 +158,29 @@ func (m Model) SpeedupCurveRelative(base int, workers []int) (Curve, error) {
 	if len(workers) == 0 {
 		return Curve{}, fmt.Errorf("core: model %q: no worker counts", m.Name)
 	}
-	c := Curve{Name: m.Name, Points: make([]Point, 0, len(workers))}
 	for _, n := range workers {
 		if n < 1 {
 			return Curve{}, fmt.Errorf("core: model %q: worker count %d < 1", m.Name, n)
 		}
-		c.Points = append(c.Points, Point{
-			N:       n,
-			Time:    m.Time(n),
-			Speedup: m.SpeedupRelative(base, n),
-		})
+	}
+	c := Curve{Name: m.Name, Points: make([]Point, len(workers))}
+	ParallelChunks(len(workers), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n := workers[i]
+			c.Points[i] = Point{N: n, Time: m.Time(n)}
+		}
+	})
+	tb := float64(m.Time(base))
+	for i := range c.Points {
+		tn := float64(c.Points[i].Time)
+		switch {
+		case tn != 0:
+			c.Points[i].Speedup = tb / tn
+		case tb == 0:
+			c.Points[i].Speedup = 1
+		default:
+			c.Points[i].Speedup = math.Inf(1)
+		}
 	}
 	return c, nil
 }

@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Job is one curve to evaluate: a model builder plus the worker counts to
@@ -32,39 +32,50 @@ type JobResult struct {
 	Err error
 }
 
-// EvaluateAll evaluates every job concurrently on a bounded worker pool and
-// returns one result per job, in job order. parallelism ≤ 0 picks
-// GOMAXPROCS. A failing or panicking job yields an error result without
-// aborting the rest — per-curve error isolation, so one bad scenario in a
-// suite cannot take down the sweep.
+// EvaluateAll evaluates every job concurrently and returns one result per
+// job, in job order. Workers beyond the caller's own goroutine come from the
+// shared parallelism budget, so suite-level curve workers and the intra-curve
+// shards they spawn (parallel curve sampling, Monte-Carlo trials) compose
+// without oversubscribing the machine; parallelism caps the suite-level
+// workers on top of that (≤ 0 means no extra cap). A failing or panicking
+// job yields an error result without aborting the rest — per-curve error
+// isolation, so one bad scenario in a suite cannot take down the sweep.
 func EvaluateAll(jobs []Job, parallelism int) []JobResult {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(jobs) {
-		parallelism = len(jobs)
-	}
 	results := make([]JobResult, len(jobs))
 	if len(jobs) == 0 {
 		return results
 	}
+	budget := SharedBudget()
+	workers := parallelism
+	if workers <= 0 {
+		workers = budget.Limit()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	extra := budget.TryAcquire(workers - 1)
 
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(jobs) {
+				return
+			}
+			results[i] = evaluateOne(jobs[i])
+		}
+	}
 	var wg sync.WaitGroup
-	next := make(chan int)
-	for p := 0; p < parallelism; p++ {
+	for p := 0; p < extra; p++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				results[i] = evaluateOne(jobs[i])
-			}
+			run()
 		}()
 	}
-	for i := range jobs {
-		next <- i
-	}
-	close(next)
+	run()
 	wg.Wait()
+	budget.Release(extra)
 	return results
 }
 

@@ -3,6 +3,7 @@ package partition
 import (
 	"testing"
 
+	"dmlscale/internal/core"
 	"dmlscale/internal/graph"
 )
 
@@ -15,18 +16,40 @@ func benchDegrees(b *testing.B, vertices int) []int32 {
 	return degrees
 }
 
-func BenchmarkMonteCarloMaxEdges100K(b *testing.B) {
-	degrees := benchDegrees(b, 100000)
+// benchmarkMonteCarlo runs the estimator at a fixed shared-budget setting;
+// run with -benchmem to see the scratch-buffer reuse (allocs stay flat as
+// trials grow).
+func benchmarkMonteCarlo(b *testing.B, vertices, workers, trials, parallelism int) {
+	degrees := benchDegrees(b, vertices)
+	defer core.SetParallelism(0)
+	core.SetParallelism(parallelism)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := MonteCarloMaxEdges(degrees, 64, 1, int64(i)); err != nil {
+		if _, err := MonteCarloMaxEdges(degrees, workers, trials, int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
+func BenchmarkMonteCarloMaxEdges100K(b *testing.B) {
+	benchmarkMonteCarlo(b, 100000, 64, 1, 0)
+}
+
+// BenchmarkMonteCarloMaxEdges100K8TrialsSerial vs ...Parallel measures the
+// intra-estimate trial sharding: same seeds, same result, split across the
+// budget.
+func BenchmarkMonteCarloMaxEdges100K8TrialsSerial(b *testing.B) {
+	benchmarkMonteCarlo(b, 100000, 64, 8, 1)
+}
+
+func BenchmarkMonteCarloMaxEdges100K8TrialsParallel(b *testing.B) {
+	benchmarkMonteCarlo(b, 100000, 64, 8, 0)
+}
+
 func BenchmarkGreedyByDegree100K(b *testing.B) {
 	degrees := benchDegrees(b, 100000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := GreedyByDegree(degrees, 64); err != nil {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dmlscale/internal/core"
 	"dmlscale/internal/graph"
 )
 
@@ -96,35 +97,42 @@ func GreedyByDegree(degrees []int32, workers int) (Assignment, error) {
 	if err := checkSizes(len(degrees), workers); err != nil {
 		return Assignment{}, err
 	}
-	order := make([]int, len(degrees))
-	for i := range order {
-		order[i] = i
-	}
-	// Counting sort by degree, descending: degree values are bounded by
-	// the max, and this keeps the assignment deterministic.
+	// Counting sort by degree, descending, stable in vertex id: two flat
+	// arrays (per-degree counts and the sorted order) instead of a slice of
+	// per-degree buckets, so sorting 100K vertices costs two allocations
+	// rather than one per distinct degree.
 	maxDeg := int32(0)
 	for _, d := range degrees {
 		if d > maxDeg {
 			maxDeg = d
 		}
 	}
-	buckets := make([][]int, maxDeg+1)
+	starts := make([]int32, maxDeg+1)
+	for _, d := range degrees {
+		starts[d]++
+	}
+	next := int32(0)
+	for d := int(maxDeg); d >= 0; d-- {
+		count := starts[d]
+		starts[d] = next
+		next += count
+	}
+	order := make([]int32, len(degrees))
 	for v, d := range degrees {
-		buckets[d] = append(buckets[d], v)
+		order[starts[d]] = int32(v)
+		starts[d]++
 	}
 	owner := make([]int32, len(degrees))
 	loads := make([]int64, workers)
-	for d := int(maxDeg); d >= 0; d-- {
-		for _, v := range buckets[d] {
-			best := 0
-			for w := 1; w < workers; w++ {
-				if loads[w] < loads[best] {
-					best = w
-				}
+	for _, v := range order {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if loads[w] < loads[best] {
+				best = w
 			}
-			owner[v] = int32(best)
-			loads[best] += int64(degrees[v])
 		}
+		owner[v] = int32(best)
+		loads[best] += int64(degrees[v])
 	}
 	return Assignment{Workers: workers, Owner: owner}, nil
 }
@@ -188,9 +196,38 @@ type Estimate struct {
 	Trials int
 }
 
+// StreamSeed derives the RNG seed of one Monte-Carlo trial from the base
+// seed, the worker count and the trial index by chained SplitMix64
+// finalization. Hashing all three coordinates gives every (workers, trial)
+// cell an independent stream: the earlier additive derivation
+// (seed + workers + trial) made trial t at n workers reuse the stream of
+// trial t+1 at n−1 workers, correlating the estimates of adjacent curve
+// points.
+func StreamSeed(seed int64, workers, trial int) int64 {
+	h := splitmix64(uint64(seed))
+	h = splitmix64(h ^ uint64(workers))
+	h = splitmix64(h ^ uint64(trial))
+	return int64(h)
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea, Flood 2014), a
+// bijective avalanche mix.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // MonteCarloMaxEdges estimates maxᵢ Eᵢ for a random assignment of the given
 // degree sequence to n workers, averaging over trials seeded assignments —
 // the paper's "Monte-Carlo-like simulation".
+//
+// Trials are sharded across the shared parallelism budget. Each trial draws
+// from its own StreamSeed(seed, workers, trial) stream and trial maxima are
+// reduced in index order, so the estimate is bit-identical at any
+// parallelism. Each shard reuses one owner and one loads buffer across its
+// trials instead of allocating per assignment.
 func MonteCarloMaxEdges(degrees []int32, workers, trials int, seed int64) (Estimate, error) {
 	if trials < 1 {
 		return Estimate{}, fmt.Errorf("partition: %d trials", trials)
@@ -205,17 +242,28 @@ func MonteCarloMaxEdges(degrees []int32, workers, trials int, seed int64) (Estim
 	edges /= 2
 	dup := DupCorrection(len(degrees), edges, workers)
 
+	maxes := make([]float64, trials)
+	core.ParallelChunks(trials, func(lo, hi int) {
+		owner := make([]int32, len(degrees))
+		loads := make([]int64, workers)
+		rng := rand.New(rand.NewSource(0))
+		for trial := lo; trial < hi; trial++ {
+			rng.Seed(StreamSeed(seed, workers, trial))
+			for v := range owner {
+				owner[v] = int32(rng.Intn(workers))
+			}
+			for w := range loads {
+				loads[w] = 0
+			}
+			for v, d := range degrees {
+				loads[owner[v]] += int64(d)
+			}
+			maxes[trial] = MaxLoad(loads, dup)
+		}
+	})
 	total := 0.0
-	for trial := 0; trial < trials; trial++ {
-		a, err := Random(len(degrees), workers, seed+int64(trial))
-		if err != nil {
-			return Estimate{}, err
-		}
-		loads, err := DegreeLoads(degrees, a)
-		if err != nil {
-			return Estimate{}, err
-		}
-		total += MaxLoad(loads, dup)
+	for _, m := range maxes {
+		total += m
 	}
 	return Estimate{MaxEdges: total / float64(trials), Trials: trials}, nil
 }

@@ -2,9 +2,11 @@ package partition
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
+	"dmlscale/internal/core"
 	"dmlscale/internal/graph"
 )
 
@@ -110,6 +112,42 @@ func TestGreedyByDegreeBalances(t *testing.T) {
 	}
 }
 
+func TestGreedyByDegreeMatchesReferenceOrder(t *testing.T) {
+	// The counting sort must process vertices in descending degree, stable
+	// in vertex id — the same order a straightforward stable sort gives —
+	// so the flat-array rewrite cannot change any assignment.
+	degrees, err := graph.PowerLawDegrees(2000, 12000, 400, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GreedyByDegree(degrees, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make([]int, len(degrees))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return degrees[order[a]] > degrees[order[b]] })
+	owner := make([]int32, len(degrees))
+	loads := make([]int64, 7)
+	for _, v := range order {
+		best := 0
+		for w := 1; w < 7; w++ {
+			if loads[w] < loads[best] {
+				best = w
+			}
+		}
+		owner[v] = int32(best)
+		loads[best] += int64(degrees[v])
+	}
+	for v := range owner {
+		if got.Owner[v] != owner[v] {
+			t.Fatalf("vertex %d assigned to %d, reference says %d", v, got.Owner[v], owner[v])
+		}
+	}
+}
+
 func TestDegreeLoadsConservation(t *testing.T) {
 	// Property: loads sum to the degree sum for any assignment.
 	f := func(seed int64, rawWorkers uint8) bool {
@@ -199,6 +237,80 @@ func TestMonteCarloSkewIncreasesMax(t *testing.T) {
 	}
 	if estSkew.MaxEdges <= estUni.MaxEdges {
 		t.Errorf("skewed max %v should exceed uniform max %v", estSkew.MaxEdges, estUni.MaxEdges)
+	}
+}
+
+func TestStreamSeedIndependence(t *testing.T) {
+	// The regression the hash fixes: with the old additive derivation
+	// (seed + workers + trial), trial t at n workers shared a stream with
+	// trial t+1 at n−1 workers. Hashed seeds must differ across every
+	// nearby (workers, trial) pair.
+	seen := map[int64][2]int{}
+	for workers := 1; workers <= 8; workers++ {
+		for trial := 0; trial < 8; trial++ {
+			s := StreamSeed(42, workers, trial)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("StreamSeed(42, %d, %d) collides with (%d, %d)", workers, trial, prev[0], prev[1])
+			}
+			seen[s] = [2]int{workers, trial}
+		}
+	}
+	// Pinned values: the derivation is part of the estimator's contract —
+	// changing it silently would change every published model number.
+	pins := []struct {
+		seed    int64
+		workers int
+		trial   int
+		want    int64
+	}{
+		{42, 4, 0, -1667834411506607640},
+		{42, 4, 1, -4691939078754974177},
+		{42, 5, 0, -5475267003953413020},
+		{0, 1, 0, 4964578127960768432},
+	}
+	for _, p := range pins {
+		if got := StreamSeed(p.seed, p.workers, p.trial); got != p.want {
+			t.Errorf("StreamSeed(%d, %d, %d) = %d, want %d", p.seed, p.workers, p.trial, got, p.want)
+		}
+	}
+}
+
+func TestMonteCarloPinnedEstimate(t *testing.T) {
+	// Golden value for the hashed-stream estimator on a fixed input.
+	degrees := make([]int32, 1000)
+	for i := range degrees {
+		degrees[i] = int32(1 + i%5)
+	}
+	est, err := MonteCarloMaxEdges(degrees, 4, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 699.8648648648649; est.MaxEdges != want {
+		t.Errorf("MaxEdges = %v, want pinned %v", est.MaxEdges, want)
+	}
+	if est.Trials != 3 {
+		t.Errorf("Trials = %d, want 3", est.Trials)
+	}
+}
+
+func TestMonteCarloDeterministicAtAnyParallelism(t *testing.T) {
+	degrees, err := graph.PowerLawDegrees(20000, 120000, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.SetParallelism(0)
+	core.SetParallelism(1)
+	serial, err := MonteCarloMaxEdges(degrees, 12, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SetParallelism(8)
+	parallel, err := MonteCarloMaxEdges(degrees, 12, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.MaxEdges != parallel.MaxEdges {
+		t.Errorf("serial %v != parallel %v: trial sharding changed the estimate", serial.MaxEdges, parallel.MaxEdges)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dmlscale/internal/asyncgd"
 	"dmlscale/internal/bp"
@@ -348,48 +349,56 @@ func materialized(build func(GraphSpec) (*graph.Graph, error)) graphEntry {
 }
 
 // graphFamilies is THE graph-family registry — the only name→generator
-// switch in the module.
-var graphFamilies = map[string]graphEntry{
-	"dns": {
-		degrees: func(s GraphSpec) ([]int32, error) {
-			return graph.ScaledDNSGraph(s.Vertices).Degrees(s.Seed)
+// switch in the module. The dns and power-law builders recurse through the
+// cached GraphDegrees, so the map is filled in init to break the
+// initialization cycle.
+var graphFamilies map[string]graphEntry
+
+func init() {
+	graphFamilies = map[string]graphEntry{
+		"dns": {
+			degrees: func(s GraphSpec) ([]int32, error) {
+				return graph.ScaledDNSGraph(s.Vertices).Degrees(s.Seed)
+			},
+			build: func(s GraphSpec) (*graph.Graph, error) {
+				// GraphDegrees, not the raw generator: materializing a cached
+				// spec reuses its cached degree sequence.
+				degrees, err := GraphDegrees(s)
+				if err != nil {
+					return nil, err
+				}
+				return graph.ChungLu(degrees, s.Seed+1)
+			},
 		},
-		build: func(s GraphSpec) (*graph.Graph, error) {
-			degrees, err := graph.ScaledDNSGraph(s.Vertices).Degrees(s.Seed)
-			if err != nil {
-				return nil, err
+		"power-law": {
+			degrees: func(s GraphSpec) ([]int32, error) {
+				return graph.PowerLawDegrees(s.Vertices, s.Edges, s.MaxDegree, s.Seed)
+			},
+			build: func(s GraphSpec) (*graph.Graph, error) {
+				degrees, err := GraphDegrees(s)
+				if err != nil {
+					return nil, err
+				}
+				return graph.ChungLu(degrees, s.Seed+1)
+			},
+		},
+		"grid": materialized(func(s GraphSpec) (*graph.Graph, error) {
+			side := 1
+			for side*side < s.Vertices {
+				side++
 			}
-			return graph.ChungLu(degrees, s.Seed+1)
-		},
-	},
-	"power-law": {
-		degrees: func(s GraphSpec) ([]int32, error) {
-			return graph.PowerLawDegrees(s.Vertices, s.Edges, s.MaxDegree, s.Seed)
-		},
-		build: func(s GraphSpec) (*graph.Graph, error) {
-			degrees, err := graph.PowerLawDegrees(s.Vertices, s.Edges, s.MaxDegree, s.Seed)
-			if err != nil {
-				return nil, err
-			}
-			return graph.ChungLu(degrees, s.Seed+1)
-		},
-	},
-	"grid": materialized(func(s GraphSpec) (*graph.Graph, error) {
-		side := 1
-		for side*side < s.Vertices {
-			side++
-		}
-		return graph.Grid2D(side, side)
-	}),
-	"cycle": materialized(func(s GraphSpec) (*graph.Graph, error) {
-		return graph.Cycle(s.Vertices)
-	}),
-	"tree": materialized(func(s GraphSpec) (*graph.Graph, error) {
-		return graph.CompleteBinaryTree(s.Vertices)
-	}),
-	"star": materialized(func(s GraphSpec) (*graph.Graph, error) {
-		return graph.Star(s.Vertices - 1)
-	}),
+			return graph.Grid2D(side, side)
+		}),
+		"cycle": materialized(func(s GraphSpec) (*graph.Graph, error) {
+			return graph.Cycle(s.Vertices)
+		}),
+		"tree": materialized(func(s GraphSpec) (*graph.Graph, error) {
+			return graph.CompleteBinaryTree(s.Vertices)
+		}),
+		"star": materialized(func(s GraphSpec) (*graph.Graph, error) {
+			return graph.Star(s.Vertices - 1)
+		}),
+	}
 }
 
 // validateGraph checks the spec before dispatch.
@@ -406,22 +415,88 @@ func validateGraph(s GraphSpec) error {
 	return nil
 }
 
+// graphCacheEntry memoizes what one GraphSpec generates. Each product is
+// guarded by its own sync.Once, so concurrent sweep cells that name the same
+// graph single-flight the generation instead of each regenerating it.
+type graphCacheEntry struct {
+	degOnce sync.Once
+	degrees []int32
+	degErr  error
+
+	buildOnce sync.Once
+	g         *graph.Graph
+	buildErr  error
+}
+
+// maxGraphCacheEntries bounds the cache; generators are deterministic, so a
+// spec past the cap simply regenerates instead of evicting.
+const maxGraphCacheEntries = 32
+
+var (
+	graphCache     sync.Map // GraphSpec → *graphCacheEntry
+	graphCacheSize atomic.Int32
+)
+
+// graphCacheSlot returns the cache entry for a spec, or nil when the cache
+// is full and the spec is not already cached.
+func graphCacheSlot(s GraphSpec) *graphCacheEntry {
+	if e, ok := graphCache.Load(s); ok {
+		return e.(*graphCacheEntry)
+	}
+	if graphCacheSize.Load() >= maxGraphCacheEntries {
+		return nil
+	}
+	e, loaded := graphCache.LoadOrStore(s, &graphCacheEntry{})
+	if !loaded {
+		graphCacheSize.Add(1)
+	}
+	return e.(*graphCacheEntry)
+}
+
+// ResetGraphCache empties the generated-graph cache. Benchmarks use it to
+// measure cold generation; evaluation never needs it.
+func ResetGraphCache() {
+	graphCache.Range(func(k, _ any) bool {
+		graphCache.Delete(k)
+		return true
+	})
+	graphCacheSize.Store(0)
+}
+
 // GraphDegrees generates the degree sequence of the described graph — all
-// the paper's graph-inference model needs.
+// the paper's graph-inference model needs. Results are cached by the full
+// spec, so a sweep grid whose cells share one graph generates it once; the
+// returned slice is shared with every other caller of the same spec and must
+// be treated as read-only.
 func GraphDegrees(s GraphSpec) ([]int32, error) {
 	if err := validateGraph(s); err != nil {
 		return nil, err
 	}
-	return graphFamilies[s.Family].degrees(s)
+	e := graphCacheSlot(s)
+	if e == nil {
+		return graphFamilies[s.Family].degrees(s)
+	}
+	e.degOnce.Do(func() {
+		e.degrees, e.degErr = graphFamilies[s.Family].degrees(s)
+	})
+	return e.degrees, e.degErr
 }
 
 // BuildGraph materializes the described graph for algorithms that need the
-// edges, not just the degrees.
+// edges, not just the degrees. Like GraphDegrees it caches by spec; the
+// returned graph is shared and must not be mutated.
 func BuildGraph(s GraphSpec) (*graph.Graph, error) {
 	if err := validateGraph(s); err != nil {
 		return nil, err
 	}
-	return graphFamilies[s.Family].build(s)
+	e := graphCacheSlot(s)
+	if e == nil {
+		return graphFamilies[s.Family].build(s)
+	}
+	e.buildOnce.Do(func() {
+		e.g, e.buildErr = graphFamilies[s.Family].build(s)
+	})
+	return e.g, e.buildErr
 }
 
 // GraphFamilies returns the registered graph families in stable order.
@@ -673,11 +748,23 @@ func graphModel(name string, spec WorkloadSpec, opsPerEdge float64, node hardwar
 	return model, nil
 }
 
+// estCell is one single-flight slot of GraphInferenceModel's
+// per-worker-count memo.
+type estCell struct {
+	once sync.Once
+	v    float64
+}
+
 // GraphInferenceModel builds the paper's graphical-model inference model
 // (§IV-B): computation proportional to the Monte-Carlo estimate of the
 // maximum per-worker edge count for the given degree sequence. The
-// per-worker-count estimates are memoized behind a mutex, so the model is
-// safe to evaluate from concurrent goroutines. Degenerate inputs are
+// per-worker-count estimates are memoized single-flight — one sync.Once per
+// worker count — so concurrent curve points never contend on a shared lock
+// and each estimate is computed exactly once; the Monte-Carlo trials behind
+// it shard across the shared parallelism budget. Each trial draws from a
+// partition.StreamSeed stream hashed from (seed, workers, trial), so the
+// estimates of adjacent worker counts are statistically independent and the
+// model output is bit-identical at any parallelism. Degenerate inputs are
 // rejected here rather than surfacing as infinite speedups later.
 func GraphInferenceModel(name string, degrees []int32, opsPerEdge float64, f units.Flops, trials int, seed int64) (core.Model, error) {
 	if len(degrees) == 0 {
@@ -692,25 +779,25 @@ func GraphInferenceModel(name string, degrees []int32, opsPerEdge float64, f uni
 	if trials < 1 {
 		return core.Model{}, fmt.Errorf("registry: graph inference %q: trials %d < 1", name, trials)
 	}
-	var (
-		mu    sync.Mutex
-		cache = map[int]float64{}
-	)
+	var table sync.Map // worker count → *estCell
 	maxEdges := func(n int) float64 {
-		mu.Lock()
-		defer mu.Unlock()
-		if v, ok := cache[n]; ok {
-			return v
+		e, ok := table.Load(n)
+		if !ok {
+			e, _ = table.LoadOrStore(n, &estCell{})
 		}
-		// The inputs are validated above, so the estimator can only fail
-		// on a non-positive worker count; infinite time marks that misuse
-		// without poisoning the cache for valid counts.
-		est, err := partition.MonteCarloMaxEdges(degrees, n, trials, seed+int64(n))
-		if err != nil {
-			return math.Inf(1)
-		}
-		cache[n] = est.MaxEdges
-		return est.MaxEdges
+		cell := e.(*estCell)
+		cell.once.Do(func() {
+			// The inputs are validated above, so the estimator can only
+			// fail on a non-positive worker count; infinite time marks
+			// that misuse without poisoning the memo for valid counts.
+			est, err := partition.MonteCarloMaxEdges(degrees, n, trials, seed)
+			if err != nil {
+				cell.v = math.Inf(1)
+				return
+			}
+			cell.v = est.MaxEdges
+		})
+		return cell.v
 	}
 	return core.Model{
 		Name: name,

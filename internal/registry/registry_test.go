@@ -2,10 +2,12 @@ package registry
 
 import (
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
 	"dmlscale/internal/comm"
+	"dmlscale/internal/core"
 	"dmlscale/internal/hardware"
 	"dmlscale/internal/units"
 )
@@ -380,6 +382,107 @@ func TestGraphInferenceModelRejectsDegenerateInputs(t *testing.T) {
 	for _, c := range cases {
 		if c.err() == nil {
 			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestGraphCacheReusesGeneration(t *testing.T) {
+	ResetGraphCache()
+	defer ResetGraphCache()
+	spec := GraphSpec{Family: "dns", Vertices: 4000, Seed: 21}
+	a, err := GraphDegrees(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GraphDegrees(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("same spec regenerated its degree sequence instead of hitting the cache")
+	}
+	// A different seed is a different cache key.
+	other, err := GraphDegrees(GraphSpec{Family: "dns", Vertices: 4000, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &other[0] == &a[0] {
+		t.Error("different specs shared a cache entry")
+	}
+	// Materializing the same spec reuses the cached graph too.
+	g1, err := BuildGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BuildGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("same spec rebuilt its graph instead of hitting the cache")
+	}
+}
+
+func TestGraphCacheConcurrentSingleFlight(t *testing.T) {
+	ResetGraphCache()
+	defer ResetGraphCache()
+	spec := GraphSpec{Family: "power-law", Vertices: 3000, Edges: 15000, MaxDegree: 500, Seed: 4}
+	var wg sync.WaitGroup
+	results := make([][]int32, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			degrees, err := GraphDegrees(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = degrees
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if len(results[i]) == 0 {
+			t.Fatalf("goroutine %d got no degrees", i)
+		}
+		if &results[i][0] != &results[0][0] {
+			t.Errorf("goroutine %d generated its own copy; single-flight failed", i)
+		}
+	}
+}
+
+func TestGraphInferenceDeterministicAtAnyParallelism(t *testing.T) {
+	degrees, err := GraphDegrees(GraphSpec{Family: "dns", Vertices: 20000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := make([]int, 16)
+	for i := range workers {
+		workers[i] = i + 1
+	}
+	curve := func(parallelism int) []float64 {
+		core.SetParallelism(parallelism)
+		model, err := GraphInferenceModel("determinism", degrees, 14, 1e9, 5, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := model.SpeedupCurve(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 0, 2*len(c.Points))
+		for _, p := range c.Points {
+			out = append(out, float64(p.Time), p.Speedup)
+		}
+		return out
+	}
+	defer core.SetParallelism(0)
+	serial := curve(1)
+	parallel := curve(runtime.GOMAXPROCS(0))
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("value %d differs: serial %v, parallel %v — curve is not bit-identical under parallelism", i, serial[i], parallel[i])
 		}
 	}
 }

@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ResultRecord is the flat, serializable form of one suite Result — the
+// machine-readable export deployment tools consume instead of the ASCII
+// tables.
+type ResultRecord struct {
+	// Scenario echoes the expanded scenario's name.
+	Scenario string `json:"scenario"`
+	// Family is the canonical workload family, when it resolves.
+	Family string `json:"family,omitempty"`
+	// OptimalWorkers and PeakSpeedup summarize the curve.
+	OptimalWorkers int     `json:"optimal_workers,omitempty"`
+	PeakSpeedup    float64 `json:"peak_speedup,omitempty"`
+	// Workers, TimesSeconds and Speedups are the curve, position-aligned.
+	Workers      []int     `json:"workers,omitempty"`
+	TimesSeconds []float64 `json:"times_seconds,omitempty"`
+	Speedups     []float64 `json:"speedups,omitempty"`
+	// Error carries a per-scenario failure; the numeric fields are then
+	// empty.
+	Error string `json:"error,omitempty"`
+}
+
+// SuiteReport is the JSON document WriteResultsJSON emits: the suite name
+// plus one record per evaluated scenario, in suite order.
+type SuiteReport struct {
+	Suite   string         `json:"suite"`
+	Results []ResultRecord `json:"results"`
+}
+
+// Records flattens evaluated suite results into serializable records.
+func Records(results []Result) []ResultRecord {
+	out := make([]ResultRecord, len(results))
+	for i, res := range results {
+		rec := ResultRecord{Scenario: res.Scenario.Name}
+		if family, err := res.Scenario.Family(); err == nil {
+			rec.Family = family
+		}
+		if res.Err != nil {
+			rec.Error = res.Err.Error()
+			out[i] = rec
+			continue
+		}
+		rec.OptimalWorkers = res.OptimalN
+		rec.PeakSpeedup = res.PeakSpeedup
+		rec.Workers = res.Curve.Workers()
+		rec.TimesSeconds = res.Curve.Times()
+		rec.Speedups = res.Curve.Speedups()
+		out[i] = rec
+	}
+	return out
+}
+
+// WriteResultsJSON writes the suite's evaluated results as one indented JSON
+// document (SuiteReport).
+func WriteResultsJSON(w io.Writer, suiteName string, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(SuiteReport{Suite: suiteName, Results: Records(results)})
+}
+
+// WriteResultsCSV writes the results in long form, one row per curve point:
+//
+//	scenario,family,workers,time_seconds,speedup,optimal_workers,peak_speedup,error
+//
+// A failed scenario contributes a single row with the numeric columns empty
+// and the error in the last column, so a consumer can tell "failed" from
+// "absent".
+func WriteResultsCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"scenario", "family", "workers", "time_seconds", "speedup", "optimal_workers", "peak_speedup", "error"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("scenario: csv: %w", err)
+	}
+	for _, rec := range Records(results) {
+		if rec.Error != "" {
+			if err := cw.Write([]string{rec.Scenario, rec.Family, "", "", "", "", "", rec.Error}); err != nil {
+				return fmt.Errorf("scenario: csv: %w", err)
+			}
+			continue
+		}
+		for i, n := range rec.Workers {
+			row := []string{
+				rec.Scenario,
+				rec.Family,
+				strconv.Itoa(n),
+				strconv.FormatFloat(rec.TimesSeconds[i], 'g', -1, 64),
+				strconv.FormatFloat(rec.Speedups[i], 'g', -1, 64),
+				strconv.Itoa(rec.OptimalWorkers),
+				strconv.FormatFloat(rec.PeakSpeedup, 'g', -1, 64),
+				"",
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("scenario: csv: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("scenario: csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// exportSuite is a small mixed suite: one healthy sweep plus one scenario
+// that fails at evaluation.
+func exportSuite() Suite {
+	bad := Fig2()
+	bad.Name = "broken"
+	bad.Hardware = HardwareSpec{Preset: "abacus"}
+	return Suite{
+		Name:      "export fixture",
+		Scenarios: []Scenario{Fig2(), bad},
+	}
+}
+
+func TestResultsJSONRoundTrip(t *testing.T) {
+	results, err := EvaluateSuite(exportSuite(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteResultsJSON(&buf, "export fixture", results); err != nil {
+		t.Fatal(err)
+	}
+	var report SuiteReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("decoding exported JSON: %v", err)
+	}
+	if report.Suite != "export fixture" {
+		t.Errorf("suite name %q", report.Suite)
+	}
+	if len(report.Results) != len(results) {
+		t.Fatalf("%d records for %d results", len(report.Results), len(results))
+	}
+	ok := report.Results[0]
+	if ok.Scenario != results[0].Scenario.Name || ok.Error != "" {
+		t.Errorf("healthy record mangled: %+v", ok)
+	}
+	if ok.Family != "gd-strong" {
+		t.Errorf("family = %q, want gd-strong", ok.Family)
+	}
+	if len(ok.Workers) != len(results[0].Curve.Points) ||
+		len(ok.Speedups) != len(ok.Workers) || len(ok.TimesSeconds) != len(ok.Workers) {
+		t.Fatalf("curve columns misaligned: %+v", ok)
+	}
+	// The numbers round-trip exactly: the export is the curve, not a
+	// rendering of it.
+	for i, p := range results[0].Curve.Points {
+		if ok.Workers[i] != p.N || ok.Speedups[i] != p.Speedup || ok.TimesSeconds[i] != float64(p.Time) {
+			t.Fatalf("point %d: exported (%d, %v, %v), curve has %+v", i, ok.Workers[i], ok.TimesSeconds[i], ok.Speedups[i], p)
+		}
+	}
+	if ok.OptimalWorkers != results[0].OptimalN || ok.PeakSpeedup != results[0].PeakSpeedup {
+		t.Errorf("summary fields drifted: %+v", ok)
+	}
+	failed := report.Results[1]
+	if failed.Error == "" || !strings.Contains(failed.Error, "abacus") {
+		t.Errorf("failed record lost its error: %+v", failed)
+	}
+	if len(failed.Workers) != 0 {
+		t.Errorf("failed record carries curve data: %+v", failed)
+	}
+}
+
+func TestResultsCSVShape(t *testing.T) {
+	results, err := EvaluateSuite(exportSuite(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteResultsCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV unparseable: %v", err)
+	}
+	wantRows := 1 + len(results[0].Curve.Points) + 1 // header + curve + error row
+	if len(rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rows), wantRows)
+	}
+	if rows[0][0] != "scenario" || rows[0][2] != "workers" || rows[0][7] != "error" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != results[0].Scenario.Name || rows[1][2] != "1" {
+		t.Errorf("first curve row = %v", rows[1])
+	}
+	last := rows[len(rows)-1]
+	if last[0] != "broken" || last[2] != "" || !strings.Contains(last[7], "abacus") {
+		t.Errorf("error row = %v", last)
+	}
+}

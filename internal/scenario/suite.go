@@ -204,10 +204,11 @@ type Result struct {
 	Err error
 }
 
-// EvaluateSuite expands the suite and computes every curve concurrently on a
-// bounded pool (parallelism ≤ 0 picks GOMAXPROCS). Scenario errors isolate:
-// a bad grid point yields a Result with Err set and the rest of the suite
-// completes.
+// EvaluateSuite expands the suite and computes every curve concurrently on
+// the shared parallelism budget (core.SetParallelism, default GOMAXPROCS);
+// parallelism caps the suite-level workers within that budget, ≤ 0 meaning
+// no extra cap. Scenario errors isolate: a bad grid point yields a Result
+// with Err set and the rest of the suite completes.
 func EvaluateSuite(s Suite, parallelism int) ([]Result, error) {
 	scenarios, err := s.Expand()
 	if err != nil {

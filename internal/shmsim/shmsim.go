@@ -162,7 +162,9 @@ func ModelCurve(cfg Config, workers []int, trials int, seed int64) (core.Curve, 
 	t1 := units.ComputeTime(est1.MaxEdges*opsPerEdge, cfg.Flops)
 	curve := core.Curve{Name: "BP model (Monte-Carlo)", Points: make([]core.Point, 0, len(workers))}
 	for _, n := range workers {
-		est, err := partition.MonteCarloMaxEdges(cfg.Degrees, n, trials, seed+int64(n))
+		// The estimator hashes (seed, n, trial) into independent RNG
+		// streams, so one base seed serves every worker count.
+		est, err := partition.MonteCarloMaxEdges(cfg.Degrees, n, trials, seed)
 		if err != nil {
 			return core.Curve{}, err
 		}

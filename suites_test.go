@@ -5,9 +5,11 @@ package dmlscale_test
 
 import (
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"dmlscale"
+	"dmlscale/internal/scenario"
 )
 
 func TestExampleSuiteFilesEvaluate(t *testing.T) {
@@ -67,6 +69,62 @@ func TestFamilyTourCoversEveryFamily(t *testing.T) {
 	for _, family := range dmlscale.WorkloadFamilies() {
 		if !covered[family] {
 			t.Errorf("family %q not covered by the family tour", family)
+		}
+	}
+}
+
+// TestSuiteDeterministicAtAnyParallelism: the acceptance bar for intra-curve
+// parallelism — the same graph-inference scenario evaluated serially and on
+// the full shared budget must produce bit-identical curves, because trial
+// RNG streams are hashed per (seed, workers, trial) and reductions run in
+// index order.
+func TestSuiteDeterministicAtAnyParallelism(t *testing.T) {
+	suite := dmlscale.Suite{
+		Name: "determinism",
+		Scenarios: []dmlscale.Scenario{{
+			Name: "bp determinism probe",
+			Workload: scenario.WorkloadSpec{
+				Family: "mrf",
+				Graph:  &scenario.GraphSpec{Family: "dns", Vertices: 20000, Seed: 5},
+				States: 2,
+				Trials: 4,
+				Seed:   5,
+			},
+			Hardware:   scenario.HardwareSpec{Preset: "dl980-core"},
+			Protocol:   scenario.ProtocolSpec{Kind: "shared-memory"},
+			MaxWorkers: 16,
+		}},
+	}
+
+	evaluate := func(parallelism int) []dmlscale.SuiteResult {
+		dmlscale.SetParallelism(parallelism)
+		results, err := dmlscale.EvaluateSuite(suite, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+		return results
+	}
+	defer dmlscale.SetParallelism(0)
+	serial := evaluate(1)
+	parallel := evaluate(runtime.GOMAXPROCS(0))
+	for i := range serial {
+		sp, pp := serial[i].Curve.Points, parallel[i].Curve.Points
+		if len(sp) != len(pp) {
+			t.Fatalf("curve %d: %d vs %d points", i, len(sp), len(pp))
+		}
+		for j := range sp {
+			if sp[j] != pp[j] {
+				t.Fatalf("curve %d point %d: serial %+v != parallel %+v", i, j, sp[j], pp[j])
+			}
+		}
+		if serial[i].OptimalN != parallel[i].OptimalN || serial[i].PeakSpeedup != parallel[i].PeakSpeedup {
+			t.Fatalf("curve %d: optima differ (%d, %v) vs (%d, %v)", i,
+				serial[i].OptimalN, serial[i].PeakSpeedup, parallel[i].OptimalN, parallel[i].PeakSpeedup)
 		}
 	}
 }
