@@ -199,3 +199,60 @@ func BenchmarkSingleCurveSerial(b *testing.B) {
 func BenchmarkSingleCurveParallel(b *testing.B) {
 	benchmarkSingleCurve(b, runtime.GOMAXPROCS(0))
 }
+
+// planBenchSuite is a 24-cell planning grid: the Fig. 3 workload with a
+// diminishing-returns convergence block swept over protocol × bandwidth ×
+// precision, each cell optimized over 128 worker counts.
+func planBenchSuite() dmlscale.Suite {
+	base := scenario.Fig3()
+	base.Name = "conv ANN"
+	base.MaxWorkers = 128
+	base.Convergence = &dmlscale.ConvergenceSpec{
+		Rule:                "diminishing",
+		BaseIterations:      50000,
+		CriticalBatchGrowth: 32,
+	}
+	return dmlscale.Suite{
+		Name:      "plan bench grid",
+		Objective: "pareto",
+		Sweep: &dmlscale.Sweep{
+			Base:                 base,
+			Protocols:            []string{"two-stage-tree", "ring", "pipelined-tree", "linear"},
+			BandwidthsBitsPerSec: []float64{1e9, 10e9, 100e9},
+			PrecisionsBits:       []float64{16, 32},
+		},
+	}
+}
+
+// benchmarkPlanGrid ranks the planning grid at the given parallelism,
+// failing on any per-cell error.
+func benchmarkPlanGrid(b *testing.B, parallelism int) {
+	b.Helper()
+	suite := planBenchSuite()
+	defer dmlscale.SetParallelism(0)
+	dmlscale.SetParallelism(parallelism)
+	for i := 0; i < b.N; i++ {
+		report, err := dmlscale.PlanSuite(suite, "", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range report.Plans {
+			if p.Err != nil {
+				b.Fatal(p.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkPlanGridSerial is the planner baseline: every cell planned on
+// one goroutine.
+func BenchmarkPlanGridSerial(b *testing.B) {
+	benchmarkPlanGrid(b, 1)
+}
+
+// BenchmarkPlanGridParallel plans the same grid on the full shared budget;
+// compare ns/op against BenchmarkPlanGridSerial. Output is bit-identical
+// either way.
+func BenchmarkPlanGridParallel(b *testing.B) {
+	benchmarkPlanGrid(b, runtime.GOMAXPROCS(0))
+}

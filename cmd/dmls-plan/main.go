@@ -1,0 +1,205 @@
+// Command dmls-plan turns evaluated scenarios into recommendations: for a
+// suite (or single scenario) it composes each cell's per-iteration model
+// with its convergence block into a time-to-accuracy curve, finds the
+// optimal worker count, prices the run with the node's hourly cost rate,
+// marks the suite's cost×time Pareto frontier and prints the cells ranked by
+// the chosen objective.
+//
+// Usage:
+//
+//	dmls-plan -suite examples/suites/plan-tta.json
+//	dmls-plan -suite plan.json -objective cost
+//	dmls-plan -suite plan.json -format csv > plan.csv
+//	dmls-plan -suite plan.json -format json | jq .plans
+//	dmls-plan -emit-example > plan.json
+//
+// The objective is tta (time-to-accuracy, default), cost, or pareto
+// (frontier first); -objective overrides the suite file's own "objective"
+// field. Scenarios without a convergence block rank by per-iteration time
+// after every convergence-aware cell, each carrying a notice saying so.
+// -parallel sizes the shared parallelism budget; rankings are deterministic
+// and bit-identical at any setting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmlscale/internal/core"
+	"dmlscale/internal/planner"
+	"dmlscale/internal/scenario"
+	"dmlscale/internal/textio"
+)
+
+func main() {
+	var (
+		suitePath   = flag.String("suite", "", "JSON suite (or single-scenario) file")
+		objective   = flag.String("objective", "", "ranking objective: tta, cost or pareto (default: the suite's own, else tta)")
+		parallelism = flag.Int("parallel", 0, "total parallelism budget shared by plan workers and intra-curve shards; 0 means GOMAXPROCS")
+		format      = flag.String("format", "table", "output format: table, csv or json")
+		curves      = flag.Bool("curves", false, "print every plan's full time-to-accuracy curve (table format)")
+		emitExample = flag.Bool("emit-example", false, "print an example planning suite and exit")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "dmls-plan: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *emitExample {
+		if err := exampleSuite().Encode(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *suitePath == "" {
+		fail(fmt.Errorf("missing -suite (or -emit-example)"))
+	}
+	if *format != "table" && *format != "csv" && *format != "json" {
+		fail(fmt.Errorf("unknown -format %q (table, csv, json)", *format))
+	}
+	obj, err := planner.ParseObjective(*objective)
+	if err != nil {
+		fail(err)
+	}
+	if *objective == "" {
+		obj = "" // defer to the suite's own objective
+	}
+	suite, err := scenario.LoadSuite(*suitePath)
+	if err != nil {
+		fail(err)
+	}
+	if *parallelism > 0 {
+		core.SetParallelism(*parallelism)
+	}
+	report, err := planner.PlanSuite(suite, obj, 0)
+	if err != nil {
+		fail(err)
+	}
+
+	switch *format {
+	case "csv":
+		if err := scenario.WritePlansCSV(os.Stdout, report.Export().Plans); err != nil {
+			fail(err)
+		}
+		exitReportingFailures(report)
+		return
+	case "json":
+		if err := scenario.WritePlansJSON(os.Stdout, report.Export()); err != nil {
+			fail(err)
+		}
+		exitReportingFailures(report)
+		return
+	}
+
+	fmt.Printf("suite: %s (%d scenarios, objective %s)\n\n", report.Suite, len(report.Plans), report.Objective)
+	fmt.Println(planTable(report).String())
+	for _, line := range notices(report) {
+		fmt.Println(line)
+	}
+
+	if *curves {
+		for _, p := range report.Plans {
+			if p.Err != nil {
+				continue
+			}
+			fmt.Printf("\n%s\n", p.Scenario.Name)
+			header := []string{"workers", "t (s)", "cost"}
+			if p.ConvergenceAware {
+				header = []string{"workers", "t-to-accuracy (s)", "iterations", "cost"}
+			}
+			table := textio.NewTable(header...)
+			for _, pt := range p.Curve {
+				if p.ConvergenceAware {
+					table.AddRow(pt.Workers, float64(pt.Time), pt.Iterations, pt.Cost)
+				} else {
+					table.AddRow(pt.Workers, float64(pt.Time), pt.Cost)
+				}
+			}
+			fmt.Println(table.String())
+		}
+	}
+
+	exitReportingFailures(report)
+}
+
+// planTable renders the ranked recommendations: one row per plan with its
+// optimal cluster size, predicted time, cost and frontier membership.
+func planTable(report planner.Report) *textio.Table {
+	table := textio.NewTable("rank", "scenario", "workers", "time (s)", "iterations", "cost", "pareto", "status")
+	for _, p := range report.Plans {
+		if p.Err != nil {
+			table.AddRow(p.Rank, p.Scenario.Name, "-", "-", "-", "-", "-", p.Err.Error())
+			continue
+		}
+		iters, pareto, status := "-", "", "ok"
+		if p.ConvergenceAware {
+			iters = fmt.Sprintf("%.0f", p.Optimal.Iterations)
+			if p.Pareto {
+				pareto = "*"
+			}
+		} else {
+			status = "per-iteration"
+		}
+		table.AddRow(p.Rank, p.Scenario.Name, p.Optimal.Workers,
+			fmt.Sprintf("%.4g", float64(p.Optimal.Time)),
+			iters,
+			fmt.Sprintf("%.4g", p.Optimal.Cost),
+			pareto, status)
+	}
+	return table
+}
+
+// notices collects the one-line explanations of every downgraded plan.
+func notices(report planner.Report) []string {
+	var out []string
+	for _, p := range report.Plans {
+		if p.Err == nil && p.Notice != "" {
+			out = append(out, fmt.Sprintf("note: %s: %s", p.Scenario.Name, p.Notice))
+		}
+	}
+	return out
+}
+
+// exitReportingFailures warns about partially failed suites on stderr and
+// exits non-zero when nothing planned.
+func exitReportingFailures(report planner.Report) {
+	failed := 0
+	for _, p := range report.Plans {
+		if p.Err != nil {
+			failed++
+		}
+	}
+	if failed == len(report.Plans) && failed > 0 {
+		fmt.Fprintf(os.Stderr, "dmls-plan: all %d scenarios failed\n", failed)
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "dmls-plan: %d of %d scenarios failed (see results)\n", failed, len(report.Plans))
+	}
+}
+
+// exampleSuite is the -emit-example payload: the Fig. 3 convolutional
+// workload with a diminishing-returns convergence block, swept across
+// interconnects, ranked by the cost×time frontier.
+func exampleSuite() scenario.Suite {
+	base := scenario.Fig3()
+	base.Name = "conv ANN weak scaling"
+	base.MaxWorkers = 128
+	base.Convergence = &scenario.ConvergenceSpec{
+		Rule:                "diminishing",
+		BaseIterations:      50000,
+		CriticalBatchGrowth: 32,
+	}
+	return scenario.Suite{
+		Name:      "time-to-accuracy planning: conv ANN across interconnects",
+		Objective: "pareto",
+		Sweep: &scenario.Sweep{
+			Base:                 base,
+			BandwidthsBitsPerSec: []float64{1e9, 10e9},
+			Protocols:            []string{"two-stage-tree", "ring", "pipelined-tree"},
+		},
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dmlscale/internal/planner"
+	"dmlscale/internal/scenario"
+)
+
+func TestExampleSuitePlans(t *testing.T) {
+	suite := exampleSuite()
+	scenarios, err := suite.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 6 {
+		t.Fatalf("example suite expands to %d scenarios, want 6", len(scenarios))
+	}
+	report, err := planner.PlanSuite(suite, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Objective != planner.ObjectivePareto {
+		t.Errorf("objective = %q, want the suite's pareto", report.Objective)
+	}
+	for _, p := range report.Plans {
+		if p.Err != nil {
+			t.Errorf("%s: %v", p.Scenario.Name, p.Err)
+			continue
+		}
+		if !p.ConvergenceAware || p.Optimal.Workers < 1 || p.Optimal.Cost <= 0 {
+			t.Errorf("%s: weak plan %+v", p.Scenario.Name, p.Optimal)
+		}
+	}
+	rendered := planTable(report).String()
+	if !strings.Contains(rendered, "ok") || !strings.Contains(rendered, "*") {
+		t.Errorf("table missing ok rows or frontier markers:\n%s", rendered)
+	}
+}
+
+func TestPlanTableReportsErrorsAndNotices(t *testing.T) {
+	good := exampleSuite().Sweep.Base
+	good.Name = "good"
+	bad := good
+	bad.Name = "bad"
+	bad.Hardware = scenario.HardwareSpec{Preset: "abacus"}
+	fallback := good
+	fallback.Name = "fallback"
+	fallback.Convergence = nil
+	report, err := planner.PlanSuite(scenario.Suite{
+		Name:      "mixed",
+		Scenarios: []scenario.Scenario{good, bad, fallback},
+	}, planner.ObjectiveTTA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := planTable(report).String()
+	if !strings.Contains(rendered, "abacus") {
+		t.Errorf("error row missing from table:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "per-iteration") {
+		t.Errorf("fallback row missing its status:\n%s", rendered)
+	}
+	lines := notices(report)
+	if len(lines) != 1 || !strings.Contains(lines[0], "no convergence block") {
+		t.Errorf("notices = %v", lines)
+	}
+}

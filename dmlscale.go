@@ -51,6 +51,7 @@ import (
 	"dmlscale/internal/experiments"
 	"dmlscale/internal/gd"
 	"dmlscale/internal/hardware"
+	"dmlscale/internal/planner"
 	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
 	"dmlscale/internal/units"
@@ -94,6 +95,33 @@ type (
 	Sweep = scenario.Sweep
 	// SuiteResult is one evaluated suite entry (curve or isolated error).
 	SuiteResult = scenario.Result
+	// WorkloadSpec selects a workload family and its complexity figures.
+	WorkloadSpec = scenario.WorkloadSpec
+	// HardwareSpec names a hardware preset or describes a custom node.
+	HardwareSpec = scenario.HardwareSpec
+	// ProtocolSpec selects and parameterizes a communication protocol.
+	ProtocolSpec = scenario.ProtocolSpec
+	// GraphSpec describes the inference graph of the graph families.
+	GraphSpec = scenario.GraphSpec
+	// ConvergenceSpec is the scenario block that turns per-iteration
+	// curves into time-to-accuracy plans: a batch-to-iterations rule and
+	// the iteration budget at one worker.
+	ConvergenceSpec = scenario.ConvergenceSpec
+)
+
+// Planner types: the decision-making layer on top of evaluation.
+type (
+	// Plan is the planner's answer for one scenario: the optimal worker
+	// count, its predicted time(-to-accuracy), iterations and cost, the
+	// full curve, and frontier membership.
+	Plan = planner.Plan
+	// PlanPoint is one sampled configuration of a plan.
+	PlanPoint = planner.Point
+	// PlanReport is a ranked set of plans for one suite.
+	PlanReport = planner.Report
+	// PlanObjective selects how a report ranks its plans: "tta", "cost"
+	// or "pareto".
+	PlanObjective = planner.Objective
 )
 
 // GradientDescent builds the paper's strong-scaling gradient-descent model
@@ -204,6 +232,29 @@ func LoadSuite(path string) (Suite, error) { return scenario.LoadSuite(path) }
 func EvaluateSuite(s Suite, parallelism int) ([]SuiteResult, error) {
 	return scenario.EvaluateSuite(s, parallelism)
 }
+
+// PlanSuite expands a suite and plans every scenario concurrently: each
+// cell's per-iteration model composes with its convergence block into a
+// time-to-accuracy curve, the planner finds the optimal worker count, prices
+// the run with the node's hourly cost rate, marks the suite's cost×time
+// Pareto frontier and ranks the cells by the objective ("" defers to the
+// suite's own objective field, else "tta"). Scenarios without a convergence
+// block degrade to per-iteration ranking with a notice; failures isolate
+// per cell. Output is deterministic at any parallelism.
+func PlanSuite(s Suite, objective PlanObjective, parallelism int) (PlanReport, error) {
+	return planner.PlanSuite(s, objective, parallelism)
+}
+
+// PlanScenario plans a single scenario; see PlanSuite.
+func PlanScenario(s Scenario) (Plan, error) { return planner.PlanScenario(s) }
+
+// ConvergenceRules lists the cataloged batch-to-iterations rule names a
+// convergence block may name.
+func ConvergenceRules() []string { return registry.ConvergenceRules() }
+
+// PlanObjectives lists the ranking objectives a suite or PlanSuite call may
+// name.
+func PlanObjectives() []string { return scenario.Objectives() }
 
 // SetParallelism sizes the shared parallelism budget that suite-level curve
 // workers and intra-curve Monte-Carlo shards draw from (≤ 0 means

@@ -39,8 +39,8 @@ func DiminishingRule(kc float64) IterationRule {
 	}
 }
 
-// TradeoffModel combines a weak-scaling iteration-time model with an
-// iteration rule to produce time-to-accuracy as a function of workers.
+// TradeoffModel combines a per-iteration time model with an iteration rule
+// to produce time-to-accuracy as a function of workers.
 type TradeoffModel struct {
 	// Name labels the model.
 	Name string
@@ -49,9 +49,15 @@ type TradeoffModel struct {
 	IterationTime core.TimeFunc
 	// BaseIterations is the iterations to converge at n = 1.
 	BaseIterations float64
-	// Rule maps batch growth (= n under weak scaling) to the iteration
+	// Rule maps batch growth k = S_effective/S_base to the iteration
 	// multiplier.
 	Rule IterationRule
+	// BatchGrowth maps the worker count to the batch growth k the rule
+	// sees. Nil means k(n) = n, the weak-scaling default where each worker
+	// adds a fixed per-worker batch; strong-scaling and asynchronous
+	// models, whose effective batch does not grow with workers, supply
+	// k(n) = 1.
+	BatchGrowth func(n int) float64
 }
 
 // Validate reports whether the model is usable.
@@ -68,9 +74,18 @@ func (m TradeoffModel) Validate() error {
 	return nil
 }
 
+// Growth returns the batch growth k at n workers: BatchGrowth(n), or n
+// itself under the weak-scaling default.
+func (m TradeoffModel) Growth(n int) float64 {
+	if m.BatchGrowth == nil {
+		return float64(n)
+	}
+	return m.BatchGrowth(n)
+}
+
 // Iterations returns the expected iterations to converge at n workers.
 func (m TradeoffModel) Iterations(n int) float64 {
-	return m.BaseIterations * m.Rule(float64(n))
+	return m.BaseIterations * m.Rule(m.Growth(n))
 }
 
 // TimeToAccuracy returns iterations(n) × iteration-time(n).

@@ -113,6 +113,27 @@ func TestDiminishingRuleInteriorOptimum(t *testing.T) {
 	}
 }
 
+func TestBatchGrowthOverride(t *testing.T) {
+	// A fixed-batch (strong-scaling) workload grows no batch: with
+	// BatchGrowth pinned to 1, every rule leaves the iteration count at its
+	// base and time-to-accuracy is just iterations × iteration time.
+	fixed := testModel(DiminishingRule(4))
+	fixed.BatchGrowth = func(int) float64 { return 1 }
+	for _, n := range []int{1, 2, 16, 64} {
+		if got := fixed.Iterations(n); got != fixed.BaseIterations {
+			t.Errorf("iterations(%d) = %v, want base %v", n, got, fixed.BaseIterations)
+		}
+	}
+	// Nil keeps the weak-scaling default k(n) = n.
+	def := testModel(LinearScalingRule)
+	if def.Growth(8) != 8 {
+		t.Errorf("default growth(8) = %v, want 8", def.Growth(8))
+	}
+	if fixed.Growth(8) != 1 {
+		t.Errorf("pinned growth(8) = %v, want 1", fixed.Growth(8))
+	}
+}
+
 func TestSpeedupIdentityAtOne(t *testing.T) {
 	m := testModel(SqrtScalingRule)
 	if s := m.Speedup(1); math.Abs(s-1) > 1e-12 {

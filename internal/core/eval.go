@@ -32,37 +32,47 @@ type JobResult struct {
 	Err error
 }
 
-// EvaluateAll evaluates every job concurrently and returns one result per
-// job, in job order. Workers beyond the caller's own goroutine come from the
-// shared parallelism budget, so suite-level curve workers and the intra-curve
-// shards they spawn (parallel curve sampling, Monte-Carlo trials) compose
-// without oversubscribing the machine; parallelism caps the suite-level
-// workers on top of that (≤ 0 means no extra cap). A failing or panicking
-// job yields an error result without aborting the rest — per-curve error
-// isolation, so one bad scenario in a suite cannot take down the sweep.
-func EvaluateAll(jobs []Job, parallelism int) []JobResult {
-	results := make([]JobResult, len(jobs))
-	if len(jobs) == 0 {
-		return results
+// ForEach runs body(i) for every i in [0, n), work-stealing indices over an
+// atomic counter on the caller's goroutine plus as many extra workers as the
+// shared parallelism budget grants. parallelism caps the workers within that
+// budget (≤ 0 means no extra cap — it cannot raise concurrency above the
+// budget). Bodies that write results by index are deterministic at any
+// parallelism. A panic in any body — even one on a spawned goroutine — is
+// re-raised on the caller after all indices settle and the tokens return to
+// the pool, so recover-based isolation in callers keeps working and the
+// budget cannot leak. Suite evaluation (EvaluateAll) and planner grid
+// ranking both fan out through here, so they parallelize identically.
+func ForEach(n, parallelism int, body func(i int)) {
+	if n <= 0 {
+		return
 	}
 	budget := SharedBudget()
 	workers := parallelism
 	if workers <= 0 {
 		workers = budget.Limit()
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > n {
+		workers = n
 	}
 	extra := budget.TryAcquire(workers - 1)
 
+	panics := make(chan any, 1)
 	var next atomic.Int64
 	run := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				select {
+				case panics <- r:
+				default: // keep the first panic, drop the rest
+				}
+			}
+		}()
 		for {
 			i := int(next.Add(1)) - 1
-			if i >= len(jobs) {
+			if i >= n {
 				return
 			}
-			results[i] = evaluateOne(jobs[i])
+			body(i)
 		}
 	}
 	var wg sync.WaitGroup
@@ -76,6 +86,26 @@ func EvaluateAll(jobs []Job, parallelism int) []JobResult {
 	run()
 	wg.Wait()
 	budget.Release(extra)
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+}
+
+// EvaluateAll evaluates every job concurrently and returns one result per
+// job, in job order. Workers beyond the caller's own goroutine come from the
+// shared parallelism budget (via ForEach), so suite-level curve workers and
+// the intra-curve shards they spawn (parallel curve sampling, Monte-Carlo
+// trials) compose without oversubscribing the machine; parallelism caps the
+// suite-level workers on top of that (≤ 0 means no extra cap). A failing or
+// panicking job yields an error result without aborting the rest — per-curve
+// error isolation, so one bad scenario in a suite cannot take down the sweep.
+func EvaluateAll(jobs []Job, parallelism int) []JobResult {
+	results := make([]JobResult, len(jobs))
+	ForEach(len(jobs), parallelism, func(i int) {
+		results[i] = evaluateOne(jobs[i])
+	})
 	return results
 }
 

@@ -121,6 +121,40 @@ func TestEvaluateAllBoundsParallelism(t *testing.T) {
 	}
 }
 
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, parallelism := range []int{1, 3, 0} {
+		counts := make([]atomic.Int32, 100)
+		ForEach(len(counts), parallelism, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("parallelism %d: index %d ran %d times", parallelism, i, c)
+			}
+		}
+	}
+	ForEach(0, 4, func(int) { t.Error("body ran for n = 0") })
+}
+
+func TestForEachReRaisesPanics(t *testing.T) {
+	var ran atomic.Int32
+	defer func() {
+		if recover() == nil {
+			t.Error("panic not re-raised")
+		}
+		// The other workers keep draining indices after one panics.
+		if ran.Load() == 0 {
+			t.Error("no bodies ran")
+		}
+	}()
+	ForEach(50, 4, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+		ran.Add(1)
+	})
+}
+
 func TestEvaluateAllRelativeBase(t *testing.T) {
 	jobs := []Job{{
 		Name:    "rel",

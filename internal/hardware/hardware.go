@@ -25,6 +25,11 @@ type Node struct {
 	Efficiency float64
 	// Memory is the device memory; informational, not used by the models.
 	Memory units.Bytes
+	// CostPerHour is the provisioning cost of one node for one hour, in
+	// arbitrary currency units. The planner prices configurations with
+	// workers × hours × CostPerHour; zero means unpriced and every
+	// configuration costs nothing.
+	CostPerHour float64
 }
 
 // EffectiveFlops is the throughput the models should use:
@@ -40,6 +45,9 @@ func (n Node) Validate() error {
 	}
 	if n.Efficiency <= 0 || n.Efficiency > 1 {
 		return fmt.Errorf("hardware: node %q: efficiency must be in (0,1], got %v", n.Name, n.Efficiency)
+	}
+	if n.CostPerHour < 0 {
+		return fmt.Errorf("hardware: node %q: cost per hour must be non-negative, got %v", n.Name, n.CostPerHour)
 	}
 	return nil
 }
@@ -94,17 +102,23 @@ func (c Cluster) Validate() error {
 	return nil
 }
 
-// The catalog below records the exact hardware the paper evaluates on.
+// The catalog below records the exact hardware the paper evaluates on. The
+// cost rates are not from the paper (it prices nothing): they are
+// representative on-demand rates for comparable nodes, there so the planner
+// can rank configurations by cost out of the box. Absolute values only set
+// the currency scale; relative magnitudes (GPU ≫ CPU ≫ single core) are what
+// the rankings read.
 
 // XeonE31240 is the CPU of the Spark cluster in §V-A: 211.2 single-precision
 // GFLOPS per the Intel export-compliance sheet, so 105.6 GFLOPS double
 // precision, derated to 80% achievable.
 func XeonE31240() Node {
 	return Node{
-		Name:       "Intel Xeon E3-1240",
-		PeakFlops:  units.Flops(105.6e9),
-		Efficiency: 0.8,
-		Memory:     16 * units.GB,
+		Name:        "Intel Xeon E3-1240",
+		PeakFlops:   units.Flops(105.6e9),
+		Efficiency:  0.8,
+		Memory:      16 * units.GB,
+		CostPerHour: 0.25,
 	}
 }
 
@@ -112,10 +126,11 @@ func XeonE31240() Node {
 // derated to 50% achievable.
 func NvidiaK40() Node {
 	return Node{
-		Name:       "nVidia K40",
-		PeakFlops:  units.Flops(4.28e12),
-		Efficiency: 0.5,
-		Memory:     12 * units.GB,
+		Name:        "nVidia K40",
+		PeakFlops:   units.Flops(4.28e12),
+		Efficiency:  0.5,
+		Memory:      12 * units.GB,
+		CostPerHour: 0.90,
 	}
 }
 
@@ -126,10 +141,11 @@ func NvidiaK40() Node {
 // per cycle at full efficiency.
 func ProLiantDL980Core() Node {
 	return Node{
-		Name:       "HP ProLiant DL980 core (1.9 GHz)",
-		PeakFlops:  units.Flops(4 * 1.9e9),
-		Efficiency: 1.0,
-		Memory:     2 * units.TB,
+		Name:        "HP ProLiant DL980 core (1.9 GHz)",
+		PeakFlops:   units.Flops(4 * 1.9e9),
+		Efficiency:  1.0,
+		Memory:      2 * units.TB,
+		CostPerHour: 0.10,
 	}
 }
 

@@ -35,6 +35,8 @@ func TestNodeValidate(t *testing.T) {
 		{"negative flops", Node{Name: "x", PeakFlops: -1, Efficiency: 0.5}, true},
 		{"zero efficiency", Node{Name: "x", PeakFlops: 1e9}, true},
 		{"efficiency above one", Node{Name: "x", PeakFlops: 1e9, Efficiency: 1.5}, true},
+		{"negative cost rate", Node{Name: "x", PeakFlops: 1e9, Efficiency: 0.5, CostPerHour: -1}, true},
+		{"unpriced node", Node{Name: "x", PeakFlops: 1e9, Efficiency: 0.5}, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -63,6 +65,21 @@ func TestNetworkValidate(t *testing.T) {
 				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
 			}
 		})
+	}
+}
+
+func TestCatalogNodesArePriced(t *testing.T) {
+	// The planner's cost objective needs a rate on every catalog node, and
+	// the relative magnitudes should reflect the hardware class.
+	xeon, k40, core := XeonE31240(), NvidiaK40(), ProLiantDL980Core()
+	for _, n := range []Node{xeon, k40, core} {
+		if n.CostPerHour <= 0 {
+			t.Errorf("%s: catalog node unpriced", n.Name)
+		}
+	}
+	if !(k40.CostPerHour > xeon.CostPerHour && xeon.CostPerHour > core.CostPerHour) {
+		t.Errorf("cost rates out of order: k40 %v, xeon %v, core %v",
+			k40.CostPerHour, xeon.CostPerHour, core.CostPerHour)
 	}
 }
 

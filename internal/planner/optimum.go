@@ -1,0 +1,67 @@
+package planner
+
+import "math"
+
+// scanLimit is the worker range up to which the optimum search is an
+// exhaustive scan — exact for any curve shape. Past it, golden-section
+// bracketing takes over.
+const scanLimit = 4096
+
+// goldenRatio is 1/φ, the interval fraction golden-section keeps per probe.
+const goldenRatio = 0.6180339887498949
+
+// OptimalWorkers returns the worker count in [1, maxN] minimizing t, ties to
+// the smallest count (fewer machines for the same predicted time, which also
+// makes a completely flat curve recommend a single worker). Ranges up to
+// scanLimit are scanned exhaustively — exact for any shape, including flat
+// curves and curves with no interior optimum. Larger ranges are bracketed by
+// golden-section search on the integer lattice, which assumes the curve is
+// unimodal — true for every model family here, whose time is a sum of a
+// non-increasing compute/convergence term and a non-decreasing communication
+// term — and finishes with an exhaustive scan of the final bracket. Both
+// paths are deterministic. The planner feeds it lookups into an
+// already-sampled curve, so probes cost an index; the memo below only
+// matters for raw time functions.
+func OptimalWorkers(t func(n int) float64, maxN int) int {
+	if maxN <= 1 {
+		return 1
+	}
+	if maxN <= scanLimit {
+		return scanMin(t, 1, maxN)
+	}
+	// Memoize: golden-section re-probes points when the bracket shrinks,
+	// and the final scan revisits the survivors.
+	memo := make(map[int]float64, 64)
+	f := func(n int) float64 {
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		v := t(n)
+		memo[n] = v
+		return v
+	}
+	lo, hi := 1, maxN
+	for hi-lo > scanLimit/64 {
+		span := float64(hi - lo)
+		x1 := hi - int(math.Round(goldenRatio*span))
+		x2 := lo + int(math.Round(goldenRatio*span))
+		// ≤ keeps the left half on ties, biasing toward fewer machines.
+		if f(x1) <= f(x2) {
+			hi = x2
+		} else {
+			lo = x1
+		}
+	}
+	return scanMin(f, lo, hi)
+}
+
+// scanMin returns argmin t over [lo, hi], ties to the smallest n.
+func scanMin(t func(n int) float64, lo, hi int) int {
+	best, bestT := lo, t(lo)
+	for n := lo + 1; n <= hi; n++ {
+		if v := t(n); v < bestT {
+			best, bestT = n, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,387 @@
+// Package planner is the decision-making layer on top of the evaluation
+// engine: where a sweep reports how every configuration scales per
+// iteration, the planner answers the question a practitioner actually asks —
+// "which configuration trains to accuracy fastest, and at what cost?"
+//
+// For every scenario it composes the registry's per-iteration model
+// (registry.BuildIterationModel) with the scenario's convergence block
+// (registry.ConvergenceSpec) through convergence.TradeoffModel, yielding
+// time-to-accuracy as a function of the worker count. It then finds the
+// optimal cluster size over the scenario's worker range, prices the run with
+// the node's hourly cost rate, marks the suite's cost×time Pareto frontier,
+// and ranks every cell by a selectable objective (time-to-accuracy, cost, or
+// frontier-first).
+//
+// A scenario without a convergence block — or from a family with no
+// iteration/batch notion, like the graph-inference families — degrades
+// gracefully to per-iteration ranking, with a one-line notice explaining the
+// downgrade. Suite planning fans out on the shared parallelism budget
+// (core.ForEach), so ranking a 100-cell grid parallelizes exactly like
+// EvaluateAll, and the output is bit-identical at any parallelism.
+package planner
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+
+	"dmlscale/internal/convergence"
+	"dmlscale/internal/core"
+	"dmlscale/internal/registry"
+	"dmlscale/internal/scenario"
+	"dmlscale/internal/units"
+)
+
+// Objective selects how a report ranks its plans.
+type Objective string
+
+const (
+	// ObjectiveTTA ranks by predicted time at the optimum — the default.
+	ObjectiveTTA Objective = "tta"
+	// ObjectiveCost ranks by predicted cost at the optimum.
+	ObjectiveCost Objective = "cost"
+	// ObjectivePareto ranks the cost×time frontier first, then the
+	// dominated cells, each tier by time.
+	ObjectivePareto Objective = "pareto"
+)
+
+// ParseObjective resolves an objective name; empty means tta. The accepted
+// names come from scenario.Objectives() — the single catalog the suite
+// schema validates against — so a suite that loads is a suite that plans.
+func ParseObjective(name string) (Objective, error) {
+	if name == "" {
+		return ObjectiveTTA, nil
+	}
+	if slices.Contains(scenario.Objectives(), name) {
+		return Objective(name), nil
+	}
+	return "", fmt.Errorf("planner: unknown objective %q (known: %s)",
+		name, strings.Join(scenario.Objectives(), ", "))
+}
+
+// Point is one sampled configuration of a plan.
+type Point struct {
+	// Workers is the cluster size.
+	Workers int
+	// Iterations is the predicted iterations to accuracy; 0 for
+	// per-iteration fallback plans, which predict no iteration count.
+	Iterations float64
+	// Time is the predicted wall time: time-to-accuracy for
+	// convergence-aware plans, one iteration for fallback plans.
+	Time units.Seconds
+	// Cost is Workers × Time × the node's hourly rate, in the catalog's
+	// currency units; 0 on unpriced nodes.
+	Cost float64
+}
+
+// Plan is the planner's answer for one scenario.
+type Plan struct {
+	// Scenario is the expanded scenario the plan answers for.
+	Scenario scenario.Scenario
+	// Family is the canonical workload family, when it resolves.
+	Family string
+	// ConvergenceAware is true when the plan optimizes time-to-accuracy;
+	// false means it fell back to per-iteration ranking (see Notice).
+	ConvergenceAware bool
+	// Rule echoes the convergence rule of a convergence-aware plan.
+	Rule string
+	// Notice explains a fallback plan in one line.
+	Notice string
+	// CostRate is the node's hourly cost rate; 0 means unpriced.
+	CostRate float64
+	// Optimal is the recommended configuration: the worker count in
+	// [1, max_workers] minimizing predicted time, ties to fewer machines.
+	Optimal Point
+	// Curve samples every worker count in the scenario's range.
+	Curve []Point
+	// Pareto marks membership of the suite's cost×time frontier
+	// (convergence-aware plans only; fallback times are per-iteration and
+	// would not be comparable).
+	Pareto bool
+	// Rank is the plan's 1-based position under the report's objective.
+	Rank int
+	// Err records why planning failed; other plans are unaffected.
+	Err error
+}
+
+// Report is a ranked set of plans for one suite.
+type Report struct {
+	// Suite echoes the suite name.
+	Suite string
+	// Objective is the ranking objective the report used.
+	Objective Objective
+	// Plans holds one plan per expanded scenario, in rank order:
+	// convergence-aware plans first, then per-iteration fallbacks, then
+	// failures, each tier sorted by the objective with name as the final
+	// tie-break — fully deterministic at any parallelism.
+	Plans []Plan
+}
+
+// PlanScenario plans a single scenario.
+func PlanScenario(sc scenario.Scenario) (Plan, error) {
+	p := planOne(sc)
+	return p, p.Err
+}
+
+// PlanSuite expands the suite and plans every scenario concurrently on the
+// shared parallelism budget (core.SetParallelism, default GOMAXPROCS);
+// parallelism caps the suite-level workers within that budget, ≤ 0 meaning
+// no extra cap. objective overrides the suite's own objective field when
+// non-empty. Scenario errors isolate: a bad grid point yields a Plan with
+// Err set, ranked after every successful plan, and the rest of the suite
+// completes.
+func PlanSuite(s scenario.Suite, objective Objective, parallelism int) (Report, error) {
+	if objective == "" {
+		obj, err := ParseObjective(s.Objective)
+		if err != nil {
+			return Report{}, err
+		}
+		objective = obj
+	} else if _, err := ParseObjective(string(objective)); err != nil {
+		return Report{}, err
+	}
+	scenarios, err := s.Expand()
+	if err != nil {
+		return Report{}, err
+	}
+	plans := make([]Plan, len(scenarios))
+	core.ForEach(len(scenarios), parallelism, func(i int) {
+		plans[i] = planOne(scenarios[i])
+	})
+	markPareto(plans)
+	rankPlans(plans, objective)
+	return Report{Suite: s.Name, Objective: objective, Plans: plans}, nil
+}
+
+// planOne builds the plan for one scenario, converting panics into errors so
+// a broken model cannot take down a suite-wide planning pass.
+func planOne(sc scenario.Scenario) (p Plan) {
+	p.Scenario = sc
+	defer func() {
+		if r := recover(); r != nil {
+			p.Err = fmt.Errorf("planner: scenario %q panicked: %v", sc.Name, r)
+		}
+	}()
+	family, err := sc.Family()
+	if err != nil {
+		p.Err = err
+		return p
+	}
+	p.Family = family
+	node, err := registry.Node(sc.Hardware)
+	if err != nil {
+		p.Err = fmt.Errorf("planner: scenario %q: %w", sc.Name, err)
+		return p
+	}
+	p.CostRate = node.CostPerHour
+
+	if sc.Convergence == nil {
+		return fallbackPlan(p, sc, "no convergence block: ranked by per-iteration time")
+	}
+	protocol, err := registry.Protocol(sc.Protocol)
+	if err != nil {
+		p.Err = fmt.Errorf("planner: scenario %q: %w", sc.Name, err)
+		return p
+	}
+	iter, ok, err := registry.BuildIterationModel(family, sc.Name, sc.Workload, node, protocol)
+	if err != nil {
+		p.Err = fmt.Errorf("planner: scenario %q: %w", sc.Name, err)
+		return p
+	}
+	if !ok {
+		return fallbackPlan(p, sc,
+			fmt.Sprintf("family %s has no iteration model: ranked by per-iteration time", family))
+	}
+	rule, err := sc.Convergence.IterationRule()
+	if err != nil {
+		p.Err = fmt.Errorf("planner: scenario %q: %w", sc.Name, err)
+		return p
+	}
+	tm := convergence.TradeoffModel{
+		Name:           sc.Name,
+		IterationTime:  iter.Time,
+		BaseIterations: sc.Convergence.BaseIterations,
+		Rule:           rule,
+		BatchGrowth:    iter.BatchGrowth,
+	}
+	if err := tm.Validate(); err != nil {
+		p.Err = fmt.Errorf("planner: scenario %q: %w", sc.Name, err)
+		return p
+	}
+	p.ConvergenceAware = true
+	p.Rule = sc.Convergence.Rule
+
+	at := func(n int) Point {
+		t := tm.TimeToAccuracy(n)
+		return Point{
+			Workers:    n,
+			Iterations: tm.Iterations(n),
+			Time:       t,
+			Cost:       runCost(p.CostRate, n, t),
+		}
+	}
+	p.Curve, p.Optimal = curveAndOptimum(sc, at)
+	return p
+}
+
+// fallbackPlan completes a plan for a scenario the planner cannot make
+// convergence-aware: it ranks by the per-iteration model's own time, prices
+// one iteration, and carries the notice explaining the downgrade.
+func fallbackPlan(p Plan, sc scenario.Scenario, notice string) Plan {
+	p.Notice = notice
+	model, err := sc.Model()
+	if err != nil {
+		p.Err = err
+		return p
+	}
+	at := func(n int) Point {
+		t := model.Time(n)
+		return Point{Workers: n, Time: t, Cost: runCost(p.CostRate, n, t)}
+	}
+	p.Curve, p.Optimal = curveAndOptimum(sc, at)
+	return p
+}
+
+// curveAndOptimum samples the plan's curve over the scenario's worker range
+// (1..MaxN) and finds the optimum with OptimalWorkers backed by the sampled
+// points, so the search re-evaluates nothing and the recommendation is
+// always one of the exported curve points.
+func curveAndOptimum(sc scenario.Scenario, at func(n int) Point) ([]Point, Point) {
+	workers := sc.Workers()
+	curve := make([]Point, len(workers))
+	for i, n := range workers {
+		curve[i] = at(n)
+	}
+	optN := OptimalWorkers(func(n int) float64 { return float64(curve[n-1].Time) }, sc.MaxN())
+	return curve, curve[optN-1]
+}
+
+// runCost prices a run: rate per node-hour × nodes × hours.
+func runCost(rate float64, workers int, t units.Seconds) float64 {
+	return rate * float64(workers) * float64(t) / 3600
+}
+
+// markPareto flags the plans on the suite's cost×time frontier: a
+// convergence-aware plan is on the frontier when no other convergence-aware
+// plan is at least as good on both axes and strictly better on one.
+// Fallback plans stay off the frontier — their times are per-iteration and
+// not comparable to times-to-accuracy.
+func markPareto(plans []Plan) {
+	for i := range plans {
+		p := &plans[i]
+		if p.Err != nil || !p.ConvergenceAware {
+			continue
+		}
+		dominated := false
+		for j := range plans {
+			q := &plans[j]
+			if i == j || q.Err != nil || !q.ConvergenceAware {
+				continue
+			}
+			if dominates(q.Optimal, p.Optimal) {
+				dominated = true
+				break
+			}
+		}
+		p.Pareto = !dominated
+	}
+}
+
+// dominates reports whether configuration a is at least as good as b on both
+// time and cost and strictly better on one.
+func dominates(a, b Point) bool {
+	at, bt := float64(a.Time), float64(b.Time)
+	return at <= bt && a.Cost <= b.Cost && (at < bt || a.Cost < b.Cost)
+}
+
+// rankPlans orders plans in tiers — convergence-aware, per-iteration
+// fallback, failed — each tier sorted by the objective with the scenario
+// name as the final tie-break (suite names are unique, so the order is
+// total), then stamps the 1-based ranks.
+func rankPlans(plans []Plan, objective Objective) {
+	tier := func(p *Plan) int {
+		switch {
+		case p.Err != nil:
+			return 2
+		case !p.ConvergenceAware:
+			return 1
+		}
+		return 0
+	}
+	sort.SliceStable(plans, func(i, j int) bool {
+		a, b := &plans[i], &plans[j]
+		if ta, tb := tier(a), tier(b); ta != tb {
+			return ta < tb
+		}
+		if a.Err != nil { // both failed: order by name
+			return a.Scenario.Name < b.Scenario.Name
+		}
+		if objective == ObjectivePareto && a.Pareto != b.Pareto {
+			return a.Pareto
+		}
+		t1, t2 := float64(a.Optimal.Time), float64(b.Optimal.Time)
+		c1, c2 := a.Optimal.Cost, b.Optimal.Cost
+		if objective == ObjectiveCost {
+			t1, c1 = c1, t1
+			t2, c2 = c2, t2
+		}
+		if t1 != t2 {
+			return t1 < t2
+		}
+		if c1 != c2 {
+			return c1 < c2
+		}
+		return a.Scenario.Name < b.Scenario.Name
+	})
+	for i := range plans {
+		plans[i].Rank = i + 1
+	}
+}
+
+// Export flattens the report into the serializable records
+// scenario.WritePlansJSON and WritePlansCSV consume.
+func (r Report) Export() scenario.PlanReport {
+	out := scenario.PlanReport{
+		Suite:     r.Suite,
+		Objective: string(r.Objective),
+		Plans:     make([]scenario.PlanRecord, len(r.Plans)),
+	}
+	for i, p := range r.Plans {
+		rec := scenario.PlanRecord{
+			Rank:             p.Rank,
+			Scenario:         p.Scenario.Name,
+			Family:           p.Family,
+			ConvergenceAware: p.ConvergenceAware,
+			Rule:             p.Rule,
+			Notice:           p.Notice,
+		}
+		if p.Err != nil {
+			rec.Error = p.Err.Error()
+			out.Plans[i] = rec
+			continue
+		}
+		rec.OptimalWorkers = p.Optimal.Workers
+		rec.IterationsToAccuracy = p.Optimal.Iterations
+		rec.TimeSeconds = float64(p.Optimal.Time)
+		rec.CostRatePerNodeHour = p.CostRate
+		rec.Cost = p.Optimal.Cost
+		rec.Pareto = p.Pareto
+		rec.Workers = make([]int, len(p.Curve))
+		rec.TimesSeconds = make([]float64, len(p.Curve))
+		rec.Costs = make([]float64, len(p.Curve))
+		if p.ConvergenceAware {
+			rec.Iterations = make([]float64, len(p.Curve))
+		}
+		for j, pt := range p.Curve {
+			rec.Workers[j] = pt.Workers
+			rec.TimesSeconds[j] = float64(pt.Time)
+			rec.Costs[j] = pt.Cost
+			if p.ConvergenceAware {
+				rec.Iterations[j] = pt.Iterations
+			}
+		}
+		out.Plans[i] = rec
+	}
+	return out
+}

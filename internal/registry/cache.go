@@ -1,0 +1,101 @@
+package registry
+
+import (
+	"container/list"
+	"sync"
+
+	"dmlscale/internal/graph"
+)
+
+// graphCacheEntry memoizes what one GraphSpec generates. Each product is
+// guarded by its own sync.Once, so concurrent sweep cells that name the same
+// graph single-flight the generation instead of each regenerating it; the
+// cache lock below is never held across generation.
+type graphCacheEntry struct {
+	degOnce sync.Once
+	degrees []int32
+	degErr  error
+
+	buildOnce sync.Once
+	g         *graph.Graph
+	buildErr  error
+}
+
+// maxGraphCacheEntries bounds the generated-graph cache. Past the bound the
+// least recently used spec is evicted (and would regenerate on its next
+// use), so a long-lived service cycling through many distinct graphs keeps
+// its working set hot instead of pinning the first 32 specs forever.
+const maxGraphCacheEntries = 32
+
+// graphLRU is a mutex-guarded LRU of graphCacheEntry slots keyed by the full
+// GraphSpec. get only touches the recency list and the map under the lock —
+// generation happens afterwards through the entry's own sync.Once — so the
+// lock is held for map-and-list work only, and concurrent callers of one
+// spec still single-flight the (much more expensive) generation.
+type graphLRU struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[GraphSpec]*list.Element
+	order   *list.List // front = most recently used; Values are *graphLRUItem
+}
+
+// graphLRUItem is one recency-list element: the spec (needed to unmap on
+// eviction) and its entry.
+type graphLRUItem struct {
+	spec  GraphSpec
+	entry *graphCacheEntry
+}
+
+// newGraphLRU returns an empty cache bounded to cap entries.
+func newGraphLRU(cap int) *graphLRU {
+	return &graphLRU{
+		cap:     cap,
+		entries: make(map[GraphSpec]*list.Element, cap),
+		order:   list.New(),
+	}
+}
+
+// get returns the (possibly fresh) cache entry for a spec, promoting it to
+// most recently used and evicting the least recently used entry past the
+// bound. An evicted entry that another goroutine is still filling stays
+// valid for that goroutine — it just no longer serves future callers.
+func (c *graphLRU) get(s GraphSpec) *graphCacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[s]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*graphLRUItem).entry
+	}
+	e := &graphCacheEntry{}
+	c.entries[s] = c.order.PushFront(&graphLRUItem{spec: s, entry: e})
+	for len(c.entries) > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*graphLRUItem).spec)
+	}
+	return e
+}
+
+// len returns the number of cached specs.
+func (c *graphLRU) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// reset empties the cache.
+func (c *graphLRU) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[GraphSpec]*list.Element, c.cap)
+	c.order.Init()
+}
+
+// graphCache is the process-wide generated-graph cache.
+var graphCache = newGraphLRU(maxGraphCacheEntries)
+
+// ResetGraphCache empties the generated-graph cache. Benchmarks use it to
+// measure cold generation; evaluation never needs it.
+func ResetGraphCache() {
+	graphCache.reset()
+}

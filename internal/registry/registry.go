@@ -19,11 +19,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"dmlscale/internal/asyncgd"
 	"dmlscale/internal/bp"
 	"dmlscale/internal/comm"
+	"dmlscale/internal/convergence"
 	"dmlscale/internal/core"
 	"dmlscale/internal/gd"
 	"dmlscale/internal/graph"
@@ -48,6 +48,11 @@ type ProtocolSpec struct {
 	// BandwidthBitsPerSec is the link bandwidth; required by every leaf
 	// kind except shared-memory.
 	BandwidthBitsPerSec float64 `json:"bandwidth_bits_per_sec,omitempty"`
+	// Network names a cataloged network preset (NetworkPresets) whose
+	// bandwidth the protocol inherits instead of a raw
+	// BandwidthBitsPerSec; naming both is an error. The with-latency kind
+	// also inherits the preset's latency when LatencySeconds is zero.
+	Network string `json:"network,omitempty"`
 	// Chunks is the pipelined-tree pipeline depth; 0 means 64.
 	Chunks int `json:"chunks,omitempty"`
 	// Waves is the sqrt-waves wave count; 0 means the paper's 2.
@@ -194,11 +199,36 @@ func onlyInner(s ProtocolSpec) (comm.Model, error) {
 }
 
 // Protocol builds the comm.Model a spec describes, recursing through
-// composite kinds.
+// composite kinds. A spec that names a network preset inherits the preset's
+// bandwidth (and, for with-latency, its latency) before dispatch, so
+// scenarios can say "network": "gigabit-ethernet" instead of repeating raw
+// figures; a preset alongside an explicit bandwidth is a conflict, not a
+// silent override.
 func Protocol(s ProtocolSpec) (comm.Model, error) {
 	entry, ok := protocols[s.Kind]
 	if !ok {
 		return nil, fmt.Errorf("registry: unknown protocol kind %q (known: %s)", s.Kind, joined(ProtocolKinds()))
+	}
+	if s.Network != "" {
+		// Composites other than with-latency consume no bandwidth or
+		// latency themselves, so a preset there would silently do nothing;
+		// refuse it instead of letting the inner leaves' figures win.
+		if entry.composite && s.Kind != "with-latency" {
+			return nil, fmt.Errorf("registry: protocol %q: network preset %q has no effect on a composite kind; name it on the inner protocols",
+				s.Kind, s.Network)
+		}
+		nw, err := PresetNetwork(s.Network)
+		if err != nil {
+			return nil, err
+		}
+		if s.BandwidthBitsPerSec > 0 {
+			return nil, fmt.Errorf("registry: protocol %q: network preset %q conflicts with explicit bandwidth %g bit/s",
+				s.Kind, s.Network, s.BandwidthBitsPerSec)
+		}
+		s.BandwidthBitsPerSec = float64(nw.Bandwidth)
+		if s.Kind == "with-latency" && s.LatencySeconds == 0 {
+			s.LatencySeconds = float64(nw.Latency)
+		}
 	}
 	if entry.needsBandwidth && s.BandwidthBitsPerSec <= 0 {
 		return nil, fmt.Errorf("registry: protocol %q needs a positive bandwidth", s.Kind)
@@ -238,6 +268,10 @@ type HardwareSpec struct {
 	Efficiency float64 `json:"efficiency,omitempty"`
 	// Name labels a custom node; empty means "custom".
 	Name string `json:"name,omitempty"`
+	// CostPerHour prices one node-hour for the planner's cost objective.
+	// Zero keeps the preset's catalog rate (or leaves a custom node
+	// unpriced); positive overrides it.
+	CostPerHour float64 `json:"cost_per_hour,omitempty"`
 }
 
 // nodePresets is THE hardware-preset table — the only name→node catalog in
@@ -256,10 +290,21 @@ var networkPresets = map[string]func() hardware.Network{
 }
 
 // Node resolves a hardware spec against the preset table, or validates the
-// custom node it describes.
+// custom node it describes. A positive CostPerHour overrides the preset's
+// catalog rate.
 func Node(s HardwareSpec) (hardware.Node, error) {
 	if s.Preset != "" {
-		return PresetNode(s.Preset)
+		n, err := PresetNode(s.Preset)
+		if err != nil {
+			return hardware.Node{}, err
+		}
+		if s.CostPerHour != 0 {
+			n.CostPerHour = s.CostPerHour
+			if err := n.Validate(); err != nil {
+				return hardware.Node{}, err
+			}
+		}
+		return n, nil
 	}
 	eff := s.Efficiency
 	if eff == 0 {
@@ -269,7 +314,7 @@ func Node(s HardwareSpec) (hardware.Node, error) {
 	if name == "" {
 		name = "custom"
 	}
-	n := hardware.Node{Name: name, PeakFlops: units.Flops(s.PeakFlops), Efficiency: eff}
+	n := hardware.Node{Name: name, PeakFlops: units.Flops(s.PeakFlops), Efficiency: eff, CostPerHour: s.CostPerHour}
 	if err := n.Validate(); err != nil {
 		return hardware.Node{}, err
 	}
@@ -415,67 +460,16 @@ func validateGraph(s GraphSpec) error {
 	return nil
 }
 
-// graphCacheEntry memoizes what one GraphSpec generates. Each product is
-// guarded by its own sync.Once, so concurrent sweep cells that name the same
-// graph single-flight the generation instead of each regenerating it.
-type graphCacheEntry struct {
-	degOnce sync.Once
-	degrees []int32
-	degErr  error
-
-	buildOnce sync.Once
-	g         *graph.Graph
-	buildErr  error
-}
-
-// maxGraphCacheEntries bounds the cache; generators are deterministic, so a
-// spec past the cap simply regenerates instead of evicting.
-const maxGraphCacheEntries = 32
-
-var (
-	graphCache     sync.Map // GraphSpec → *graphCacheEntry
-	graphCacheSize atomic.Int32
-)
-
-// graphCacheSlot returns the cache entry for a spec, or nil when the cache
-// is full and the spec is not already cached.
-func graphCacheSlot(s GraphSpec) *graphCacheEntry {
-	if e, ok := graphCache.Load(s); ok {
-		return e.(*graphCacheEntry)
-	}
-	if graphCacheSize.Load() >= maxGraphCacheEntries {
-		return nil
-	}
-	e, loaded := graphCache.LoadOrStore(s, &graphCacheEntry{})
-	if !loaded {
-		graphCacheSize.Add(1)
-	}
-	return e.(*graphCacheEntry)
-}
-
-// ResetGraphCache empties the generated-graph cache. Benchmarks use it to
-// measure cold generation; evaluation never needs it.
-func ResetGraphCache() {
-	graphCache.Range(func(k, _ any) bool {
-		graphCache.Delete(k)
-		return true
-	})
-	graphCacheSize.Store(0)
-}
-
 // GraphDegrees generates the degree sequence of the described graph — all
 // the paper's graph-inference model needs. Results are cached by the full
-// spec, so a sweep grid whose cells share one graph generates it once; the
-// returned slice is shared with every other caller of the same spec and must
-// be treated as read-only.
+// spec in an LRU cache (see cache.go), so a sweep grid whose cells share one
+// graph generates it once; the returned slice is shared with every other
+// caller of the same spec and must be treated as read-only.
 func GraphDegrees(s GraphSpec) ([]int32, error) {
 	if err := validateGraph(s); err != nil {
 		return nil, err
 	}
-	e := graphCacheSlot(s)
-	if e == nil {
-		return graphFamilies[s.Family].degrees(s)
-	}
+	e := graphCache.get(s)
 	e.degOnce.Do(func() {
 		e.degrees, e.degErr = graphFamilies[s.Family].degrees(s)
 	})
@@ -489,10 +483,7 @@ func BuildGraph(s GraphSpec) (*graph.Graph, error) {
 	if err := validateGraph(s); err != nil {
 		return nil, err
 	}
-	e := graphCacheSlot(s)
-	if e == nil {
-		return graphFamilies[s.Family].build(s)
-	}
+	e := graphCache.get(s)
 	e.buildOnce.Do(func() {
 		e.g, e.buildErr = graphFamilies[s.Family].build(s)
 	})
@@ -530,6 +521,70 @@ func Architecture(name string) (nncost.Network, error) {
 // Architectures returns the cataloged architecture names in stable order.
 func Architectures() []string {
 	return sortedKeys(architectures)
+}
+
+// ---------------------------------------------------------------------------
+// Convergence rules
+// ---------------------------------------------------------------------------
+
+// ConvergenceSpec is the scenario schema's convergence block: it names a
+// batch-to-iterations rule from package convergence and the iteration budget
+// at one worker, which the planner composes with a family's per-iteration
+// model into time-to-accuracy.
+type ConvergenceSpec struct {
+	// Rule selects the batch-to-iterations rule; ConvergenceRules lists
+	// the options (linear, sqrt, diminishing).
+	Rule string `json:"rule"`
+	// BaseIterations is the iterations to converge at one worker.
+	BaseIterations float64 `json:"base_iterations"`
+	// CriticalBatchGrowth is the diminishing rule's kc: full statistical
+	// benefit from batch growth up to kc, none beyond. Required (≥ 1) by
+	// diminishing and rejected elsewhere, so a typoed rule name cannot
+	// silently drop it.
+	CriticalBatchGrowth float64 `json:"critical_batch_growth,omitempty"`
+}
+
+// convergenceRules is THE convergence-rule catalog — the only place mapping
+// rule names to convergence.IterationRule constructors.
+var convergenceRules = map[string]func(ConvergenceSpec) convergence.IterationRule{
+	"linear": func(ConvergenceSpec) convergence.IterationRule { return convergence.LinearScalingRule },
+	"sqrt":   func(ConvergenceSpec) convergence.IterationRule { return convergence.SqrtScalingRule },
+	"diminishing": func(s ConvergenceSpec) convergence.IterationRule {
+		return convergence.DiminishingRule(s.CriticalBatchGrowth)
+	},
+}
+
+// Validate reports whether the convergence block is complete and consistent.
+func (s ConvergenceSpec) Validate() error {
+	if _, ok := convergenceRules[s.Rule]; !ok {
+		return fmt.Errorf("registry: unknown convergence rule %q (known: %s)", s.Rule, joined(ConvergenceRules()))
+	}
+	if s.BaseIterations <= 0 || math.IsNaN(s.BaseIterations) || math.IsInf(s.BaseIterations, 0) {
+		return fmt.Errorf("registry: convergence rule %q: base_iterations must be positive and finite, got %g",
+			s.Rule, s.BaseIterations)
+	}
+	if s.Rule == "diminishing" {
+		if s.CriticalBatchGrowth < 1 || math.IsNaN(s.CriticalBatchGrowth) || math.IsInf(s.CriticalBatchGrowth, 0) {
+			return fmt.Errorf("registry: convergence rule diminishing needs critical_batch_growth ≥ 1, got %g",
+				s.CriticalBatchGrowth)
+		}
+	} else if s.CriticalBatchGrowth != 0 {
+		return fmt.Errorf("registry: convergence rule %q does not take critical_batch_growth", s.Rule)
+	}
+	return nil
+}
+
+// IterationRule resolves the spec's batch-to-iterations rule.
+func (s ConvergenceSpec) IterationRule() (convergence.IterationRule, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return convergenceRules[s.Rule](s), nil
+}
+
+// ConvergenceRules returns the cataloged rule names in stable order.
+func ConvergenceRules() []string {
+	return sortedKeys(convergenceRules)
 }
 
 // ---------------------------------------------------------------------------
@@ -574,6 +629,21 @@ type WorkloadSpec struct {
 // maxMonteCarloTrials bounds scenario-driven Monte-Carlo sampling.
 const maxMonteCarloTrials = 10_000
 
+// IterationModel is the planner's view of one gradient-descent-shaped
+// workload: the wall time of one iteration (one global update) and the
+// effective-batch growth, both as functions of the worker count.
+// convergence.TradeoffModel composes it with a cataloged iteration rule into
+// time-to-accuracy.
+type IterationModel struct {
+	// Time is the per-iteration wall time at n workers.
+	Time core.TimeFunc
+	// BatchGrowth is k(n) = S_effective/S_base at n workers: n under weak
+	// scaling (each worker adds a fixed per-worker batch), 1 for
+	// fixed-total-batch strong scaling and for asynchronous updates
+	// (applied one worker-batch at a time).
+	BatchGrowth func(n int) float64
+}
+
 // Family is one workload-family registry row.
 type Family struct {
 	// Name is the registry key.
@@ -582,6 +652,11 @@ type Family struct {
 	Description string
 	// Build constructs the core model for a validated spec.
 	Build func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error)
+	// Iteration builds the per-iteration hook convergence-aware planning
+	// composes with an iteration rule. Nil for families with no
+	// iteration/batch notion (the graph-inference families), where the
+	// planner falls back to per-iteration ranking.
+	Iteration func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (IterationModel, error)
 }
 
 // familyAliases maps accepted spellings to canonical family names. The empty
@@ -610,6 +685,20 @@ var families = map[string]Family{
 			}
 			return gd.Model(w, node, protocol)
 		},
+		Iteration: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (IterationModel, error) {
+			w, err := gdWorkload(name, spec)
+			if err != nil {
+				return IterationModel{}, err
+			}
+			m, err := gd.Model(w, node, protocol)
+			if err != nil {
+				return IterationModel{}, err
+			}
+			// The total batch is fixed, so one iteration is one pass over
+			// it (the per-iteration model's own time) and growing the
+			// cluster grows no batch: k(n) = 1.
+			return IterationModel{Time: m.Time, BatchGrowth: fixedBatch}, nil
+		},
 	},
 	"gd-weak": {
 		Name:        "gd-weak",
@@ -620,6 +709,27 @@ var families = map[string]Family{
 				return core.Model{}, err
 			}
 			return gd.WeakScalingModel(w, node, protocol)
+		},
+		Iteration: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (IterationModel, error) {
+			w, err := gdWorkload(name, spec)
+			if err != nil {
+				return IterationModel{}, err
+			}
+			if err := node.Validate(); err != nil {
+				return IterationModel{}, err
+			}
+			f := node.EffectiveFlops()
+			// Per-iteration wall time, not the weak-scaled per-instance
+			// time: each worker computes its fixed batch S in parallel
+			// (C·S/F regardless of n), then the cluster synchronizes. The
+			// effective batch is n·S, so k(n) = n — exactly the regime the
+			// batch-to-iterations rules describe.
+			return IterationModel{
+				Time: func(n int) units.Seconds {
+					return units.ComputeTime(w.FlopsPerExample*w.BatchSize, f) + protocol.Time(w.ModelBits, n)
+				},
+				BatchGrowth: func(n int) float64 { return float64(n) },
+			}, nil
 		},
 	},
 	"graph-inference": {
@@ -650,23 +760,47 @@ var families = map[string]Family{
 		Name:        "async-gd",
 		Description: "asynchronous gradient descent: pipelined updates, staleness-penalized speedup",
 		Build: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error) {
-			w, err := gdWorkload(name, spec)
+			m, err := asyncModel(name, spec, node, protocol)
 			if err != nil {
-				return core.Model{}, err
-			}
-			m := asyncgd.Model{
-				ComputePerBatch: units.ComputeTime(w.FlopsPerExample*w.BatchSize, node.EffectiveFlops()),
-				// One worker↔parameter-server exchange, priced as the
-				// protocol's two-party time.
-				CommPerUpdate:      protocol.Time(w.ModelBits, 2),
-				ConvergencePenalty: spec.ConvergencePenalty,
-			}
-			if err := m.Validate(); err != nil {
 				return core.Model{}, err
 			}
 			return m.CoreModel(name), nil
 		},
+		Iteration: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (IterationModel, error) {
+			m, err := asyncModel(name, spec, node, protocol)
+			if err != nil {
+				return IterationModel{}, err
+			}
+			// The effective per-update time already folds in the staleness
+			// inflation; updates apply one worker-batch at a time, so the
+			// batch the convergence rule sees never grows: k(n) = 1.
+			return IterationModel{Time: m.CoreModel(name).Time, BatchGrowth: fixedBatch}, nil
+		},
 	},
+}
+
+// fixedBatch is the batch-growth law of families whose effective batch does
+// not grow with the cluster: k(n) = 1.
+func fixedBatch(int) float64 { return 1 }
+
+// asyncModel assembles the asynchronous-SGD model behind the async-gd
+// family's Build and Iteration hooks.
+func asyncModel(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (asyncgd.Model, error) {
+	w, err := gdWorkload(name, spec)
+	if err != nil {
+		return asyncgd.Model{}, err
+	}
+	m := asyncgd.Model{
+		ComputePerBatch: units.ComputeTime(w.FlopsPerExample*w.BatchSize, node.EffectiveFlops()),
+		// One worker↔parameter-server exchange, priced as the protocol's
+		// two-party time.
+		CommPerUpdate:      protocol.Time(w.ModelBits, 2),
+		ConvergencePenalty: spec.ConvergencePenalty,
+	}
+	if err := m.Validate(); err != nil {
+		return asyncgd.Model{}, err
+	}
+	return m, nil
 }
 
 // gdWorkload assembles the gd.Workload a gradient-descent-shaped spec
@@ -841,6 +975,26 @@ func BuildModel(family, name string, spec WorkloadSpec, node hardware.Node, prot
 		return core.Model{}, err
 	}
 	return f.Build(name, spec, node, protocol)
+}
+
+// BuildIterationModel constructs the per-iteration planning hook of a
+// family, resolving aliases like LookupFamily. ok is false (with a nil
+// error) for families that have no iteration/batch notion — the
+// graph-inference families — where convergence-aware planning has no meaning
+// and callers fall back to per-iteration ranking.
+func BuildIterationModel(family, name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (m IterationModel, ok bool, err error) {
+	f, err := LookupFamily(family)
+	if err != nil {
+		return IterationModel{}, false, err
+	}
+	if f.Iteration == nil {
+		return IterationModel{}, false, nil
+	}
+	m, err = f.Iteration(name, spec, node, protocol)
+	if err != nil {
+		return IterationModel{}, false, err
+	}
+	return m, true, nil
 }
 
 // ---------------------------------------------------------------------------

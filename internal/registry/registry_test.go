@@ -3,6 +3,7 @@ package registry
 import (
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -484,5 +485,203 @@ func TestGraphInferenceDeterministicAtAnyParallelism(t *testing.T) {
 		if serial[i] != parallel[i] {
 			t.Fatalf("value %d differs: serial %v, parallel %v — curve is not bit-identical under parallelism", i, serial[i], parallel[i])
 		}
+	}
+}
+
+// TestGraphCacheEvictsLRU: the bounded cache is a real LRU — filling it past
+// the cap evicts the least recently used spec (which then regenerates) while
+// a recently touched spec stays cached.
+func TestGraphCacheEvictsLRU(t *testing.T) {
+	ResetGraphCache()
+	defer ResetGraphCache()
+	spec := func(i int) GraphSpec {
+		return GraphSpec{Family: "cycle", Vertices: 16 + i}
+	}
+	first := make([][]int32, maxGraphCacheEntries)
+	for i := 0; i < maxGraphCacheEntries; i++ {
+		degrees, err := GraphDegrees(spec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[i] = degrees
+	}
+	if n := graphCache.len(); n != maxGraphCacheEntries {
+		t.Fatalf("cache holds %d specs after filling, cap is %d", n, maxGraphCacheEntries)
+	}
+	// Touch spec 0 so spec 1 becomes the LRU, then overflow by one.
+	if degrees, err := GraphDegrees(spec(0)); err != nil || &degrees[0] != &first[0][0] {
+		t.Fatalf("touching spec 0 regenerated it (err %v)", err)
+	}
+	if _, err := GraphDegrees(spec(maxGraphCacheEntries)); err != nil {
+		t.Fatal(err)
+	}
+	if n := graphCache.len(); n != maxGraphCacheEntries {
+		t.Fatalf("cache holds %d specs after overflow, cap is %d", n, maxGraphCacheEntries)
+	}
+	// Spec 0 survived (recently used); spec 1 was evicted and regenerates.
+	if degrees, err := GraphDegrees(spec(0)); err != nil || &degrees[0] != &first[0][0] {
+		t.Errorf("recently used spec was evicted (err %v)", err)
+	}
+	if degrees, err := GraphDegrees(spec(1)); err != nil || &degrees[0] == &first[1][0] {
+		t.Errorf("LRU spec not evicted: cache returned the original slice (err %v)", err)
+	}
+}
+
+func TestConvergenceSpecValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    ConvergenceSpec
+		wantErr bool
+	}{
+		{"linear", ConvergenceSpec{Rule: "linear", BaseIterations: 100}, false},
+		{"sqrt", ConvergenceSpec{Rule: "sqrt", BaseIterations: 1e6}, false},
+		{"diminishing", ConvergenceSpec{Rule: "diminishing", BaseIterations: 100, CriticalBatchGrowth: 8}, false},
+		{"unknown rule", ConvergenceSpec{Rule: "warp", BaseIterations: 100}, true},
+		{"zero iterations", ConvergenceSpec{Rule: "linear"}, true},
+		{"negative iterations", ConvergenceSpec{Rule: "linear", BaseIterations: -1}, true},
+		{"infinite iterations", ConvergenceSpec{Rule: "linear", BaseIterations: math.Inf(1)}, true},
+		{"diminishing without kc", ConvergenceSpec{Rule: "diminishing", BaseIterations: 100}, true},
+		{"diminishing kc below one", ConvergenceSpec{Rule: "diminishing", BaseIterations: 100, CriticalBatchGrowth: 0.5}, true},
+		{"kc on the wrong rule", ConvergenceSpec{Rule: "sqrt", BaseIterations: 100, CriticalBatchGrowth: 8}, true},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.spec.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+			rule, err := tt.spec.IterationRule()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("IterationRule() error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && rule == nil {
+				t.Error("valid spec resolved a nil rule")
+			}
+		})
+	}
+	if got := ConvergenceRules(); len(got) != 3 {
+		t.Errorf("ConvergenceRules() = %v, want the 3 cataloged rules", got)
+	}
+}
+
+// TestIterationModels: the per-iteration planning hooks of the gd families
+// expose the right time laws and batch-growth regimes.
+func TestIterationModels(t *testing.T) {
+	node := xeon(t)
+	protocol := comm.TwoStageTree{Bandwidth: units.BitsPerSecond(1e9)}
+	spec := WorkloadSpec{FlopsPerExample: 72e6, BatchSize: 60000, Parameters: 12e6, PrecisionBits: 64}
+
+	weak, ok, err := BuildIterationModel("gd-weak", "weak", spec, node, protocol)
+	if err != nil || !ok {
+		t.Fatalf("gd-weak hook: ok %v, err %v", ok, err)
+	}
+	// Weak scaling: compute is per-worker-constant, so iteration time grows
+	// only by the communication term, and the batch grows linearly.
+	computeOnly := float64(weak.Time(1)) - float64(protocol.Time(units.Bits(64*12e6), 1))
+	for _, n := range []int{2, 8} {
+		wantComm := float64(protocol.Time(units.Bits(64*12e6), n))
+		if got := float64(weak.Time(n)); math.Abs(got-(computeOnly+wantComm)) > 1e-9*got {
+			t.Errorf("weak iteration time(%d) = %v, want compute %v + comm %v", n, got, computeOnly, wantComm)
+		}
+		if k := weak.BatchGrowth(n); k != float64(n) {
+			t.Errorf("weak batch growth(%d) = %v, want %d", n, k, n)
+		}
+	}
+
+	strong, ok, err := BuildIterationModel("gd-strong", "strong", spec, node, protocol)
+	if err != nil || !ok {
+		t.Fatalf("gd-strong hook: ok %v, err %v", ok, err)
+	}
+	// Strong scaling: the iteration time is the per-iteration model's own
+	// time and the batch never grows.
+	m, err := BuildModel("gd-strong", "strong", spec, node, protocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 4, 16} {
+		if got, want := float64(strong.Time(n)), float64(m.Time(n)); got != want {
+			t.Errorf("strong iteration time(%d) = %v, want model time %v", n, got, want)
+		}
+		if k := strong.BatchGrowth(n); k != 1 {
+			t.Errorf("strong batch growth(%d) = %v, want 1", n, k)
+		}
+	}
+
+	async, ok, err := BuildIterationModel("async", "async", WorkloadSpec{
+		Family: "async-gd", FlopsPerExample: 72e6, BatchSize: 60000,
+		Parameters: 12e6, PrecisionBits: 64, ConvergencePenalty: 0.05,
+	}, node, protocol)
+	if err != nil || !ok {
+		t.Fatalf("async-gd hook (via alias): ok %v, err %v", ok, err)
+	}
+	if k := async.BatchGrowth(8); k != 1 {
+		t.Errorf("async batch growth = %v, want 1", k)
+	}
+	if async.Time(1) <= 0 {
+		t.Errorf("async iteration time(1) = %v", async.Time(1))
+	}
+
+	// Graph families have no iteration notion: ok is false, not an error.
+	if _, ok, err := BuildIterationModel("mrf", "bp", WorkloadSpec{
+		Family: "mrf", Graph: &GraphSpec{Family: "grid", Vertices: 64},
+	}, node, comm.SharedMemory{}); err != nil || ok {
+		t.Errorf("mrf hook: ok %v, err %v; want no hook and no error", ok, err)
+	}
+	// Unknown family is an error.
+	if _, _, err := BuildIterationModel("warp", "x", spec, node, protocol); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+// TestProtocolNetworkPreset: a protocol spec can inherit bandwidth (and for
+// with-latency, latency) from a cataloged network preset, and an explicit
+// bandwidth alongside the preset is a conflict.
+func TestProtocolNetworkPreset(t *testing.T) {
+	nw, err := PresetNetwork("gigabit-ethernet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPreset, err := Protocol(ProtocolSpec{Kind: "tree", Network: "gigabit-ethernet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRaw, err := Protocol(ProtocolSpec{Kind: "tree", BandwidthBitsPerSec: float64(nw.Bandwidth)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := viaPreset.Time(1e9, 8), viaRaw.Time(1e9, 8); got != want {
+		t.Errorf("preset bandwidth %v != raw bandwidth %v", got, want)
+	}
+
+	// Conflict: preset plus raw bandwidth.
+	if _, err := Protocol(ProtocolSpec{Kind: "tree", Network: "gigabit-ethernet", BandwidthBitsPerSec: 1e9}); err == nil {
+		t.Error("conflicting preset + raw bandwidth accepted")
+	}
+	// Unknown preset.
+	if _, err := Protocol(ProtocolSpec{Kind: "tree", Network: "carrier-pigeon"}); err == nil {
+		t.Error("unknown network preset accepted")
+	}
+	// A preset on a composite kind other than with-latency would silently
+	// do nothing; it must be rejected instead.
+	if _, err := Protocol(ProtocolSpec{
+		Kind:    "sum",
+		Network: "ten-gigabit-ethernet",
+		Of:      []ProtocolSpec{{Kind: "tree", BandwidthBitsPerSec: 1e9}},
+	}); err == nil || !strings.Contains(err.Error(), "no effect") {
+		t.Errorf("network preset on sum accepted: %v", err)
+	}
+
+	// with-latency inherits the preset's latency when none is given.
+	inner := ProtocolSpec{Kind: "tree", BandwidthBitsPerSec: 1e9}
+	viaLatencyPreset, err := Protocol(ProtocolSpec{Kind: "with-latency", Network: "gigabit-ethernet", Of: []ProtocolSpec{inner}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaLatencyRaw, err := Protocol(ProtocolSpec{Kind: "with-latency", LatencySeconds: float64(nw.Latency), Of: []ProtocolSpec{inner}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := viaLatencyPreset.Time(1e9, 8), viaLatencyRaw.Time(1e9, 8); got != want {
+		t.Errorf("preset latency time %v != raw latency time %v", got, want)
 	}
 }

@@ -66,6 +66,114 @@ func WriteResultsJSON(w io.Writer, suiteName string, results []Result) error {
 	return enc.Encode(SuiteReport{Suite: suiteName, Results: Records(results)})
 }
 
+// PlanRecord is the flat, serializable form of one planner recommendation —
+// the machine-readable counterpart of dmls-plan's ranked table. The planner
+// fills it; this package only defines the export shape so every on-disk
+// format the module emits lives in one place.
+type PlanRecord struct {
+	// Rank is the 1-based position under the report's objective.
+	Rank int `json:"rank,omitempty"`
+	// Scenario echoes the expanded scenario's name.
+	Scenario string `json:"scenario"`
+	// Family is the canonical workload family, when it resolves.
+	Family string `json:"family,omitempty"`
+	// ConvergenceAware is true when the plan optimizes time-to-accuracy;
+	// false means the scenario had no convergence block (or its family has
+	// no iteration notion) and the plan fell back to per-iteration
+	// ranking, explained in Notice.
+	ConvergenceAware bool `json:"convergence_aware"`
+	// Rule echoes the convergence rule of a convergence-aware plan.
+	Rule string `json:"rule,omitempty"`
+	// OptimalWorkers is the recommended cluster size.
+	OptimalWorkers int `json:"optimal_workers,omitempty"`
+	// IterationsToAccuracy is the predicted iteration count at the
+	// optimum (convergence-aware plans only).
+	IterationsToAccuracy float64 `json:"iterations_to_accuracy,omitempty"`
+	// TimeSeconds is the predicted time at the optimum: time-to-accuracy
+	// for convergence-aware plans, per-iteration time otherwise.
+	TimeSeconds float64 `json:"time_seconds,omitempty"`
+	// CostRatePerNodeHour is the node's cost rate; Cost is workers ×
+	// hours × rate at the optimum. Zero rate means the node is unpriced.
+	CostRatePerNodeHour float64 `json:"cost_rate_per_node_hour,omitempty"`
+	Cost                float64 `json:"cost,omitempty"`
+	// Pareto marks plans on the suite's cost×time frontier.
+	Pareto bool `json:"pareto,omitempty"`
+	// Notice explains a fallback or degenerate plan in one line.
+	Notice string `json:"notice,omitempty"`
+	// Workers, TimesSeconds, Iterations and Costs are the plan's full
+	// curve, position-aligned.
+	Workers      []int     `json:"workers,omitempty"`
+	TimesSeconds []float64 `json:"times_seconds,omitempty"`
+	Iterations   []float64 `json:"iterations,omitempty"`
+	Costs        []float64 `json:"costs,omitempty"`
+	// Error carries a per-scenario failure; the numeric fields are then
+	// empty.
+	Error string `json:"error,omitempty"`
+}
+
+// PlanReport is the JSON document WritePlansJSON emits: suite name,
+// objective, and one record per scenario in rank order.
+type PlanReport struct {
+	Suite     string       `json:"suite"`
+	Objective string       `json:"objective"`
+	Plans     []PlanRecord `json:"plans"`
+}
+
+// WritePlansJSON writes a planner report as one indented JSON document.
+func WritePlansJSON(w io.Writer, report PlanReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// WritePlansCSV writes one row per plan, in rank order:
+//
+//	rank,scenario,family,convergence_aware,rule,optimal_workers,iterations_to_accuracy,time_seconds,cost_rate_per_node_hour,cost,pareto,notice,error
+//
+// A failed scenario contributes a row with the numeric columns empty and the
+// error in the last column. The full curves are JSON-only: the CSV is the
+// ranked recommendation table.
+func WritePlansCSV(w io.Writer, plans []PlanRecord) error {
+	cw := csv.NewWriter(w)
+	header := []string{"rank", "scenario", "family", "convergence_aware", "rule", "optimal_workers",
+		"iterations_to_accuracy", "time_seconds", "cost_rate_per_node_hour", "cost", "pareto", "notice", "error"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("scenario: plan csv: %w", err)
+	}
+	for _, rec := range plans {
+		if rec.Error != "" {
+			row := []string{strconv.Itoa(rec.Rank), rec.Scenario, rec.Family, "", "", "", "", "", "", "", "", rec.Notice, rec.Error}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("scenario: plan csv: %w", err)
+			}
+			continue
+		}
+		row := []string{
+			strconv.Itoa(rec.Rank),
+			rec.Scenario,
+			rec.Family,
+			strconv.FormatBool(rec.ConvergenceAware),
+			rec.Rule,
+			strconv.Itoa(rec.OptimalWorkers),
+			strconv.FormatFloat(rec.IterationsToAccuracy, 'g', -1, 64),
+			strconv.FormatFloat(rec.TimeSeconds, 'g', -1, 64),
+			strconv.FormatFloat(rec.CostRatePerNodeHour, 'g', -1, 64),
+			strconv.FormatFloat(rec.Cost, 'g', -1, 64),
+			strconv.FormatBool(rec.Pareto),
+			rec.Notice,
+			"",
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("scenario: plan csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("scenario: plan csv: %w", err)
+	}
+	return nil
+}
+
 // WriteResultsCSV writes the results in long form, one row per curve point:
 //
 //	scenario,family,workers,time_seconds,speedup,optimal_workers,peak_speedup,error

@@ -97,3 +97,65 @@ func TestResultsCSVShape(t *testing.T) {
 		t.Errorf("error row = %v", last)
 	}
 }
+
+func TestPlansJSONRoundTripAndCSVShape(t *testing.T) {
+	report := PlanReport{
+		Suite:     "plan test",
+		Objective: "pareto",
+		Plans: []PlanRecord{
+			{
+				Rank: 1, Scenario: "fast", Family: "gd-weak", ConvergenceAware: true,
+				Rule: "diminishing", OptimalWorkers: 16, IterationsToAccuracy: 3125,
+				TimeSeconds: 42.5, CostRatePerNodeHour: 0.9, Cost: 0.17, Pareto: true,
+				Workers: []int{1, 16}, TimesSeconds: []float64{100, 42.5},
+				Iterations: []float64{50000, 3125}, Costs: []float64{0.025, 0.17},
+			},
+			{
+				Rank: 2, Scenario: "fallback", Family: "mrf", ConvergenceAware: false,
+				OptimalWorkers: 8, TimeSeconds: 1.5,
+				Notice: "no convergence block: ranked by per-iteration time",
+			},
+			{Rank: 3, Scenario: "broken", Error: "unknown preset"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WritePlansJSON(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	var got PlanReport
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Suite != report.Suite || got.Objective != report.Objective || len(got.Plans) != 3 {
+		t.Fatalf("round trip lost shape: %+v", got)
+	}
+	if got.Plans[0].Rule != "diminishing" || !got.Plans[0].Pareto || got.Plans[0].Workers[1] != 16 {
+		t.Errorf("plan record lost fields: %+v", got.Plans[0])
+	}
+	if got.Plans[2].Error == "" {
+		t.Error("error record lost its error")
+	}
+
+	buf.Reset()
+	if err := WritePlansCSV(&buf, report.Plans); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d CSV rows, want header + 3 plans", len(rows))
+	}
+	if rows[0][0] != "rank" || rows[0][len(rows[0])-1] != "error" {
+		t.Errorf("header = %v", rows[0])
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			t.Errorf("row %d has %d columns, header has %d", i+1, len(row), len(rows[0]))
+		}
+	}
+	if rows[3][1] != "broken" || rows[3][len(rows[3])-1] != "unknown preset" {
+		t.Errorf("error row = %v", rows[3])
+	}
+}

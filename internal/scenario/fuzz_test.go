@@ -36,6 +36,16 @@ func FuzzDecode(f *testing.F) {
 		`{"name":"x","workload":{"flops_per_example":1,"batch_size":1,"parameters":1},
 		  "hardware":{"preset":"xeon-e3-1240"},
 		  "protocol":{"kind":"sum","of":[{"kind":"tree","bandwidth_bits_per_sec":1e9}]}}`,
+		`{"name":"x","workload":{"family":"gd-weak","flops_per_example":1e9,"batch_size":128,"parameters":1e6},
+		  "hardware":{"preset":"nvidia-k40","cost_per_hour":1.5},
+		  "protocol":{"kind":"ring","network":"ten-gigabit-ethernet"},
+		  "convergence":{"rule":"diminishing","base_iterations":1000,"critical_batch_growth":8}}`,
+		`{"name":"x","workload":{"flops_per_example":1e6,"batch_size":10,"parameters":100},
+		  "hardware":{"preset":"xeon-e3-1240"},
+		  "protocol":{"kind":"tree","network":"gigabit-ethernet","bandwidth_bits_per_sec":1e9}}`,
+		`{"name":"x","workload":{"flops_per_example":1e6,"batch_size":10,"parameters":100},
+		  "hardware":{"preset":"xeon-e3-1240"},"protocol":{"kind":"tree","bandwidth_bits_per_sec":1e9},
+		  "convergence":{"rule":"warp","base_iterations":100}}`,
 	}
 	// Family scenarios exercise every registry path.
 	for _, sc := range familyScenarios() {
@@ -108,6 +118,8 @@ func FuzzDecodeSuite(f *testing.F) {
 		`not json`,
 		`{"name":"x","scenarios":[]}`,
 		`{"name":"x","scenarios":[{"name":"broken","protocol":{"kind":"warp"}}]}`,
+		`{"name":"planned","objective":"pareto","scenarios":[` + strings.TrimSpace(single.String()) + `]}`,
+		`{"name":"x","objective":"fastest","scenarios":[` + strings.TrimSpace(single.String()) + `]}`,
 	} {
 		f.Add(seed)
 	}

@@ -39,6 +39,10 @@ type (
 	ProtocolSpec = registry.ProtocolSpec
 	// GraphSpec describes the inference graph of the graph families.
 	GraphSpec = registry.GraphSpec
+	// ConvergenceSpec names a batch-to-iterations rule and the iteration
+	// budget, the block that turns per-iteration curves into
+	// time-to-accuracy plans.
+	ConvergenceSpec = registry.ConvergenceSpec
 )
 
 // Scenario is the on-disk description of one modeling run.
@@ -57,6 +61,11 @@ type Scenario struct {
 	Scaling string `json:"scaling,omitempty"`
 	// MaxWorkers bounds curve evaluation; 0 means 16.
 	MaxWorkers int `json:"max_workers,omitempty"`
+	// Convergence optionally describes how the iteration count responds to
+	// the growing effective batch, letting the planner rank this scenario
+	// by time-to-accuracy instead of per-iteration speedup. Per-iteration
+	// evaluation (EvaluateSuite) ignores it.
+	Convergence *ConvergenceSpec `json:"convergence,omitempty"`
 }
 
 // Family resolves the canonical workload family this scenario models,
@@ -93,8 +102,15 @@ func (s Scenario) Family() (string, error) {
 
 // Validate reports whether the scenario is complete and consistent. It
 // resolves every name through the registry and builds the model once, so a
-// scenario that validates is a scenario that evaluates.
+// scenario that validates is a scenario that evaluates; the optional
+// convergence block is validated alongside even though only the planner
+// reads it.
 func (s Scenario) Validate() error {
+	if s.Convergence != nil {
+		if err := s.Convergence.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
 	_, err := s.Model()
 	return err
 }

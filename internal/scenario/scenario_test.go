@@ -157,3 +157,59 @@ func TestLoadMissingFile(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func TestConvergenceBlockRoundTrip(t *testing.T) {
+	s := Fig3()
+	s.Convergence = &ConvergenceSpec{Rule: "diminishing", BaseIterations: 50000, CriticalBatchGrowth: 32}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := s.Encode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Convergence == nil || *got.Convergence != *s.Convergence {
+		t.Errorf("convergence block lost in round trip: %+v", got.Convergence)
+	}
+}
+
+func TestValidateRejectsBadConvergenceBlock(t *testing.T) {
+	s := Fig3()
+	s.Convergence = &ConvergenceSpec{Rule: "warp", BaseIterations: 100}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "warp") {
+		t.Errorf("bad rule accepted: %v", err)
+	}
+	s.Convergence = &ConvergenceSpec{Rule: "diminishing", BaseIterations: 100}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "critical_batch_growth") {
+		t.Errorf("diminishing without kc accepted: %v", err)
+	}
+}
+
+func TestProtocolNetworkPresetInScenario(t *testing.T) {
+	s := Fig2()
+	s.Protocol = ProtocolSpec{Kind: "spark", Network: "gigabit-ethernet"}
+	model, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := Fig2()
+	want, err := raw.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gigabit-ethernet is the Fig. 2 bandwidth, so the models agree.
+	for _, n := range []int{1, 4, 9} {
+		if model.Time(n) != want.Time(n) {
+			t.Errorf("t(%d): preset %v != raw %v", n, model.Time(n), want.Time(n))
+		}
+	}
+	// Preset + raw bandwidth conflict surfaces through validation.
+	s.Protocol.BandwidthBitsPerSec = 1e9
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Errorf("conflicting protocol spec accepted: %v", err)
+	}
+}

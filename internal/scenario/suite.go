@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
+	"strings"
 
 	"dmlscale/internal/core"
+	"dmlscale/internal/registry"
 	"dmlscale/internal/units"
 )
 
@@ -25,6 +28,17 @@ type Suite struct {
 	// MaxWorkers overrides every scenario's evaluation bound; 0 keeps
 	// each scenario's own.
 	MaxWorkers int `json:"max_workers,omitempty"`
+	// Objective names how the planner ranks this suite's scenarios:
+	// "tta" (time-to-accuracy, the default), "cost" (cheapest run) or
+	// "pareto" (cost×time frontier first). Per-iteration evaluation
+	// ignores it; Objectives lists the options.
+	Objective string `json:"objective,omitempty"`
+}
+
+// Objectives lists the planner ranking objectives a suite may name, in
+// stable order. The planner's objective parser accepts exactly these.
+func Objectives() []string {
+	return []string{"cost", "pareto", "tta"}
 }
 
 // Sweep is a parameter grid over a base scenario: the cross product of the
@@ -117,12 +131,17 @@ func (sw Sweep) Expand() ([]Scenario, error) {
 	return out, nil
 }
 
-// firstBandwidth returns the spec's own bandwidth or, for composite specs
-// that carry none themselves, the first positive bandwidth among the inner
-// leaves.
+// firstBandwidth returns the spec's own bandwidth — resolving a network
+// preset to its cataloged rate — or, for composite specs that carry none
+// themselves, the first positive bandwidth among the inner leaves.
 func firstBandwidth(p ProtocolSpec) float64 {
 	if p.BandwidthBitsPerSec > 0 {
 		return p.BandwidthBitsPerSec
+	}
+	if p.Network != "" {
+		if nw, err := registry.PresetNetwork(p.Network); err == nil {
+			return float64(nw.Bandwidth)
+		}
 	}
 	for _, inner := range p.Of {
 		if b := firstBandwidth(inner); b > 0 {
@@ -134,10 +153,13 @@ func firstBandwidth(p ProtocolSpec) float64 {
 
 // withBandwidth returns a copy of the protocol spec with the bandwidth set,
 // recursing into composite kinds so a sweep can re-price a composed
-// protocol. The Of slice is cloned, never written through: the base
+// protocol. A named network preset is dropped — the axis re-prices the link,
+// and keeping the preset would be the raw-bandwidth-plus-preset conflict the
+// registry rejects. The Of slice is cloned, never written through: the base
 // scenario's spec is shared by every grid point.
 func withBandwidth(p ProtocolSpec, b float64) ProtocolSpec {
 	p.BandwidthBitsPerSec = b
+	p.Network = ""
 	if len(p.Of) > 0 {
 		of := make([]ProtocolSpec, len(p.Of))
 		for i := range p.Of {
@@ -157,6 +179,10 @@ func (s Suite) Expand() ([]Scenario, error) {
 	}
 	if len(s.Scenarios) == 0 && s.Sweep == nil {
 		return nil, fmt.Errorf("scenario: suite %q: no scenarios and no sweep", s.Name)
+	}
+	if s.Objective != "" && !slices.Contains(Objectives(), s.Objective) {
+		return nil, fmt.Errorf("scenario: suite %q: unknown objective %q (known: %s)",
+			s.Name, s.Objective, strings.Join(Objectives(), ", "))
 	}
 	if s.MaxWorkers > 0 && s.Sweep != nil && len(s.Sweep.MaxWorkers) > 0 {
 		// Applying the suite-level bound over a swept worker axis would

@@ -325,3 +325,70 @@ func TestDecodeSuiteRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+func TestSuiteObjectiveValidation(t *testing.T) {
+	s := testSuite()
+	for _, obj := range Objectives() {
+		s.Objective = obj
+		if _, err := s.Expand(); err != nil {
+			t.Errorf("objective %q rejected: %v", obj, err)
+		}
+	}
+	s.Objective = "fastest"
+	if _, err := s.Expand(); err == nil || !strings.Contains(err.Error(), "fastest") {
+		t.Errorf("unknown objective accepted: %v", err)
+	}
+	// The decoder validates through Expand, so a bad objective fails at
+	// load time too.
+	s.Objective = "pareto"
+	var sb strings.Builder
+	if err := s.Encode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSuite(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Objective != "pareto" {
+		t.Errorf("objective lost in round trip: %q", got.Objective)
+	}
+}
+
+// TestSweepRePricesNetworkPreset: a bandwidth axis over a base that names a
+// network preset replaces the preset instead of conflicting with it, and a
+// protocol-kind switch inherits the preset's cataloged bandwidth.
+func TestSweepRePricesNetworkPreset(t *testing.T) {
+	base := Fig2()
+	base.Protocol = ProtocolSpec{Kind: "spark", Network: "gigabit-ethernet"}
+	sw := Sweep{
+		Base:                 base,
+		BandwidthsBitsPerSec: []float64{10e9},
+		Protocols:            []string{"ring"},
+	}
+	scenarios, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 1 {
+		t.Fatalf("%d scenarios", len(scenarios))
+	}
+	got := scenarios[0]
+	if got.Protocol.Network != "" {
+		t.Errorf("swept cell kept the network preset: %+v", got.Protocol)
+	}
+	if got.Protocol.BandwidthBitsPerSec != 10e9 || got.Protocol.Kind != "ring" {
+		t.Errorf("swept cell protocol = %+v", got.Protocol)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("swept cell does not validate: %v", err)
+	}
+	// Without a bandwidth axis, the kind switch carries the preset's rate.
+	kindOnly := Sweep{Base: base, Protocols: []string{"ring"}}
+	scenarios, err = kindOnly.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := scenarios[0].Protocol.BandwidthBitsPerSec; b != 1e9 {
+		t.Errorf("kind switch inherited bandwidth %g, want the preset's 1e9", b)
+	}
+}

@@ -5,7 +5,9 @@ package dmlscale_test
 
 import (
 	"path/filepath"
+	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 
 	"dmlscale"
@@ -126,5 +128,73 @@ func TestSuiteDeterministicAtAnyParallelism(t *testing.T) {
 			t.Fatalf("curve %d: optima differ (%d, %v) vs (%d, %v)", i,
 				serial[i].OptimalN, serial[i].PeakSpeedup, parallel[i].OptimalN, parallel[i].PeakSpeedup)
 		}
+	}
+}
+
+// TestPlanSuiteFileRecommends: the shipped planning suite is the acceptance
+// probe for the planner — it must emit a ranked recommendation (optimal
+// worker count, time-to-accuracy, cost) per scenario, degrade the
+// convergence-free scenario to per-iteration ranking with a clear notice,
+// and produce bit-identical output at any parallelism.
+func TestPlanSuiteFileRecommends(t *testing.T) {
+	suite, err := dmlscale.LoadSuite(filepath.Join("examples", "suites", "plan-tta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := func(parallelism int) dmlscale.PlanReport {
+		dmlscale.SetParallelism(parallelism)
+		report, err := dmlscale.PlanSuite(suite, "", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	defer dmlscale.SetParallelism(0)
+	report := plan(1)
+
+	if report.Objective != "pareto" {
+		t.Errorf("objective = %q, want the suite's pareto", report.Objective)
+	}
+	aware, fallbacks, frontier := 0, 0, 0
+	for i, p := range report.Plans {
+		if p.Err != nil {
+			t.Fatalf("%s: %v", p.Scenario.Name, p.Err)
+		}
+		if p.Rank != i+1 {
+			t.Errorf("%s: rank %d at position %d", p.Scenario.Name, p.Rank, i)
+		}
+		if p.Optimal.Workers < 1 || p.Optimal.Time <= 0 || p.Optimal.Cost <= 0 {
+			t.Errorf("%s: incomplete recommendation %+v", p.Scenario.Name, p.Optimal)
+		}
+		if p.ConvergenceAware {
+			aware++
+			if p.Optimal.Iterations <= 0 {
+				t.Errorf("%s: no iteration prediction", p.Scenario.Name)
+			}
+		} else {
+			fallbacks++
+			if !strings.Contains(p.Notice, "per-iteration") {
+				t.Errorf("%s: fallback without a clear notice: %q", p.Scenario.Name, p.Notice)
+			}
+		}
+		if p.Pareto {
+			frontier++
+		}
+	}
+	if aware < 3 || fallbacks != 1 {
+		t.Errorf("%d convergence-aware plans and %d fallbacks; suite should exercise both paths", aware, fallbacks)
+	}
+	if frontier < 2 {
+		t.Errorf("%d frontier cells; the example should show a real cost×time trade-off", frontier)
+	}
+	// Fallbacks rank after every convergence-aware plan.
+	if last := report.Plans[len(report.Plans)-1]; last.ConvergenceAware {
+		t.Errorf("last rank went to a convergence-aware plan; fallback should rank last")
+	}
+
+	// Bit-identical at any parallelism, rank for rank.
+	parallel := plan(runtime.GOMAXPROCS(0))
+	if !reflect.DeepEqual(report.Export(), parallel.Export()) {
+		t.Fatal("serial and parallel plan reports differ")
 	}
 }
