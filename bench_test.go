@@ -200,6 +200,83 @@ func BenchmarkSingleCurveParallel(b *testing.B) {
 	benchmarkSingleCurve(b, runtime.GOMAXPROCS(0))
 }
 
+// benchKernelGrid is the cold-vs-warm benchmark workload: the 12-cell
+// communication-axes grid over one DNS graph (kernelGridSuite), full-size
+// normally, downscaled under -short so the CI smoke run stays quick.
+func benchKernelGrid() dmlscale.Suite {
+	vertices := 60000
+	if testing.Short() {
+		vertices = 8000
+	}
+	return kernelGridSuite(vertices)
+}
+
+// evaluateGrid runs one full suite evaluation, failing on any cell error.
+func evaluateGrid(b *testing.B, suite dmlscale.Suite) {
+	b.Helper()
+	results, err := dmlscale.EvaluateSuite(suite, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkSweepGridColdVsWarm measures what the shared kernel cache buys a
+// sweep grid that varies only communication-side axes: Cold resets every
+// process-wide cache before each pass (graph generation plus 16 Monte-Carlo
+// estimations per pass), Warm reuses them (pure arithmetic and cache hits).
+// Compare ns/op between the two sub-benchmarks; results are bit-identical
+// either way (TestSweepGridKernelComputedExactlyOnce asserts it).
+func BenchmarkSweepGridColdVsWarm(b *testing.B) {
+	suite := benchKernelGrid()
+	defer dmlscale.ResetCaches()
+	b.Run("Cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dmlscale.ResetCaches()
+			evaluateGrid(b, suite)
+		}
+	})
+	b.Run("Warm", func(b *testing.B) {
+		dmlscale.ResetCaches()
+		evaluateGrid(b, suite) // prewarm: graph + every kernel estimate
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			evaluateGrid(b, suite)
+		}
+	})
+}
+
+// BenchmarkPlanGridWarm ranks the same 12-cell grid with warm caches: the
+// per-iteration fallback plans price every cell off cached kernel
+// estimates, so planning cost is decoupled from Monte-Carlo cost.
+func BenchmarkPlanGridWarm(b *testing.B) {
+	suite := benchKernelGrid()
+	defer dmlscale.ResetCaches()
+	dmlscale.ResetCaches()
+	if _, err := dmlscale.PlanSuite(suite, "", 0); err != nil { // prewarm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := dmlscale.PlanSuite(suite, "", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range report.Plans {
+			if p.Err != nil {
+				b.Fatal(p.Err)
+			}
+		}
+	}
+}
+
 // planBenchSuite is a 24-cell planning grid: the Fig. 3 workload with a
 // diminishing-returns convergence block swept over protocol × bandwidth ×
 // precision, each cell optimized over 128 worker counts.

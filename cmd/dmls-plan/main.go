@@ -18,16 +18,21 @@
 // field. Scenarios without a convergence block rank by per-iteration time
 // after every convergence-aware cell, each carrying a notice saying so.
 // -parallel sizes the shared parallelism budget; rankings are deterministic
-// and bit-identical at any setting.
+// and bit-identical at any setting. -stats reports the process-wide cache
+// counters on stderr — planner probes price their models through the same
+// Monte-Carlo kernel cache the sweeps use, so a grid over one graph shows a
+// high hit ratio here too.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dmlscale/internal/core"
 	"dmlscale/internal/planner"
+	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
 	"dmlscale/internal/textio"
 )
@@ -39,6 +44,7 @@ func main() {
 		parallelism = flag.Int("parallel", 0, "total parallelism budget shared by plan workers and intra-curve shards; 0 means GOMAXPROCS")
 		format      = flag.String("format", "table", "output format: table, csv or json")
 		curves      = flag.Bool("curves", false, "print every plan's full time-to-accuracy curve (table format)")
+		stats       = flag.Bool("stats", false, "report kernel-cache hit ratio and planning wall time on stderr")
 		emitExample = flag.Bool("emit-example", false, "print an example planning suite and exit")
 	)
 	flag.Parse()
@@ -74,9 +80,16 @@ func main() {
 	if *parallelism > 0 {
 		core.SetParallelism(*parallelism)
 	}
+	start := time.Now()
 	report, err := planner.PlanSuite(suite, obj, 0)
 	if err != nil {
 		fail(err)
+	}
+	elapsed := time.Since(start)
+	reportStats := func() {
+		if *stats {
+			fmt.Fprint(os.Stderr, statsReport(len(report.Plans), registry.SnapshotCaches(), elapsed))
+		}
 	}
 
 	switch *format {
@@ -84,12 +97,14 @@ func main() {
 		if err := scenario.WritePlansCSV(os.Stdout, report.Export().Plans); err != nil {
 			fail(err)
 		}
+		reportStats()
 		exitReportingFailures(report)
 		return
 	case "json":
 		if err := scenario.WritePlansJSON(os.Stdout, report.Export()); err != nil {
 			fail(err)
 		}
+		reportStats()
 		exitReportingFailures(report)
 		return
 	}
@@ -122,7 +137,16 @@ func main() {
 		}
 	}
 
+	reportStats()
 	exitReportingFailures(report)
+}
+
+// statsReport renders the -stats block: how long the plan took and the
+// process-wide cache counters (which, in a CLI run, cover exactly this
+// planning pass).
+func statsReport(cells int, caches registry.CacheStats, elapsed time.Duration) string {
+	return fmt.Sprintf("stats: %d cells planned in %v\n", cells, elapsed.Round(time.Microsecond)) +
+		caches.Report()
 }
 
 // planTable renders the ranked recommendations: one row per plan with its

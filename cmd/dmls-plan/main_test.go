@@ -3,8 +3,10 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"dmlscale/internal/planner"
+	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
 )
 
@@ -36,6 +38,15 @@ func TestExampleSuitePlans(t *testing.T) {
 	rendered := planTable(report).String()
 	if !strings.Contains(rendered, "ok") || !strings.Contains(rendered, "*") {
 		t.Errorf("table missing ok rows or frontier markers:\n%s", rendered)
+	}
+}
+
+func TestStatsReport(t *testing.T) {
+	rendered := statsReport(6, registry.SnapshotCaches(), 3*time.Millisecond)
+	for _, want := range []string{"6 cells planned", "hit ratio", "kernel cache", "graph caches"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("stats report missing %q:\n%s", want, rendered)
+		}
 	}
 }
 

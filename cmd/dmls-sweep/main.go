@@ -15,7 +15,10 @@
 // -format csv|json replaces the ASCII rendering with a machine-readable
 // export so deployment tools can consume sweep results. -parallel sizes the
 // shared parallelism budget that both suite-level curve workers and
-// intra-curve Monte-Carlo shards draw from.
+// intra-curve Monte-Carlo shards draw from. -stats appends a cache
+// observability report on stderr: the Monte-Carlo kernel-cache hit ratio,
+// how many curves were deduplicated (identical cells evaluated once and
+// fanned out), and the build-versus-sample wall-time split.
 //
 // A failing scenario (unknown preset, bad figures) reports its error in the
 // table; the rest of the suite still evaluates.
@@ -25,9 +28,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dmlscale/internal/asciiplot"
 	"dmlscale/internal/core"
+	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
 	"dmlscale/internal/textio"
 )
@@ -43,6 +48,7 @@ func main() {
 		format      = flag.String("format", "table", "output format: table, csv or json")
 		curves      = flag.Bool("curves", false, "print every scenario's full speedup curve (table format)")
 		noPlot      = flag.Bool("no-plot", false, "skip the overlaid speedup plot")
+		stats       = flag.Bool("stats", false, "report kernel-cache hit ratio, curve dedup and wall-time split on stderr")
 		emitExample = flag.Bool("emit-example", false, "print an example sweep suite and exit")
 	)
 	flag.Parse()
@@ -71,9 +77,16 @@ func main() {
 	if *parallelism > 0 {
 		core.SetParallelism(*parallelism)
 	}
-	results, err := scenario.EvaluateSuite(suite, 0)
+	start := time.Now()
+	results, evalStats, err := scenario.EvaluateSuiteStats(suite, 0)
 	if err != nil {
 		fail(err)
+	}
+	elapsed := time.Since(start)
+	reportStats := func() {
+		if *stats {
+			fmt.Fprint(os.Stderr, statsReport(evalStats, registry.SnapshotCaches(), elapsed))
+		}
 	}
 
 	switch *format {
@@ -81,12 +94,14 @@ func main() {
 		if err := scenario.WriteResultsCSV(os.Stdout, results); err != nil {
 			fail(err)
 		}
+		reportStats()
 		exitReportingFailures(results)
 		return
 	case "json":
 		if err := scenario.WriteResultsJSON(os.Stdout, suite.Name, results); err != nil {
 			fail(err)
 		}
+		reportStats()
 		exitReportingFailures(results)
 		return
 	}
@@ -113,7 +128,18 @@ func main() {
 		}
 	}
 
+	reportStats()
 	exitReportingFailures(results)
+}
+
+// statsReport renders the -stats block: the suite-level evaluation figures
+// and the process-wide cache counters (which, in a CLI run, cover exactly
+// this evaluation).
+func statsReport(st scenario.EvalStats, caches registry.CacheStats, elapsed time.Duration) string {
+	return fmt.Sprintf("stats: %d cells: %d evaluated, %d deduped, %d failed; %v elapsed (build %v + sample %v summed across cells)\n",
+		st.Scenarios, st.Evaluated, st.CurvesDeduped, st.Failed, elapsed.Round(time.Microsecond),
+		st.BuildTime.Round(time.Microsecond), st.SampleTime.Round(time.Microsecond)) +
+		caches.Report()
 }
 
 // exitReportingFailures warns about partially failed suites on stderr and

@@ -3,7 +3,9 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 
+	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
 )
 
@@ -31,6 +33,22 @@ func TestExampleSuiteEvaluates(t *testing.T) {
 	}
 	if _, ok := overlayPlot(results); !ok {
 		t.Error("overlay plot failed for healthy results")
+	}
+}
+
+func TestStatsReport(t *testing.T) {
+	results, st, err := scenario.EvaluateSuiteStats(exampleSuite(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scenarios != len(results) || st.Evaluated+st.CurvesDeduped+st.Failed != st.Scenarios {
+		t.Errorf("inconsistent stats %+v for %d results", st, len(results))
+	}
+	rendered := statsReport(st, registry.SnapshotCaches(), time.Millisecond)
+	for _, want := range []string{"evaluated", "deduped", "hit ratio", "kernel cache", "graph caches"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("stats report missing %q:\n%s", want, rendered)
+		}
 	}
 }
 

@@ -51,6 +51,7 @@ import (
 	"dmlscale/internal/experiments"
 	"dmlscale/internal/gd"
 	"dmlscale/internal/hardware"
+	"dmlscale/internal/memo"
 	"dmlscale/internal/planner"
 	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
@@ -141,9 +142,14 @@ func GradientDescentWeak(w Workload, node Node, protocol CommModel) (Model, erro
 // maximum per-worker edge count for the given degree sequence, with zero
 // communication (shared memory). opsPerEdge is c(S), e.g. bp.OpsPerEdge.
 // Degenerate inputs (empty degrees, non-positive ops, flops or trials)
-// return an error instead of silently producing infinite speedups, and the
-// per-worker-count memo is goroutine-safe, so the model can be evaluated
-// from concurrent suite workers.
+// return an error instead of silently producing infinite speedups. The
+// per-worker-count estimates come from the process-wide kernel cache
+// (SnapshotCaches shows it), so identical estimates are computed exactly
+// once across all model instances and concurrent suite workers; calling
+// Time with a worker count below 1 panics with the estimator's error
+// rather than pricing the point at +Inf. The degrees slice is keyed into
+// that cache by its contents at construction time and read again at each
+// evaluation, so it must not be mutated after this call.
 func GraphInference(name string, degrees []int32, opsPerEdge float64, f Flops, trials int, seed int64) (Model, error) {
 	return registry.GraphInferenceModel(name, degrees, opsPerEdge, f, trials, seed)
 }
@@ -228,9 +234,20 @@ func LoadSuite(path string) (Suite, error) { return scenario.LoadSuite(path) }
 // argument only caps the suite-level workers within that budget (≤ 0 means
 // no extra cap — it cannot raise concurrency above the budget). A failing
 // scenario yields a SuiteResult with Err set; the rest of the suite still
-// evaluates.
+// evaluates. Cells that describe the same model under different labels are
+// evaluated once and fanned out (SuiteResult.Deduped), and Monte-Carlo
+// kernel estimates are cached process-wide, so a grid that varies only
+// communication-side axes pays for each distinct computation kernel exactly
+// once; results are bit-identical with the caches cold or warm.
 func EvaluateSuite(s Suite, parallelism int) ([]SuiteResult, error) {
 	return scenario.EvaluateSuite(s, parallelism)
+}
+
+// EvaluateSuiteStats is EvaluateSuite plus the pass's evaluation stats:
+// cells evaluated versus deduped and the build-versus-sample wall-time
+// split. Pair it with SnapshotCaches to see the kernel-cache hit ratio.
+func EvaluateSuiteStats(s Suite, parallelism int) ([]SuiteResult, EvalStats, error) {
+	return scenario.EvaluateSuiteStats(s, parallelism)
 }
 
 // PlanSuite expands a suite and plans every scenario concurrently: each
@@ -255,6 +272,29 @@ func ConvergenceRules() []string { return registry.ConvergenceRules() }
 // PlanObjectives lists the ranking objectives a suite or PlanSuite call may
 // name.
 func PlanObjectives() []string { return scenario.Objectives() }
+
+// Cache observability: the process-wide caches behind model construction.
+type (
+	// MemoStats is one cache's hit/miss/eviction/entry counters.
+	MemoStats = memo.Stats
+	// CacheStats snapshots every process-wide registry cache: generated
+	// degree sequences, materialized graphs and Monte-Carlo maxᵢEᵢ kernel
+	// estimates.
+	CacheStats = registry.CacheStats
+	// EvalStats summarizes one EvaluateSuiteStats pass: cells evaluated
+	// versus deduped and the build-versus-sample wall-time split.
+	EvalStats = scenario.EvalStats
+)
+
+// SnapshotCaches returns the current counters of the process-wide caches.
+// The Estimates layer is the computation kernel: its misses count the
+// Monte-Carlo estimations actually performed since the last ResetCaches.
+func SnapshotCaches() CacheStats { return registry.SnapshotCaches() }
+
+// ResetCaches empties every process-wide cache (degree sequences, graphs,
+// Monte-Carlo estimates) and zeroes its counters, so benchmarks and tests
+// measure a fully cold state. Evaluation never needs it.
+func ResetCaches() { registry.ResetCaches() }
 
 // SetParallelism sizes the shared parallelism budget that suite-level curve
 // workers and intra-curve Monte-Carlo shards draw from (≤ 0 means

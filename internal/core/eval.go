@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Job is one curve to evaluate: a model builder plus the worker counts to
@@ -19,6 +20,12 @@ type Job struct {
 	Workers []int
 	// Base is the speedup reference count; 0 means 1.
 	Base int
+	// Key optionally fingerprints the job's model inputs. Jobs carrying
+	// equal non-empty keys are promised identical — same Build output, same
+	// Workers, same Base — so EvaluateAll evaluates the first occurrence
+	// and fans its curve out to the rest instead of recomputing it. Empty
+	// means never deduplicate.
+	Key string
 }
 
 // JobResult is one evaluated curve, or the error that stopped it. Results
@@ -30,6 +37,16 @@ type JobResult struct {
 	Curve Curve
 	// Err records why this job failed; other jobs are unaffected.
 	Err error
+	// Deduped marks a result served by relabeling an identical job's curve
+	// (equal non-empty Key) instead of evaluating this job; the points
+	// slice is shared with the evaluated job and must stay read-only.
+	Deduped bool
+	// BuildTime and SampleTime split the job's wall time between model
+	// construction (Build: graph generation, catalog resolution) and curve
+	// sampling (time evaluation, Monte-Carlo estimation). Both are zero on
+	// deduped results.
+	BuildTime  time.Duration
+	SampleTime time.Duration
 }
 
 // ForEach runs body(i) for every i in [0, n), work-stealing indices over an
@@ -101,10 +118,50 @@ func ForEach(n, parallelism int, body func(i int)) {
 // suite-level workers on top of that (≤ 0 means no extra cap). A failing or
 // panicking job yields an error result without aborting the rest — per-curve
 // error isolation, so one bad scenario in a suite cannot take down the sweep.
+//
+// Jobs carrying equal non-empty Keys coalesce: only the first occurrence is
+// evaluated, and its curve fans out — relabeled with each duplicate's own
+// name and marked Deduped — to every duplicate's result slot, wherever in
+// the job order the duplicates appear. Duplicates of a job that failed are
+// evaluated individually instead, so their errors carry their own names
+// exactly as without dedup. Results are bit-identical with and without
+// dedup at any parallelism: the keys promise identical curves and every
+// model this module builds is deterministic.
 func EvaluateAll(jobs []Job, parallelism int) []JobResult {
 	results := make([]JobResult, len(jobs))
-	ForEach(len(jobs), parallelism, func(i int) {
-		results[i] = evaluateOne(jobs[i])
+	reps := make([]int, 0, len(jobs))
+	dupOf := make([]int, len(jobs))
+	byKey := make(map[string]int, len(jobs))
+	for i := range jobs {
+		dupOf[i] = i
+		if k := jobs[i].Key; k != "" {
+			if j, ok := byKey[k]; ok {
+				dupOf[i] = j
+				continue
+			}
+			byKey[k] = i
+		}
+		reps = append(reps, i)
+	}
+	ForEach(len(reps), parallelism, func(k int) {
+		results[reps[k]] = evaluateOne(jobs[reps[k]])
+	})
+	var failedDups []int
+	for i := range jobs {
+		if dupOf[i] == i {
+			continue
+		}
+		rep := results[dupOf[i]]
+		if rep.Err != nil {
+			failedDups = append(failedDups, i)
+			continue
+		}
+		curve := rep.Curve
+		curve.Name = jobs[i].Name
+		results[i] = JobResult{Name: jobs[i].Name, Curve: curve, Deduped: true}
+	}
+	ForEach(len(failedDups), parallelism, func(k int) {
+		results[failedDups[k]] = evaluateOne(jobs[failedDups[k]])
 	})
 	return results
 }
@@ -122,7 +179,9 @@ func evaluateOne(job Job) (res JobResult) {
 		res.Err = fmt.Errorf("core: job %q has no builder", job.Name)
 		return res
 	}
+	start := time.Now()
 	model, err := job.Build()
+	res.BuildTime = time.Since(start)
 	if err != nil {
 		res.Err = fmt.Errorf("core: job %q: %w", job.Name, err)
 		return res
@@ -131,7 +190,9 @@ func evaluateOne(job Job) (res JobResult) {
 	if base <= 0 {
 		base = 1
 	}
+	start = time.Now()
 	curve, err := model.SpeedupCurveRelative(base, job.Workers)
+	res.SampleTime = time.Since(start)
 	if err != nil {
 		res.Err = fmt.Errorf("core: job %q: %w", job.Name, err)
 		return res

@@ -1,0 +1,253 @@
+// Package memo is the module's shared memoization primitive: a bounded,
+// mutex-striped, single-flight LRU cache with hit/miss/eviction counters.
+//
+// Every process-wide cache in the module — generated degree sequences,
+// materialized graphs, Monte-Carlo maxᵢEᵢ estimates — is an instance of
+// Cache, so they all share one eviction policy, one single-flight
+// discipline and one observability surface (Stats) instead of each
+// open-coding its own sync.Map-plus-Once hybrid.
+//
+// Concurrency model: a stripe's mutex is held only for map-and-recency-list
+// work; the cached computation runs afterwards through the entry's own
+// sync.Once. Concurrent callers of one key therefore single-flight the
+// (much more expensive) computation without serializing callers of other
+// keys, and an entry evicted while another goroutine is still filling it
+// stays valid for that goroutine — it just no longer serves future callers.
+package memo
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of a cache's counters. Hits count Do
+// calls served by an existing entry (including entries still being filled
+// by another goroutine — the caller waits on the single-flight instead of
+// recomputing); misses count calls that inserted a fresh entry, i.e. the
+// number of distinct computations performed since the last Reset; evictions
+// count entries dropped past the capacity bound.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// Entries is the current number of cached keys.
+	Entries int
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one single-flight slot: the Once guards the computation, val/err
+// hold its (possibly failed) result. Errors are cached like values — the
+// computations memoized here are deterministic in their key, so a failure
+// would only repeat.
+type entry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// item is one recency-list element: the key (needed to unmap on eviction)
+// and its entry.
+type item[K comparable, V any] struct {
+	key   K
+	entry *entry[V]
+}
+
+// stripe is one independently locked shard of the cache: a bounded LRU of
+// entries. Keys hash to exactly one stripe, so the per-stripe recency order
+// is exact; the cache-wide order is approximate, which is the usual
+// striping trade-off.
+type stripe[K comparable, V any] struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[K]*list.Element
+	order   *list.List // front = most recently used; Values are *item
+}
+
+// Cache is a bounded, striped, single-flight LRU keyed by any comparable
+// type. The zero value is not usable; construct with New.
+type Cache[K comparable, V any] struct {
+	hash    func(K) uint64
+	mask    uint64
+	stripes []stripe[K, V]
+
+	hits, misses, evictions atomic.Int64
+}
+
+// New returns a cache bounded to roughly capacity entries, sharded over up
+// to the requested number of stripes (rounded down to a power of two, never
+// more than capacity). hash routes keys to stripes and may be nil only when
+// stripes is 1 — a single-stripe cache is an exact LRU, the right choice
+// when entries are few and expensive (generated graphs); striped caches
+// trade exact cache-wide recency for uncontended access, the right choice
+// for many small hot entries (Monte-Carlo estimates).
+func New[K comparable, V any](capacity, stripes int, hash func(K) uint64) *Cache[K, V] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("memo: capacity %d < 1", capacity))
+	}
+	n := 1
+	for n*2 <= stripes && n*2 <= capacity {
+		n *= 2
+	}
+	if n > 1 && hash == nil {
+		panic("memo: striped cache needs a hash function")
+	}
+	c := &Cache[K, V]{hash: hash, mask: uint64(n - 1), stripes: make([]stripe[K, V], n)}
+	per := (capacity + n - 1) / n
+	for i := range c.stripes {
+		c.stripes[i].cap = per
+		c.stripes[i].entries = make(map[K]*list.Element, per)
+		c.stripes[i].order = list.New()
+	}
+	return c
+}
+
+// stripeFor routes a key to its stripe.
+func (c *Cache[K, V]) stripeFor(key K) *stripe[K, V] {
+	if len(c.stripes) == 1 {
+		return &c.stripes[0]
+	}
+	return &c.stripes[c.hash(key)&c.mask]
+}
+
+// Do returns the memoized result of compute for key, running compute at
+// most once per cached lifetime of the key — concurrent callers of a fresh
+// key wait on the first caller's computation instead of repeating it. The
+// result (value or error) is cached until the key is evicted or the cache
+// reset; compute must therefore be deterministic in the key. The returned
+// value is shared with every other caller of the same key and must be
+// treated as read-only. A compute that panics re-raises on its own caller
+// and leaves the entry holding an error describing the panic — never a
+// silent zero value — for everyone else.
+func (c *Cache[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	st := c.stripeFor(key)
+	st.mu.Lock()
+	var e *entry[V]
+	if el, ok := st.entries[key]; ok {
+		st.order.MoveToFront(el)
+		e = el.Value.(*item[K, V]).entry
+		st.mu.Unlock()
+		c.hits.Add(1)
+	} else {
+		e = &entry[V]{}
+		st.entries[key] = st.order.PushFront(&item[K, V]{key: key, entry: e})
+		evicted := 0
+		for len(st.entries) > st.cap {
+			back := st.order.Back()
+			st.order.Remove(back)
+			delete(st.entries, back.Value.(*item[K, V]).key)
+			evicted++
+		}
+		st.mu.Unlock()
+		c.misses.Add(1)
+		if evicted > 0 {
+			c.evictions.Add(int64(evicted))
+		}
+	}
+	e.once.Do(func() {
+		defer func() {
+			// sync.Once marks the entry done even when compute panics, so
+			// record the panic as the cached error before re-raising —
+			// otherwise every later caller would read a zero value with a
+			// nil error off the poisoned entry.
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("memo: compute panicked: %v", r)
+				panic(r)
+			}
+		}()
+		e.val, e.err = compute()
+	})
+	return e.val, e.err
+}
+
+// Len returns the current number of cached keys across all stripes.
+func (c *Cache[K, V]) Len() int {
+	n := 0
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		n += len(st.entries)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache's counters. The counters are read individually,
+// so a snapshot taken during concurrent use is approximate; quiesce the
+// cache first when asserting exact figures.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+// Reset empties the cache and zeroes its counters, so benchmarks and tests
+// measure from a fully cold state rather than a half-warm one.
+func (c *Cache[K, V]) Reset() {
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		st.entries = make(map[K]*list.Element, st.cap)
+		st.order.Init()
+		st.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}
+
+// Mix folds words into one 64-bit hash by chained SplitMix64 finalization —
+// the stripe-routing companion of partition.StreamSeed's stream derivation.
+func Mix(words ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		h = SplitMix64(h ^ w)
+	}
+	return h
+}
+
+// HashInt32s fingerprints an int32 sequence with two structurally
+// independent 64-bit hashes — byte-wise FNV-1a and an element-wise
+// SplitMix64 chain — computed in one pass. Caches keyed on both halves
+// would need a simultaneous collision in two unrelated mixes (~2⁻¹²⁸) to
+// serve one sequence's result for another, versus the findable-by-search
+// 2⁻⁶⁴ of a single hash. Cheap enough to run once per model construction
+// over a 60K-vertex degree sequence, and stable across processes (no
+// per-run hash seed), so fingerprint-keyed caches behave identically run
+// to run.
+func HashInt32s(vals []int32) (fnv, mix uint64) {
+	const prime = 1099511628211
+	fnv = 14695981039346656037
+	mix = uint64(len(vals))
+	for _, v := range vals {
+		x := uint32(v)
+		fnv = (fnv ^ uint64(x&0xff)) * prime
+		fnv = (fnv ^ uint64(x>>8&0xff)) * prime
+		fnv = (fnv ^ uint64(x>>16&0xff)) * prime
+		fnv = (fnv ^ uint64(x>>24&0xff)) * prime
+		mix = SplitMix64(mix ^ uint64(x))
+	}
+	return fnv, mix
+}
+
+// SplitMix64 is the SplitMix64 finalizer (Steele, Lea, Flood 2014), a
+// bijective avalanche mix — the single copy in the module; hashing here
+// and RNG stream derivation (partition.StreamSeed) both build on it.
+func SplitMix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

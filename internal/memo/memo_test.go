@@ -1,0 +1,275 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCachesValues(t *testing.T) {
+	c := New[string, int](4, 1, nil)
+	calls := 0
+	get := func(k string) int {
+		v, err := c.Do(k, func() (int, error) {
+			calls++
+			return len(k), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if got := get("abc"); got != 3 {
+		t.Fatalf("Do = %d, want 3", got)
+	}
+	if got := get("abc"); got != 3 {
+		t.Fatalf("cached Do = %d, want 3", got)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 0 evictions, 1 entry", st)
+	}
+	if r := st.HitRatio(); r != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", r)
+	}
+}
+
+func TestDoCachesErrors(t *testing.T) {
+	c := New[int, int](4, 1, nil)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		if _, err := c.Do(7, func() (int, error) {
+			calls++
+			return 0, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want boom", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("failing compute ran %d times, want 1 (errors are cached)", calls)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[string, int](2, 1, nil)
+	one := func() (int, error) { return 1, nil }
+	c.Do("a", one)
+	c.Do("b", one)
+	c.Do("a", one) // promote a; b is now LRU
+	c.Do("c", one) // evicts b
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+	misses := st.Misses
+	c.Do("a", one)
+	c.Do("c", one)
+	if got := c.Stats().Misses; got != misses {
+		t.Errorf("survivors recomputed: misses %d → %d", misses, got)
+	}
+	c.Do("b", one)
+	if got := c.Stats().Misses; got != misses+1 {
+		t.Errorf("evicted key served from cache: misses %d → %d", misses, got)
+	}
+}
+
+func TestStripedCacheBoundsEntries(t *testing.T) {
+	const capacity = 8
+	c := New[int, int](capacity, 4, func(k int) uint64 { return Mix(uint64(k)) })
+	if len(c.stripes) != 4 {
+		t.Fatalf("stripes = %d, want 4", len(c.stripes))
+	}
+	for i := 0; i < 100; i++ {
+		c.Do(i, func() (int, error) { return i, nil })
+	}
+	if n := c.Len(); n > capacity {
+		t.Errorf("cache holds %d entries, capacity %d", n, capacity)
+	}
+	st := c.Stats()
+	if st.Misses != 100 {
+		t.Errorf("misses = %d, want 100 distinct computations", st.Misses)
+	}
+	if st.Evictions != st.Misses-int64(st.Entries) {
+		t.Errorf("evictions %d != misses %d - entries %d", st.Evictions, st.Misses, st.Entries)
+	}
+}
+
+func TestStripeCountRounding(t *testing.T) {
+	hash := func(k int) uint64 { return uint64(k) }
+	cases := []struct {
+		capacity, stripes, want int
+	}{
+		{32, 1, 1},
+		{32, 7, 4}, // rounds down to a power of two
+		{32, 16, 16},
+		{2, 16, 2}, // never more stripes than capacity
+		{1, 16, 1},
+	}
+	for _, tt := range cases {
+		c := New[int, int](tt.capacity, tt.stripes, hash)
+		if got := len(c.stripes); got != tt.want {
+			t.Errorf("New(cap %d, stripes %d): %d stripes, want %d", tt.capacity, tt.stripes, got, tt.want)
+		}
+	}
+}
+
+func TestNewPanicsOnBadArguments(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero capacity", func() { New[int, int](0, 1, nil) })
+	mustPanic("striped without hash", func() { New[int, int](8, 4, nil) })
+}
+
+func TestSingleFlight(t *testing.T) {
+	c := New[int, int](8, 1, nil)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]int, 64)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := c.Do(1, func() (int, error) {
+				computes.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}(g)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times under contention, want 1", n)
+	}
+	for g, v := range results {
+		if v != 42 {
+			t.Errorf("goroutine %d got %d, want 42", g, v)
+		}
+	}
+}
+
+// TestConcurrentEvictionHammer drives a small striped cache far past its
+// bound from many goroutines; run with -race. Every returned value must
+// equal the key's deterministic function even while entries churn.
+func TestConcurrentEvictionHammer(t *testing.T) {
+	c := New[int, int](16, 4, func(k int) uint64 { return Mix(uint64(k)) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				key := (g*7 + i) % 97
+				v, err := c.Do(key, func() (int, error) { return key * key, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v != key*key {
+					t.Errorf("key %d: got %d, want %d", key, v, key*key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Errorf("stats = %+v: hammer never evicted; keyspace not eviction-sized", st)
+	}
+}
+
+// TestDoPanicDoesNotPoisonEntry: a panicking compute re-raises on its own
+// caller, and later callers of the same key get an error describing the
+// panic — never the zero value with a nil error off the consumed Once.
+func TestDoPanicDoesNotPoisonEntry(t *testing.T) {
+	c := New[int, int](4, 1, nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic not re-raised on the first caller")
+			}
+		}()
+		c.Do(1, func() (int, error) { panic("kaboom") })
+	}()
+	v, err := c.Do(1, func() (int, error) { return 7, nil })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("later caller got (%d, %v), want the cached panic error", v, err)
+	}
+	// Other keys are unaffected.
+	if v, err := c.Do(2, func() (int, error) { return 7, nil }); v != 7 || err != nil {
+		t.Errorf("healthy key got (%d, %v)", v, err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New[int, int](4, 1, nil)
+	c.Do(1, func() (int, error) { return 1, nil })
+	c.Do(1, func() (int, error) { return 1, nil })
+	c.Reset()
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 || st.Entries != 0 {
+		t.Errorf("stats after reset = %+v, want all zero", st)
+	}
+	calls := 0
+	c.Do(1, func() (int, error) { calls++; return 2, nil })
+	if calls != 1 {
+		t.Errorf("entry survived reset")
+	}
+}
+
+func TestMixAndHashInt32s(t *testing.T) {
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Error("Mix is order-insensitive")
+	}
+	if Mix(1) == Mix(1, 0) {
+		t.Error("Mix ignores trailing words")
+	}
+	both := func(vals []int32) [2]uint64 {
+		fnv, mix := HashInt32s(vals)
+		return [2]uint64{fnv, mix}
+	}
+	a := []int32{1, 2, 3}
+	if both(a) != both([]int32{1, 2, 3}) {
+		t.Error("equal sequences hash differently")
+	}
+	reversed := both([]int32{3, 2, 1})
+	if both(a)[0] == reversed[0] || both(a)[1] == reversed[1] {
+		t.Error("HashInt32s is order-insensitive")
+	}
+	zero := both([]int32{0})
+	if empty := both(nil); empty[0] == zero[0] || empty[1] == zero[1] {
+		t.Error("HashInt32s ignores length")
+	}
+	if h := both(a); h[0] == h[1] {
+		t.Error("the two fingerprint halves coincide; they must be independent mixes")
+	}
+}
+
+func BenchmarkDoHit(b *testing.B) {
+	c := New[int, float64](4096, 16, func(k int) uint64 { return Mix(uint64(k)) })
+	for i := 0; i < 64; i++ {
+		c.Do(i, func() (float64, error) { return float64(i), nil })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Do(i%64, func() (float64, error) { return 0, fmt.Errorf("cold") }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

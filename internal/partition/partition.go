@@ -19,6 +19,7 @@ import (
 
 	"dmlscale/internal/core"
 	"dmlscale/internal/graph"
+	"dmlscale/internal/memo"
 )
 
 // Assignment maps each vertex to a worker in [0, Workers).
@@ -198,25 +199,16 @@ type Estimate struct {
 
 // StreamSeed derives the RNG seed of one Monte-Carlo trial from the base
 // seed, the worker count and the trial index by chained SplitMix64
-// finalization. Hashing all three coordinates gives every (workers, trial)
-// cell an independent stream: the earlier additive derivation
-// (seed + workers + trial) made trial t at n workers reuse the stream of
-// trial t+1 at n−1 workers, correlating the estimates of adjacent curve
-// points.
+// finalization (memo.SplitMix64, the module's one copy). Hashing all three
+// coordinates gives every (workers, trial) cell an independent stream: the
+// earlier additive derivation (seed + workers + trial) made trial t at n
+// workers reuse the stream of trial t+1 at n−1 workers, correlating the
+// estimates of adjacent curve points.
 func StreamSeed(seed int64, workers, trial int) int64 {
-	h := splitmix64(uint64(seed))
-	h = splitmix64(h ^ uint64(workers))
-	h = splitmix64(h ^ uint64(trial))
+	h := memo.SplitMix64(uint64(seed))
+	h = memo.SplitMix64(h ^ uint64(workers))
+	h = memo.SplitMix64(h ^ uint64(trial))
 	return int64(h)
-}
-
-// splitmix64 is the SplitMix64 finalizer (Steele, Lea, Flood 2014), a
-// bijective avalanche mix.
-func splitmix64(z uint64) uint64 {
-	z += 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
 }
 
 // MonteCarloMaxEdges estimates maxᵢ Eᵢ for a random assignment of the given

@@ -17,7 +17,11 @@
 // gracefully to per-iteration ranking, with a one-line notice explaining the
 // downgrade. Suite planning fans out on the shared parallelism budget
 // (core.ForEach), so ranking a 100-cell grid parallelizes exactly like
-// EvaluateAll, and the output is bit-identical at any parallelism.
+// EvaluateAll, and the output is bit-identical at any parallelism. Model
+// construction goes through the registry's process-wide caches, so planner
+// probes — including the per-iteration fallbacks that price graph-inference
+// cells — reuse the Monte-Carlo kernel estimates a sweep (or an earlier
+// planning pass) already computed; registry.SnapshotCaches shows the hits.
 package planner
 
 import (

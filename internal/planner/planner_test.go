@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dmlscale/internal/core"
+	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
 )
 
@@ -375,6 +376,47 @@ func TestPlanSuiteDeterministicAtAnyParallelism(t *testing.T) {
 	parallel := plan(runtime.GOMAXPROCS(0))
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatalf("serial and parallel plans differ:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestPlanSuiteColdVsWarmBitIdentical: planning prices its models through
+// the process-wide kernel caches, so a warm pass — including the
+// per-iteration fallbacks over Monte-Carlo graph cells — performs no new
+// estimations and reports exactly the cold pass's plans.
+func TestPlanSuiteColdVsWarmBitIdentical(t *testing.T) {
+	registry.ResetCaches()
+	defer registry.ResetCaches()
+	suite := planTestSuite()
+	suite.Scenarios = append(suite.Scenarios, scenario.Scenario{
+		Name: "monte carlo fallback cell",
+		Workload: scenario.WorkloadSpec{
+			Family: "mrf",
+			Graph:  &scenario.GraphSpec{Family: "dns", Vertices: 4000, Seed: 11},
+			Trials: 3,
+			Seed:   11,
+		},
+		Hardware:   scenario.HardwareSpec{Preset: "dl980-core"},
+		Protocol:   shared(),
+		MaxWorkers: 10,
+	})
+	run := func() scenario.PlanReport {
+		report, err := PlanSuite(suite, ObjectiveTTA, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report.Export()
+	}
+	cold := run()
+	misses := registry.SnapshotCaches().Estimates.Misses
+	if misses != 10 {
+		t.Errorf("cold plan performed %d estimations, want 10 (one per worker count)", misses)
+	}
+	warm := run()
+	if got := registry.SnapshotCaches().Estimates.Misses; got != misses {
+		t.Errorf("warm plan re-estimated: misses %d → %d", misses, got)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cold and warm plans differ:\ncold: %+v\nwarm: %+v", cold, warm)
 	}
 }
 

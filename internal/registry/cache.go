@@ -1,101 +1,126 @@
 package registry
 
 import (
-	"container/list"
-	"sync"
+	"fmt"
+	"strings"
 
 	"dmlscale/internal/graph"
+	"dmlscale/internal/memo"
 )
 
-// graphCacheEntry memoizes what one GraphSpec generates. Each product is
-// guarded by its own sync.Once, so concurrent sweep cells that name the same
-// graph single-flight the generation instead of each regenerating it; the
-// cache lock below is never held across generation.
-type graphCacheEntry struct {
-	degOnce sync.Once
-	degrees []int32
-	degErr  error
+// The registry owns every process-wide cache behind model construction,
+// layered the way the data flows:
+//
+//	GraphSpec ──► degree sequence ──► Monte-Carlo maxᵢEᵢ estimate ──► curve
+//	          └─► materialized graph
+//
+// All three are memo.Cache instances — bounded, single-flight, counted —
+// so a sweep grid whose cells share a graph generates it once, and a grid
+// that varies only communication-side axes (bandwidth, protocol, precision)
+// prices every cell off the same computation kernel instead of resampling
+// it per cell. SnapshotCaches exposes the counters; ResetCaches returns the
+// whole stack to cold.
+const (
+	// maxGraphCacheEntries bounds the generated degree-sequence and
+	// materialized-graph caches. Past the bound the least recently used
+	// spec is evicted (and would regenerate on its next use), so a
+	// long-lived service cycling through many distinct graphs keeps its
+	// working set hot instead of pinning the first 32 specs forever.
+	maxGraphCacheEntries = 32
 
-	buildOnce sync.Once
-	g         *graph.Graph
-	buildErr  error
+	// maxEstimateCacheEntries bounds the Monte-Carlo estimate cache. One
+	// entry is a single float64, so the bound is generous: 4096 entries
+	// cover 256 distinct (graph, trials, seed) kernels at 16 worker counts
+	// each before anything is evicted.
+	maxEstimateCacheEntries = 4096
+
+	// estimateCacheStripes shards the estimate cache's lock: curve points
+	// for different worker counts are sampled concurrently and each lookup
+	// is far cheaper than the graph caches' generation work, so contention
+	// matters here.
+	estimateCacheStripes = 16
+)
+
+// estimateKey identifies one Monte-Carlo maxᵢEᵢ computation: the degree
+// sequence (by its 128-bit memo.HashInt32s fingerprint plus length, so
+// serving one sequence's estimate for another would need a simultaneous
+// collision in two independent hashes and the vertex count), the worker
+// count, and the sampling parameters. Everything else the estimate could
+// depend on is derived from these.
+type estimateKey struct {
+	fnv, mix uint64
+	vertices int
+	workers  int
+	trials   int
+	seed     int64
 }
 
-// maxGraphCacheEntries bounds the generated-graph cache. Past the bound the
-// least recently used spec is evicted (and would regenerate on its next
-// use), so a long-lived service cycling through many distinct graphs keeps
-// its working set hot instead of pinning the first 32 specs forever.
-const maxGraphCacheEntries = 32
-
-// graphLRU is a mutex-guarded LRU of graphCacheEntry slots keyed by the full
-// GraphSpec. get only touches the recency list and the map under the lock —
-// generation happens afterwards through the entry's own sync.Once — so the
-// lock is held for map-and-list work only, and concurrent callers of one
-// spec still single-flight the (much more expensive) generation.
-type graphLRU struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[GraphSpec]*list.Element
-	order   *list.List // front = most recently used; Values are *graphLRUItem
+// hash routes an estimate key to a cache stripe.
+func (k estimateKey) hash() uint64 {
+	return memo.Mix(k.fnv, k.mix, uint64(k.vertices), uint64(k.workers), uint64(k.trials), uint64(k.seed))
 }
 
-// graphLRUItem is one recency-list element: the spec (needed to unmap on
-// eviction) and its entry.
-type graphLRUItem struct {
-	spec  GraphSpec
-	entry *graphCacheEntry
+var (
+	// degreeCache and graphCache memoize what one GraphSpec generates.
+	// Single-stripe: exact LRU, and the entries are few and expensive.
+	degreeCache = memo.New[GraphSpec, []int32](maxGraphCacheEntries, 1, nil)
+	graphCache  = memo.New[GraphSpec, *graph.Graph](maxGraphCacheEntries, 1, nil)
+
+	// estimateCache memoizes Monte-Carlo maxᵢEᵢ estimates process-wide, so
+	// identical estimates are computed exactly once across all sweep cells,
+	// suites and planner probes, whichever model instance asks first.
+	estimateCache = memo.New[estimateKey, float64](maxEstimateCacheEntries, estimateCacheStripes, estimateKey.hash)
+)
+
+// CacheStats is a point-in-time snapshot of every process-wide registry
+// cache, one memo.Stats per layer.
+type CacheStats struct {
+	// Degrees counts generated degree sequences (GraphDegrees).
+	Degrees memo.Stats
+	// Graphs counts materialized graphs (BuildGraph).
+	Graphs memo.Stats
+	// Estimates counts Monte-Carlo maxᵢEᵢ kernels (GraphInferenceModel) —
+	// the hot one: its misses are the number of distinct estimations
+	// actually performed.
+	Estimates memo.Stats
 }
 
-// newGraphLRU returns an empty cache bounded to cap entries.
-func newGraphLRU(cap int) *graphLRU {
-	return &graphLRU{
-		cap:     cap,
-		entries: make(map[GraphSpec]*list.Element, cap),
-		order:   list.New(),
+// Report renders the snapshot as the "stats:" lines the CLIs print — one
+// renderer, so the two CLIs (and the README examples) cannot drift apart.
+func (s CacheStats) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stats: kernel cache (Monte-Carlo estimates): %d hits, %d misses (%.1f%% hit ratio), %d evictions\n",
+		s.Estimates.Hits, s.Estimates.Misses, 100*s.Estimates.HitRatio(), s.Estimates.Evictions)
+	fmt.Fprintf(&b, "stats: graph caches: degrees %d hits / %d misses, graphs %d hits / %d misses\n",
+		s.Degrees.Hits, s.Degrees.Misses, s.Graphs.Hits, s.Graphs.Misses)
+	return b.String()
+}
+
+// SnapshotCaches returns the current counters of the registry's caches.
+// Counters accumulate until ResetCaches; snapshot before and after a run to
+// attribute figures to it.
+func SnapshotCaches() CacheStats {
+	return CacheStats{
+		Degrees:   degreeCache.Stats(),
+		Graphs:    graphCache.Stats(),
+		Estimates: estimateCache.Stats(),
 	}
 }
 
-// get returns the (possibly fresh) cache entry for a spec, promoting it to
-// most recently used and evicting the least recently used entry past the
-// bound. An evicted entry that another goroutine is still filling stays
-// valid for that goroutine — it just no longer serves future callers.
-func (c *graphLRU) get(s GraphSpec) *graphCacheEntry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[s]; ok {
-		c.order.MoveToFront(el)
-		return el.Value.(*graphLRUItem).entry
-	}
-	e := &graphCacheEntry{}
-	c.entries[s] = c.order.PushFront(&graphLRUItem{spec: s, entry: e})
-	for len(c.entries) > c.cap {
-		back := c.order.Back()
-		c.order.Remove(back)
-		delete(c.entries, back.Value.(*graphLRUItem).spec)
-	}
-	return e
+// ResetCaches empties every process-wide cache — degree sequences,
+// materialized graphs and Monte-Carlo estimates — and zeroes their
+// counters, so tests and benchmarks measure a fully cold state rather than
+// a half-warm one. Evaluation never needs it.
+func ResetCaches() {
+	degreeCache.Reset()
+	graphCache.Reset()
+	estimateCache.Reset()
 }
 
-// len returns the number of cached specs.
-func (c *graphLRU) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
-
-// reset empties the cache.
-func (c *graphLRU) reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[GraphSpec]*list.Element, c.cap)
-	c.order.Init()
-}
-
-// graphCache is the process-wide generated-graph cache.
-var graphCache = newGraphLRU(maxGraphCacheEntries)
-
-// ResetGraphCache empties the generated-graph cache. Benchmarks use it to
-// measure cold generation; evaluation never needs it.
+// ResetGraphCache is the historical name of ResetCaches, kept as a wrapper.
+// It clears the estimate cache too: estimates are derived from cached
+// degree sequences, so clearing one layer but not the other would let a
+// benchmark label a half-warm measurement "cold".
 func ResetGraphCache() {
-	graphCache.reset()
+	ResetCaches()
 }

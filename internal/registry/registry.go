@@ -18,7 +18,6 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"sync"
 
 	"dmlscale/internal/asyncgd"
 	"dmlscale/internal/bp"
@@ -28,6 +27,7 @@ import (
 	"dmlscale/internal/gd"
 	"dmlscale/internal/graph"
 	"dmlscale/internal/hardware"
+	"dmlscale/internal/memo"
 	"dmlscale/internal/nncost"
 	"dmlscale/internal/partition"
 	"dmlscale/internal/units"
@@ -462,18 +462,17 @@ func validateGraph(s GraphSpec) error {
 
 // GraphDegrees generates the degree sequence of the described graph — all
 // the paper's graph-inference model needs. Results are cached by the full
-// spec in an LRU cache (see cache.go), so a sweep grid whose cells share one
-// graph generates it once; the returned slice is shared with every other
-// caller of the same spec and must be treated as read-only.
+// spec in a bounded single-flight LRU (see cache.go), so a sweep grid whose
+// cells share one graph generates it once; the returned slice is shared
+// with every other caller of the same spec and must be treated as
+// read-only.
 func GraphDegrees(s GraphSpec) ([]int32, error) {
 	if err := validateGraph(s); err != nil {
 		return nil, err
 	}
-	e := graphCache.get(s)
-	e.degOnce.Do(func() {
-		e.degrees, e.degErr = graphFamilies[s.Family].degrees(s)
+	return degreeCache.Do(s, func() ([]int32, error) {
+		return graphFamilies[s.Family].degrees(s)
 	})
-	return e.degrees, e.degErr
 }
 
 // BuildGraph materializes the described graph for algorithms that need the
@@ -483,11 +482,9 @@ func BuildGraph(s GraphSpec) (*graph.Graph, error) {
 	if err := validateGraph(s); err != nil {
 		return nil, err
 	}
-	e := graphCache.get(s)
-	e.buildOnce.Do(func() {
-		e.g, e.buildErr = graphFamilies[s.Family].build(s)
+	return graphCache.Do(s, func() (*graph.Graph, error) {
+		return graphFamilies[s.Family].build(s)
 	})
-	return e.g, e.buildErr
 }
 
 // GraphFamilies returns the registered graph families in stable order.
@@ -882,24 +879,28 @@ func graphModel(name string, spec WorkloadSpec, opsPerEdge float64, node hardwar
 	return model, nil
 }
 
-// estCell is one single-flight slot of GraphInferenceModel's
-// per-worker-count memo.
-type estCell struct {
-	once sync.Once
-	v    float64
-}
-
 // GraphInferenceModel builds the paper's graphical-model inference model
 // (§IV-B): computation proportional to the Monte-Carlo estimate of the
 // maximum per-worker edge count for the given degree sequence. The
-// per-worker-count estimates are memoized single-flight — one sync.Once per
-// worker count — so concurrent curve points never contend on a shared lock
-// and each estimate is computed exactly once; the Monte-Carlo trials behind
-// it shard across the shared parallelism budget. Each trial draws from a
-// partition.StreamSeed stream hashed from (seed, workers, trial), so the
-// estimates of adjacent worker counts are statistically independent and the
-// model output is bit-identical at any parallelism. Degenerate inputs are
-// rejected here rather than surfacing as infinite speedups later.
+// estimates come from the process-wide kernel cache (see cache.go), keyed
+// by (degree-sequence fingerprint, worker count, trials, seed), so
+// identical estimates are computed exactly once across all model instances,
+// sweep cells, suites and planner probes — single-flight, with the
+// Monte-Carlo trials behind a fresh estimate sharding across the shared
+// parallelism budget. Each trial draws from a partition.StreamSeed stream
+// hashed from (seed, workers, trial), so the estimates of adjacent worker
+// counts are statistically independent and the model output is
+// bit-identical at any parallelism. Degenerate inputs are rejected here
+// rather than surfacing as infinite speedups later; the one failure left at
+// evaluation time — a non-positive worker count passed straight to
+// Model.Time — panics with the estimator's error instead of silently
+// pricing the point at +Inf, and the suite/planner evaluators convert that
+// panic into the cell's error.
+//
+// The degrees slice is fingerprinted once, at construction, and sampled
+// live at evaluation: the caller must not mutate it afterwards (the slices
+// GraphDegrees returns are shared read-only already), or the shared cache
+// could be poisoned with estimates keyed under the original contents.
 func GraphInferenceModel(name string, degrees []int32, opsPerEdge float64, f units.Flops, trials int, seed int64) (core.Model, error) {
 	if len(degrees) == 0 {
 		return core.Model{}, fmt.Errorf("registry: graph inference %q: empty degree sequence", name)
@@ -913,25 +914,24 @@ func GraphInferenceModel(name string, degrees []int32, opsPerEdge float64, f uni
 	if trials < 1 {
 		return core.Model{}, fmt.Errorf("registry: graph inference %q: trials %d < 1", name, trials)
 	}
-	var table sync.Map // worker count → *estCell
+	fnv, mix := memo.HashInt32s(degrees)
 	maxEdges := func(n int) float64 {
-		e, ok := table.Load(n)
-		if !ok {
-			e, _ = table.LoadOrStore(n, &estCell{})
+		// Guard before touching the cache so a misuse cannot occupy a slot.
+		if n < 1 {
+			panic(fmt.Errorf("registry: graph inference %q: worker count %d < 1", name, n))
 		}
-		cell := e.(*estCell)
-		cell.once.Do(func() {
-			// The inputs are validated above, so the estimator can only
-			// fail on a non-positive worker count; infinite time marks
-			// that misuse without poisoning the memo for valid counts.
+		key := estimateKey{fnv: fnv, mix: mix, vertices: len(degrees), workers: n, trials: trials, seed: seed}
+		v, err := estimateCache.Do(key, func() (float64, error) {
 			est, err := partition.MonteCarloMaxEdges(degrees, n, trials, seed)
 			if err != nil {
-				cell.v = math.Inf(1)
-				return
+				return 0, err
 			}
-			cell.v = est.MaxEdges
+			return est.MaxEdges, nil
 		})
-		return cell.v
+		if err != nil {
+			panic(fmt.Errorf("registry: graph inference %q: %w", name, err))
+		}
+		return v
 	}
 	return core.Model{
 		Name: name,

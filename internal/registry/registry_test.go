@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"dmlscale/internal/comm"
 	"dmlscale/internal/core"
 	"dmlscale/internal/hardware"
+	"dmlscale/internal/partition"
 	"dmlscale/internal/units"
 )
 
@@ -505,7 +507,7 @@ func TestGraphCacheEvictsLRU(t *testing.T) {
 		}
 		first[i] = degrees
 	}
-	if n := graphCache.len(); n != maxGraphCacheEntries {
+	if n := degreeCache.Len(); n != maxGraphCacheEntries {
 		t.Fatalf("cache holds %d specs after filling, cap is %d", n, maxGraphCacheEntries)
 	}
 	// Touch spec 0 so spec 1 becomes the LRU, then overflow by one.
@@ -515,7 +517,7 @@ func TestGraphCacheEvictsLRU(t *testing.T) {
 	if _, err := GraphDegrees(spec(maxGraphCacheEntries)); err != nil {
 		t.Fatal(err)
 	}
-	if n := graphCache.len(); n != maxGraphCacheEntries {
+	if n := degreeCache.Len(); n != maxGraphCacheEntries {
 		t.Fatalf("cache holds %d specs after overflow, cap is %d", n, maxGraphCacheEntries)
 	}
 	// Spec 0 survived (recently used); spec 1 was evicted and regenerates.
@@ -524,6 +526,158 @@ func TestGraphCacheEvictsLRU(t *testing.T) {
 	}
 	if degrees, err := GraphDegrees(spec(1)); err != nil || &degrees[0] == &first[1][0] {
 		t.Errorf("LRU spec not evicted: cache returned the original slice (err %v)", err)
+	}
+}
+
+// TestEstimateCacheComputesEachKernelOnce: the Monte-Carlo estimate cache
+// is process-wide, so two model instances over the same degree sequence and
+// sampling parameters share every per-worker-count estimate — the cache's
+// misses count the estimations actually performed.
+func TestEstimateCacheComputesEachKernelOnce(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	degrees, err := GraphDegrees(GraphSpec{Family: "dns", Vertices: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := func(m core.Model) {
+		for n := 1; n <= 8; n++ {
+			m.Time(n)
+		}
+	}
+	m1, err := GraphInferenceModel("one", degrees, 14, 1e9, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample(m1)
+	if st := SnapshotCaches().Estimates; st.Misses != 8 {
+		t.Fatalf("first model: %d misses, want 8 (one per worker count)", st.Misses)
+	}
+	m2, err := GraphInferenceModel("two", degrees, 14, 1e9, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample(m2)
+	st := SnapshotCaches().Estimates
+	if st.Misses != 8 {
+		t.Errorf("second identical model re-estimated: %d misses, want 8", st.Misses)
+	}
+	if st.Hits < 8 {
+		t.Errorf("second identical model hit the cache %d times, want ≥ 8", st.Hits)
+	}
+	// A different seed is a different kernel.
+	m3, err := GraphInferenceModel("three", degrees, 14, 1e9, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample(m3)
+	if st := SnapshotCaches().Estimates; st.Misses != 16 {
+		t.Errorf("distinct seed shared estimates: %d misses, want 16", st.Misses)
+	}
+	// Bit-identity: both instances price every point identically.
+	for n := 1; n <= 8; n++ {
+		if m1.Time(n) != m2.Time(n) {
+			t.Errorf("shared kernel diverged at n=%d: %v vs %v", n, m1.Time(n), m2.Time(n))
+		}
+	}
+}
+
+// TestGraphInferenceModelPropagatesEstimatorErrors: a worker count the
+// estimator rejects must surface as an error (a panic the suite evaluators
+// convert), never as a silent +Inf-time point.
+func TestGraphInferenceModelPropagatesEstimatorErrors(t *testing.T) {
+	model, err := GraphInferenceModel("guard", []int32{1, 2, 3, 2}, 14, 1e9, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("Time(0) returned instead of propagating the estimator error")
+				return
+			}
+			if !strings.Contains(fmt.Sprint(r), "worker count 0 < 1") {
+				t.Errorf("panic %v does not explain the misuse", r)
+			}
+		}()
+		if v := model.Time(0); math.IsInf(float64(v), 1) {
+			t.Error("Time(0) silently produced an infinite-time point")
+		}
+	}()
+	// The suite evaluator turns the panic into a per-job error. Curve
+	// validation rejects non-positive worker counts before sampling, so the
+	// misuse is driven from inside a wrapping model's time function —
+	// exactly where a buggy library caller would trip it.
+	misuse := core.Model{
+		Name:        "misuse",
+		Computation: func(n int) units.Seconds { return model.Time(n - 1) },
+	}
+	res := core.EvaluateAll([]core.Job{{
+		Name:    "misuse",
+		Build:   func() (core.Model, error) { return misuse, nil },
+		Workers: []int{1},
+		Base:    1,
+	}}, 1)
+	if res[0].Err == nil || !strings.Contains(res[0].Err.Error(), "worker count 0 < 1") {
+		t.Errorf("estimator panic not converted into the job's error: %v", res[0].Err)
+	}
+	// Valid worker counts on the same model keep evaluating cleanly.
+	ok := core.EvaluateAll([]core.Job{{
+		Name:    "valid",
+		Build:   func() (core.Model, error) { return model, nil },
+		Workers: []int{1, 2},
+		Base:    1,
+	}}, 1)
+	if ok[0].Err != nil {
+		t.Errorf("valid worker counts failed: %v", ok[0].Err)
+	}
+}
+
+// TestEstimateCacheConcurrentEvictionHammer drives the process-wide
+// estimate cache far past its bound from concurrent model evaluations — the
+// sweep-shaped contention case; run with -race. Every value must equal a
+// fresh uncached estimation even while entries churn.
+func TestEstimateCacheConcurrentEvictionHammer(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	degrees := make([]int32, 64)
+	for i := range degrees {
+		degrees[i] = int32(1 + i%5)
+	}
+	seeds := 700
+	if testing.Short() {
+		seeds = 80
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for s := 0; s < seeds; s++ {
+				seed := int64(g*seeds + s)
+				workers := 1 + s%4
+				model, err := GraphInferenceModel("hammer", degrees, 2, 1e9, 1, seed)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got := model.Time(workers)
+				est, err := partition.MonteCarloMaxEdges(degrees, workers, 1, seed)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := units.ComputeTime(est.MaxEdges*2, 1e9); got != want {
+					t.Errorf("seed %d, n %d: cached %v != fresh %v", seed, workers, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := SnapshotCaches().Estimates; !testing.Short() && st.Evictions == 0 {
+		t.Errorf("keyspace of %d kernels never evicted: %+v", 8*seeds, st)
 	}
 }
 

@@ -128,6 +128,35 @@ func (s Scenario) Workers() []int {
 	return core.Range(1, s.MaxN())
 }
 
+// evalKey fingerprints the scenario's canonical model inputs — everything
+// the evaluated curve depends on and nothing it doesn't. The name is
+// dropped (sweep cells differ in label even when they describe the same
+// model), the legacy scaling alias folds into the canonical family, the
+// worker bound resolves to its default, and the convergence block is
+// dropped (per-iteration evaluation ignores it). Suite evaluation
+// deduplicates cells with equal keys. Scenarios that do not resolve return
+// "" and are never deduplicated, so each reports its own error.
+func (s Scenario) evalKey() string {
+	if s.Name == "" || s.MaxWorkers < 0 {
+		return ""
+	}
+	family, err := s.Family()
+	if err != nil {
+		return ""
+	}
+	c := s
+	c.Name = ""
+	c.Scaling = ""
+	c.Workload.Family = family
+	c.MaxWorkers = s.MaxN()
+	c.Convergence = nil
+	key, err := json.Marshal(c)
+	if err != nil {
+		return ""
+	}
+	return string(key)
+}
+
 // Model builds the core model the scenario describes through the registry —
 // the same construction path the CLIs and the experiment harness use.
 func (s Scenario) Model() (core.Model, error) {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"slices"
 	"strings"
+	"time"
 
 	"dmlscale/internal/core"
 	"dmlscale/internal/registry"
@@ -228,17 +229,56 @@ type Result struct {
 	PeakSpeedup float64
 	// Err records why this scenario failed.
 	Err error
+	// Deduped marks a curve served by relabeling an identical cell's curve
+	// instead of its own evaluation; the values are bit-identical either
+	// way, and the points are shared read-only with the evaluated cell.
+	Deduped bool
+}
+
+// EvalStats summarizes one suite-evaluation pass: how many cells the suite
+// expanded to, how many models were actually evaluated versus served by
+// curve dedup, and where the evaluated wall time went (summed across cells,
+// so under parallel evaluation the two durations add up to more than the
+// elapsed time).
+type EvalStats struct {
+	// Scenarios is the number of expanded cells: Evaluated + CurvesDeduped
+	// + Failed.
+	Scenarios int
+	// Evaluated counts cells that built and sampled their own model
+	// successfully.
+	Evaluated int
+	// CurvesDeduped counts cells served from an identical cell's curve.
+	CurvesDeduped int
+	// Failed counts cells whose own evaluation errored (duplicates of a
+	// failed cell re-evaluate individually, so each failure counts here).
+	Failed int
+	// BuildTime is the summed model-construction time (catalog resolution,
+	// graph generation); SampleTime is the summed curve-sampling time
+	// (Monte-Carlo estimation, time evaluation).
+	BuildTime  time.Duration
+	SampleTime time.Duration
 }
 
 // EvaluateSuite expands the suite and computes every curve concurrently on
 // the shared parallelism budget (core.SetParallelism, default GOMAXPROCS);
 // parallelism caps the suite-level workers within that budget, ≤ 0 meaning
 // no extra cap. Scenario errors isolate: a bad grid point yields a Result
-// with Err set and the rest of the suite completes.
+// with Err set and the rest of the suite completes. Cells that describe the
+// same model under different labels — equal canonical inputs, i.e. the
+// scenario minus its name and convergence block — are evaluated once and
+// fanned out (see Result.Deduped).
 func EvaluateSuite(s Suite, parallelism int) ([]Result, error) {
+	results, _, err := EvaluateSuiteStats(s, parallelism)
+	return results, err
+}
+
+// EvaluateSuiteStats is EvaluateSuite plus the pass's evaluation stats —
+// the suite-level half of the cache observability surface (the process-wide
+// kernel caches report through registry.SnapshotCaches).
+func EvaluateSuiteStats(s Suite, parallelism int) ([]Result, EvalStats, error) {
 	scenarios, err := s.Expand()
 	if err != nil {
-		return nil, err
+		return nil, EvalStats{}, err
 	}
 	jobs := make([]core.Job, len(scenarios))
 	for i, sc := range scenarios {
@@ -246,21 +286,33 @@ func EvaluateSuite(s Suite, parallelism int) ([]Result, error) {
 			Name:    sc.Name,
 			Build:   sc.Model,
 			Workers: sc.Workers(),
+			Key:     sc.evalKey(),
 		}
 	}
 	evaluated := core.EvaluateAll(jobs, parallelism)
 	results := make([]Result, len(scenarios))
+	stats := EvalStats{Scenarios: len(scenarios)}
 	for i, ev := range evaluated {
-		res := Result{Scenario: scenarios[i], Curve: ev.Curve, Err: ev.Err}
+		res := Result{Scenario: scenarios[i], Curve: ev.Curve, Err: ev.Err, Deduped: ev.Deduped}
 		if ev.Err == nil {
 			if peak, ok := ev.Curve.Peak(); ok {
 				res.OptimalN = peak.N
 				res.PeakSpeedup = peak.Speedup
 			}
 		}
+		switch {
+		case ev.Deduped:
+			stats.CurvesDeduped++
+		case ev.Err != nil:
+			stats.Failed++
+		default:
+			stats.Evaluated++
+		}
+		stats.BuildTime += ev.BuildTime
+		stats.SampleTime += ev.SampleTime
 		results[i] = res
 	}
-	return results, nil
+	return results, stats, nil
 }
 
 // DecodeSuite reads a suite from JSON. A file holding a single scenario is

@@ -1,8 +1,11 @@
 package scenario
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"dmlscale/internal/registry"
 )
 
 // testSuite returns a suite that expands to ≥ 8 scenarios: the family tour
@@ -247,6 +250,105 @@ func TestEvaluateSuiteConcurrently(t *testing.T) {
 	}
 }
 
+// TestEvaluateSuiteDedupsIdenticalCellsOutOfOrder: cells that describe the
+// same model under different labels — including through the legacy scaling
+// alias — are evaluated once and fanned out, wherever they appear in the
+// suite, bit-identical to evaluating each on its own.
+func TestEvaluateSuiteDedupsIdenticalCellsOutOfOrder(t *testing.T) {
+	base := Fig2() // Scaling: "strong", Workload.Family empty
+	a := base
+	a.Name = "cell a"
+	distinct := base
+	distinct.Name = "distinct"
+	distinct.Workload.BatchSize *= 2
+	a2 := base
+	a2.Name = "cell a again"
+	alias := base
+	alias.Name = "cell a via family"
+	alias.Scaling = ""
+	alias.Workload.Family = "gd-strong"
+	suite := Suite{Name: "dedup", Scenarios: []Scenario{a, distinct, a2, alias}}
+	results, stats, err := EvaluateSuiteStats(suite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scenarios != 4 || stats.Evaluated != 2 || stats.CurvesDeduped != 2 {
+		t.Errorf("stats = %+v, want 4 cells, 2 evaluated, 2 deduped", stats)
+	}
+	for i, want := range []bool{false, false, true, true} {
+		if results[i].Err != nil {
+			t.Fatalf("%s: %v", results[i].Scenario.Name, results[i].Err)
+		}
+		if results[i].Deduped != want {
+			t.Errorf("%s: Deduped = %v, want %v", results[i].Scenario.Name, results[i].Deduped, want)
+		}
+	}
+	for _, i := range []int{2, 3} {
+		if results[i].Curve.Name != results[i].Scenario.Name {
+			t.Errorf("deduped curve labeled %q, want its own name %q", results[i].Curve.Name, results[i].Scenario.Name)
+		}
+		if !reflect.DeepEqual(results[i].Curve.Points, results[0].Curve.Points) {
+			t.Errorf("%s: deduped curve differs from the evaluated one", results[i].Scenario.Name)
+		}
+		if results[i].OptimalN != results[0].OptimalN || results[i].PeakSpeedup != results[0].PeakSpeedup {
+			t.Errorf("%s: deduped summary differs", results[i].Scenario.Name)
+		}
+	}
+	// Bit-identity with a standalone evaluation of the duplicate.
+	solo, err := EvaluateSuite(Suite{Name: "solo", Scenarios: []Scenario{a2}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(solo[0].Curve.Points, results[2].Curve.Points) {
+		t.Error("deduped curve differs from standalone evaluation")
+	}
+}
+
+// TestEvaluateSuiteColdVsWarmBitIdentical: warming the process-wide caches
+// must change the cost of a sweep, never its results — and the warm pass
+// performs no new Monte-Carlo estimations.
+func TestEvaluateSuiteColdVsWarmBitIdentical(t *testing.T) {
+	registry.ResetCaches()
+	defer registry.ResetCaches()
+	base := Fig4()
+	base.Workload.Graph = &GraphSpec{Family: "dns", Vertices: 3000, Seed: 42}
+	base.MaxWorkers = 12
+	suite := Suite{
+		Name: "cold-warm",
+		Sweep: &Sweep{
+			Base:                 base,
+			Protocols:            []string{"linear", "tree"},
+			BandwidthsBitsPerSec: []float64{1e9, 10e9},
+		},
+	}
+	cold, coldStats, err := EvaluateSuiteStats(suite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterCold := registry.SnapshotCaches().Estimates.Misses
+	if missesAfterCold != 12 {
+		t.Errorf("cold pass performed %d estimations, want 12 (one per worker count)", missesAfterCold)
+	}
+	warm, warmStats, err := EvaluateSuiteStats(suite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := registry.SnapshotCaches().Estimates.Misses; got != missesAfterCold {
+		t.Errorf("warm pass re-estimated: misses %d → %d", missesAfterCold, got)
+	}
+	if coldStats.Evaluated != 4 || warmStats.Evaluated != 4 {
+		t.Errorf("grid cells deduped unexpectedly: cold %+v, warm %+v", coldStats, warmStats)
+	}
+	for i := range cold {
+		if cold[i].Err != nil || warm[i].Err != nil {
+			t.Fatalf("cell %d failed: cold %v, warm %v", i, cold[i].Err, warm[i].Err)
+		}
+		if !reflect.DeepEqual(cold[i].Curve.Points, warm[i].Curve.Points) {
+			t.Errorf("%s: warm curve differs from cold", cold[i].Scenario.Name)
+		}
+	}
+}
+
 // TestEvaluateSuiteIsolatesBadScenario: one bad grid point errors without
 // taking down the suite.
 func TestEvaluateSuiteIsolatesBadScenario(t *testing.T) {
@@ -255,9 +357,12 @@ func TestEvaluateSuiteIsolatesBadScenario(t *testing.T) {
 	bad.Hardware = HardwareSpec{Preset: "abacus"}
 	suite := testSuite()
 	suite.Scenarios = append(suite.Scenarios, bad)
-	results, err := EvaluateSuite(suite, 0)
+	results, stats, err := EvaluateSuiteStats(suite, 0)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if stats.Failed != 1 || stats.Evaluated+stats.CurvesDeduped+stats.Failed != stats.Scenarios {
+		t.Errorf("stats = %+v, want exactly one failed cell and a reconciling total", stats)
 	}
 	failed := 0
 	for _, res := range results {

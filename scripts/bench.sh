@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# bench.sh — run the PR's headline benchmarks and record them as JSON.
+#
+# Emits BENCH_PR4.json at the repo root: one object per benchmark with
+# ns/op, B/op and allocs/op, the start of the repo's perf-trajectory
+# record (later PRs append BENCH_PR<n>.json files of the same shape and
+# diff against earlier ones).
+#
+# Usage:
+#   scripts/bench.sh                 # default benchmark set
+#   BENCH='Suite|MonteCarlo' scripts/bench.sh   # custom -bench regexp
+#   OUT=custom.json scripts/bench.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-BenchmarkSweepGridColdVsWarm|BenchmarkPlanGridWarm}"
+if [ -z "${OUT:-}" ] && [ -e BENCH_PR4.json ]; then
+    echo "bench.sh: BENCH_PR4.json already exists (the committed perf baseline)." >&2
+    echo "bench.sh: pass OUT=BENCH_PR<n>.json to record this run without clobbering it." >&2
+    exit 1
+fi
+OUT="${OUT:-BENCH_PR4.json}"
+
+raw=$(go test -run XXX -bench "$BENCH" -benchmem .)
+echo "$raw" >&2
+
+echo "$raw" | awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)      # strip the GOMAXPROCS suffix
+    iters = $2
+    ns = $3                        # "<ns> ns/op"
+    bytes = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bytes  = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { if (n) printf "\n"; print "]" }
+' > "$OUT"
+
+echo "wrote $OUT:" >&2
+cat "$OUT"

@@ -131,6 +131,76 @@ func TestSuiteDeterministicAtAnyParallelism(t *testing.T) {
 	}
 }
 
+// kernelGridSuite is a 12-cell grid (3 protocols × 4 bandwidths) whose
+// cells all share ONE graph spec and sampling parameters: the axes vary
+// only the communication side, so the whole grid prices off 16 Monte-Carlo
+// kernel estimates — one per worker count.
+func kernelGridSuite(vertices int) dmlscale.Suite {
+	base := dmlscale.Scenario{
+		Name: "bp grid base",
+		Workload: scenario.WorkloadSpec{
+			Family: "mrf",
+			Graph:  &scenario.GraphSpec{Family: "dns", Vertices: vertices, Seed: 7},
+			States: 2,
+			Trials: 3,
+			Seed:   7,
+		},
+		Hardware:   scenario.HardwareSpec{Preset: "dl980-core"},
+		Protocol:   scenario.ProtocolSpec{Kind: "shared-memory"},
+		MaxWorkers: 16,
+	}
+	return dmlscale.Suite{
+		Name: "kernel-shared grid",
+		Sweep: &dmlscale.Sweep{
+			Base:                 base,
+			Protocols:            []string{"linear", "tree", "ring"},
+			BandwidthsBitsPerSec: []float64{1e9, 10e9, 40e9, 100e9},
+		},
+	}
+}
+
+// TestSweepGridKernelComputedExactlyOnce is the acceptance probe for the
+// shared kernel cache: a 12-cell grid over one graph spec performs the
+// Monte-Carlo estimation for each (workers, trials, seed) exactly once —
+// 16 estimations for the whole grid, none on a warm re-run — with results
+// bit-identical between the cold and warm passes.
+func TestSweepGridKernelComputedExactlyOnce(t *testing.T) {
+	dmlscale.ResetCaches()
+	defer dmlscale.ResetCaches()
+	suite := kernelGridSuite(4000)
+	cold, coldStats, err := dmlscale.EvaluateSuiteStats(suite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) != 12 || coldStats.Evaluated != 12 || coldStats.CurvesDeduped != 0 {
+		t.Fatalf("grid shape off: %d results, stats %+v", len(cold), coldStats)
+	}
+	for _, res := range cold {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Scenario.Name, res.Err)
+		}
+	}
+	st := dmlscale.SnapshotCaches().Estimates
+	if st.Misses != 16 {
+		t.Errorf("cold grid performed %d Monte-Carlo estimations, want exactly 16 (one per worker count)", st.Misses)
+	}
+	if st.Hits < 12*16-16 {
+		t.Errorf("cold grid hit the kernel cache %d times, want ≥ %d", st.Hits, 12*16-16)
+	}
+	warm, _, err := dmlscale.EvaluateSuiteStats(suite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dmlscale.SnapshotCaches().Estimates.Misses; got != st.Misses {
+		t.Errorf("warm grid re-estimated: misses %d → %d", st.Misses, got)
+	}
+	for i := range cold {
+		if !reflect.DeepEqual(cold[i].Curve.Points, warm[i].Curve.Points) {
+			t.Errorf("%s: warm curve differs from cold", cold[i].Scenario.Name)
+		}
+	}
+}
+
 // TestPlanSuiteFileRecommends: the shipped planning suite is the acceptance
 // probe for the planner — it must emit a ranked recommendation (optimal
 // worker count, time-to-accuracy, cost) per scenario, degrade the
