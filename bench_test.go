@@ -333,3 +333,70 @@ func BenchmarkPlanGridSerial(b *testing.B) {
 func BenchmarkPlanGridParallel(b *testing.B) {
 	benchmarkPlanGrid(b, runtime.GOMAXPROCS(0))
 }
+
+// adaptiveBenchSuite is a ~10k-cell, five-axis planning grid (protocol ×
+// hardware × bandwidth × precision × worker bound) over a convergence-aware
+// gradient-descent workload — the million-cell-sweep shape at benchmarkable
+// size, with worker bounds up to 1024 so each cell's curve is wide enough
+// that evaluation, not catalog resolution, is the dominant cost, as in the
+// paper-scale sweeps the streaming pass exists for.
+func adaptiveBenchSuite() dmlscale.Suite {
+	base := scenario.Fig3()
+	base.Name = "conv ANN"
+	base.Convergence = &dmlscale.ConvergenceSpec{
+		Rule:                "diminishing",
+		BaseIterations:      60000,
+		CriticalBatchGrowth: 24,
+	}
+	bandwidths := make([]float64, 18)
+	bw := 2e8
+	for i := range bandwidths {
+		bandwidths[i] = bw
+		bw *= 1.5
+	}
+	workers := make([]int, 8)
+	for i := range workers {
+		workers[i] = 128 * (i + 1)
+	}
+	return dmlscale.Suite{
+		Name:      "adaptive bench grid",
+		Objective: "pareto",
+		Sweep: &dmlscale.Sweep{
+			Base:                 base,
+			Protocols:            []string{"tree", "two-stage-tree", "spark", "ring", "pipelined-tree"},
+			Hardware:             []string{"xeon-e3-1240", "nvidia-k40", "dl980-core"},
+			BandwidthsBitsPerSec: bandwidths,
+			PrecisionsBits:       []float64{8, 16, 32, 64, 80},
+			MaxWorkers:           workers,
+		},
+	}
+}
+
+// BenchmarkSweepStreamPruned plans the adaptive grid both ways: Exhaustive
+// evaluates all 10 800 cells, Pruned runs the streaming pass that discards
+// cells whose optimistic bound is already Pareto-dominated. The frontier is
+// identical in both (TestAdaptiveAcceptanceBigGrid asserts it); compare
+// ns/op and B/op between the sub-benchmarks for the adaptive win.
+func BenchmarkSweepStreamPruned(b *testing.B) {
+	suite := adaptiveBenchSuite()
+	run := func(b *testing.B, opts dmlscale.PlanOptions) {
+		b.ReportAllocs()
+		var stats dmlscale.EvalStats
+		for i := 0; i < b.N; i++ {
+			report, st, err := dmlscale.PlanSuiteAdaptive(suite, "", 0, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range report.Plans {
+				if p.Err != nil {
+					b.Fatal(p.Err)
+				}
+			}
+			stats = st
+		}
+		b.ReportMetric(float64(stats.Evaluated), "evaluated")
+		b.ReportMetric(float64(stats.Pruned), "pruned")
+	}
+	b.Run("Exhaustive", func(b *testing.B) { run(b, dmlscale.PlanOptions{}) })
+	b.Run("Pruned", func(b *testing.B) { run(b, dmlscale.PlanOptions{Prune: true}) })
+}

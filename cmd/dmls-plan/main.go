@@ -22,6 +22,23 @@
 // counters on stderr — planner probes price their models through the same
 // Monte-Carlo kernel cache the sweeps use, so a grid over one graph shows a
 // high hit ratio here too.
+//
+// Adaptive planning:
+//
+//	dmls-plan -suite big-grid.json -adaptive -stats
+//	dmls-plan -suite big-grid.json -adaptive -refine 3
+//	dmls-plan -suite plan.json -max-cost 25 -max-time 2h
+//
+// -adaptive streams the grid through an incremental Pareto frontier,
+// skipping cells whose optimistic cost×time bound is already dominated —
+// the frontier is provably identical to the exhaustive run's, only the
+// dominated interior goes unevaluated (pruned cells still appear, ranked
+// last, with their bound). -refine N re-subdivides the numeric sweep axes
+// (bandwidth, worker bound) next to frontier cells for up to N rounds,
+// planning off-grid configurations the declared grid stepped over. -max-cost
+// and -max-time constrain recommendations to a budget: cells provably over
+// it are pruned, evaluated plans pick the fastest configuration inside it,
+// and plans with no such configuration are marked infeasible.
 package main
 
 import (
@@ -46,6 +63,10 @@ func main() {
 		curves      = flag.Bool("curves", false, "print every plan's full time-to-accuracy curve (table format)")
 		stats       = flag.Bool("stats", false, "report kernel-cache hit ratio and planning wall time on stderr")
 		emitExample = flag.Bool("emit-example", false, "print an example planning suite and exit")
+		adaptive    = flag.Bool("adaptive", false, "prune cells whose optimistic cost×time bound is already dominated (same frontier, fewer evaluations)")
+		refine      = flag.Int("refine", 0, "rounds of frontier refinement: subdivide numeric sweep axes next to frontier cells")
+		maxCost     = flag.Float64("max-cost", 0, "cost budget per run; recommendations are constrained to it, 0 means unconstrained")
+		maxTime     = flag.Duration("max-time", 0, "wall-time budget per run (e.g. 90m, 2h); 0 means unconstrained")
 	)
 	flag.Parse()
 
@@ -80,15 +101,21 @@ func main() {
 	if *parallelism > 0 {
 		core.SetParallelism(*parallelism)
 	}
+	opts := planner.Options{
+		Prune:          *adaptive,
+		RefineRounds:   *refine,
+		MaxCost:        *maxCost,
+		MaxTimeSeconds: maxTime.Seconds(),
+	}
 	start := time.Now()
-	report, err := planner.PlanSuite(suite, obj, 0)
+	report, evalStats, err := planner.PlanSuiteOpts(suite, obj, 0, opts)
 	if err != nil {
 		fail(err)
 	}
 	elapsed := time.Since(start)
 	reportStats := func() {
 		if *stats {
-			fmt.Fprint(os.Stderr, statsReport(len(report.Plans), registry.SnapshotCaches(), elapsed))
+			fmt.Fprint(os.Stderr, statsReport(evalStats, registry.SnapshotCaches(), elapsed))
 		}
 	}
 
@@ -141,21 +168,36 @@ func main() {
 	exitReportingFailures(report)
 }
 
-// statsReport renders the -stats block: how long the plan took and the
-// process-wide cache counters (which, in a CLI run, cover exactly this
+// statsReport renders the -stats block: how many cells were planned versus
+// pruned on their bound, what refinement added, how long the pass took, and
+// the process-wide cache counters (which, in a CLI run, cover exactly this
 // planning pass).
-func statsReport(cells int, caches registry.CacheStats, elapsed time.Duration) string {
-	return fmt.Sprintf("stats: %d cells planned in %v\n", cells, elapsed.Round(time.Microsecond)) +
-		caches.Report()
+func statsReport(st scenario.EvalStats, caches registry.CacheStats, elapsed time.Duration) string {
+	out := fmt.Sprintf("stats: %d cells planned in %v (%d evaluated, %d pruned, %d failed)\n",
+		st.Scenarios, elapsed.Round(time.Microsecond), st.Evaluated, st.Pruned, st.Failed)
+	if st.RefineRounds > 0 {
+		out += fmt.Sprintf("stats: refinement added %d cells over %d rounds\n", st.Refined, st.RefineRounds)
+	}
+	return out + caches.Report()
 }
 
 // planTable renders the ranked recommendations: one row per plan with its
 // optimal cluster size, predicted time, cost and frontier membership.
+// Pruned cells show their optimistic bound in place of an optimum; refined
+// cells are off-grid subdivisions added by -refine.
 func planTable(report planner.Report) *textio.Table {
 	table := textio.NewTable("rank", "scenario", "workers", "time (s)", "iterations", "cost", "pareto", "status")
 	for _, p := range report.Plans {
 		if p.Err != nil {
 			table.AddRow(p.Rank, p.Scenario.Name, "-", "-", "-", "-", "-", p.Err.Error())
+			continue
+		}
+		if p.Pruned {
+			table.AddRow(p.Rank, p.Scenario.Name, "-",
+				fmt.Sprintf("≥%.4g", float64(p.Bound.Time)),
+				"-",
+				fmt.Sprintf("≥%.4g", p.Bound.Cost),
+				"", "pruned")
 			continue
 		}
 		iters, pareto, status := "-", "", "ok"
@@ -167,6 +209,11 @@ func planTable(report planner.Report) *textio.Table {
 		} else {
 			status = "per-iteration"
 		}
+		if p.Infeasible {
+			status = "over budget"
+		} else if p.Refined {
+			status = "refined"
+		}
 		table.AddRow(p.Rank, p.Scenario.Name, p.Optimal.Workers,
 			fmt.Sprintf("%.4g", float64(p.Optimal.Time)),
 			iters,
@@ -177,10 +224,12 @@ func planTable(report planner.Report) *textio.Table {
 }
 
 // notices collects the one-line explanations of every downgraded plan.
+// Pruned cells are excluded — their status column and the -stats counter
+// already say why, and an adaptive pass may prune thousands of them.
 func notices(report planner.Report) []string {
 	var out []string
 	for _, p := range report.Plans {
-		if p.Err == nil && p.Notice != "" {
+		if p.Err == nil && !p.Pruned && p.Notice != "" {
 			out = append(out, fmt.Sprintf("note: %s: %s", p.Scenario.Name, p.Notice))
 		}
 	}

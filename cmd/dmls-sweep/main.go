@@ -136,8 +136,8 @@ func main() {
 // and the process-wide cache counters (which, in a CLI run, cover exactly
 // this evaluation).
 func statsReport(st scenario.EvalStats, caches registry.CacheStats, elapsed time.Duration) string {
-	return fmt.Sprintf("stats: %d cells: %d evaluated, %d deduped, %d failed; %v elapsed (build %v + sample %v summed across cells)\n",
-		st.Scenarios, st.Evaluated, st.CurvesDeduped, st.Failed, elapsed.Round(time.Microsecond),
+	return fmt.Sprintf("stats: %d cells: %d evaluated, %d deduped, %d pruned, %d refined, %d failed; %v elapsed (build %v + sample %v summed across cells)\n",
+		st.Scenarios, st.Evaluated, st.CurvesDeduped, st.Pruned, st.Refined, st.Failed, elapsed.Round(time.Microsecond),
 		st.BuildTime.Round(time.Microsecond), st.SampleTime.Round(time.Microsecond)) +
 		caches.Report()
 }

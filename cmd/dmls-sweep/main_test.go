@@ -45,7 +45,7 @@ func TestStatsReport(t *testing.T) {
 		t.Errorf("inconsistent stats %+v for %d results", st, len(results))
 	}
 	rendered := statsReport(st, registry.SnapshotCaches(), time.Millisecond)
-	for _, want := range []string{"evaluated", "deduped", "hit ratio", "kernel cache", "graph caches"} {
+	for _, want := range []string{"evaluated", "deduped", "pruned", "refined", "hit ratio", "kernel cache", "graph caches"} {
 		if !strings.Contains(rendered, want) {
 			t.Errorf("stats report missing %q:\n%s", want, rendered)
 		}

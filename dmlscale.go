@@ -123,6 +123,10 @@ type (
 	// PlanObjective selects how a report ranks its plans: "tta", "cost"
 	// or "pareto".
 	PlanObjective = planner.Objective
+	// PlanOptions selects the planner's adaptive behaviors — bound-based
+	// pruning, frontier refinement, cost/time budgets; the zero value is
+	// the exhaustive pass.
+	PlanOptions = planner.Options
 )
 
 // GradientDescent builds the paper's strong-scaling gradient-descent model
@@ -260,6 +264,16 @@ func EvaluateSuiteStats(s Suite, parallelism int) ([]SuiteResult, EvalStats, err
 // per cell. Output is deterministic at any parallelism.
 func PlanSuite(s Suite, objective PlanObjective, parallelism int) (PlanReport, error) {
 	return planner.PlanSuite(s, objective, parallelism)
+}
+
+// PlanSuiteAdaptive is PlanSuite with adaptive options and evaluation
+// statistics: bound-based pruning against an incremental Pareto frontier
+// (the evaluated frontier is provably identical to the exhaustive run's),
+// multi-axis refinement of the numeric sweep axes next to frontier cells,
+// and cost/time budget constraints. The zero PlanOptions reproduces
+// PlanSuite exactly.
+func PlanSuiteAdaptive(s Suite, objective PlanObjective, parallelism int, opts PlanOptions) (PlanReport, EvalStats, error) {
+	return planner.PlanSuiteOpts(s, objective, parallelism, opts)
 }
 
 // PlanScenario plans a single scenario; see PlanSuite.

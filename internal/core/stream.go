@@ -1,0 +1,164 @@
+package core
+
+import "sync"
+
+// StreamJob couples a job with the caller's stable index, so results of a
+// pulled stream can be correlated back without materializing a job slice.
+type StreamJob struct {
+	// Index is the caller's position for this job; emit echoes it.
+	Index int
+	// Job is the work itself.
+	Job Job
+}
+
+// ForEachStream is ForEach without a known count: workers pull indices from
+// next until it reports exhaustion, on the caller's goroutine plus as many
+// extra workers as the shared parallelism budget grants (parallelism caps
+// them within that budget; ≤ 0 means no extra cap). next is always called
+// under an internal lock, one pull at a time and in order, so a plain
+// closure over a counter is a valid source and the pull order is the stream
+// order at any parallelism. Panics in body or next are re-raised on the
+// caller after all workers settle and the tokens return to the pool, like
+// ForEach.
+func ForEachStream(parallelism int, next func() (int, bool), body func(i int)) {
+	var mu sync.Mutex
+	pull := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		return next()
+	}
+	runStreamWorkers(parallelism, func() bool {
+		i, ok := pull()
+		if !ok {
+			return false
+		}
+		body(i)
+		return true
+	})
+}
+
+// streamEntry is the single-flight slot of one dedup key: the first puller
+// of the key evaluates, publishes res and closes done; later pullers wait.
+type streamEntry struct {
+	done chan struct{}
+	res  JobResult
+}
+
+// EvaluateStream is EvaluateAll over a pulled stream: jobs are drawn from
+// next one at a time — never held as a slice — evaluated concurrently on
+// the shared parallelism budget, and handed to emit as they complete. emit
+// receives each yielded job's Index exactly once and may be called
+// concurrently for distinct indices; next is called under an internal lock,
+// in stream order, so a CellSet-style sequential iterator is a valid
+// source.
+//
+// Dedup matches EvaluateAll bit for bit: jobs carrying equal non-empty Keys
+// coalesce single-flight, with the curve of the key's first occurrence —
+// pulls are serialized in stream order, so the representative is always the
+// earliest index — relabeled and marked Deduped on every later occurrence.
+// Duplicates of a failed representative evaluate individually, so their
+// errors carry their own names. Workers waiting on an in-flight
+// representative cannot deadlock: the representative is always owned by a
+// live worker (evaluateOne converts panics to error results before the
+// slot publishes).
+func EvaluateStream(next func() (StreamJob, bool), parallelism int, emit func(index int, res JobResult)) {
+	var mu sync.Mutex
+	byKey := make(map[string]*streamEntry)
+
+	type task struct {
+		sj    StreamJob
+		entry *streamEntry // this task evaluates the key's representative
+		dupOf *streamEntry // this task duplicates an earlier key
+	}
+	pull := func() (task, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		sj, ok := next()
+		if !ok {
+			return task{}, false
+		}
+		k := sj.Job.Key
+		if k == "" {
+			return task{sj: sj}, true
+		}
+		if e, ok := byKey[k]; ok {
+			return task{sj: sj, dupOf: e}, true
+		}
+		e := &streamEntry{done: make(chan struct{})}
+		byKey[k] = e
+		return task{sj: sj, entry: e}, true
+	}
+
+	runStreamWorkers(parallelism, func() bool {
+		t, ok := pull()
+		if !ok {
+			return false
+		}
+		switch {
+		case t.entry != nil:
+			res := evaluateOne(t.sj.Job)
+			t.entry.res = res
+			close(t.entry.done)
+			emit(t.sj.Index, res)
+		case t.dupOf != nil:
+			<-t.dupOf.done
+			rep := t.dupOf.res
+			if rep.Err != nil {
+				// The representative failed: evaluate this duplicate
+				// individually so its error carries its own name.
+				emit(t.sj.Index, evaluateOne(t.sj.Job))
+				return true
+			}
+			curve := rep.Curve
+			curve.Name = t.sj.Job.Name
+			emit(t.sj.Index, JobResult{Name: t.sj.Job.Name, Curve: curve, Deduped: true})
+		default:
+			emit(t.sj.Index, evaluateOne(t.sj.Job))
+		}
+		return true
+	})
+}
+
+// runStreamWorkers drives step — "pull one unit, process it, report whether
+// the stream had one" — on the caller plus budget-granted extras, with the
+// same panic re-raise discipline as ForEach. The stream length is unknown,
+// so the worker count is sized to the budget alone; workers that find the
+// stream dry exit immediately.
+func runStreamWorkers(parallelism int, step func() bool) {
+	budget := SharedBudget()
+	workers := parallelism
+	if workers <= 0 || workers > budget.Limit() {
+		workers = budget.Limit()
+	}
+	extra := budget.TryAcquire(workers - 1)
+
+	panics := make(chan any, 1)
+	run := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				select {
+				case panics <- r:
+				default: // keep the first panic, drop the rest
+				}
+			}
+		}()
+		for step() {
+		}
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < extra; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+	budget.Release(extra)
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+}

@@ -1,0 +1,241 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"dmlscale/internal/core"
+	"dmlscale/internal/scenario"
+	"dmlscale/internal/units"
+)
+
+// Options selects the planner's adaptive behaviors. The zero value is the
+// exhaustive pass: every cell evaluated, no constraints, no refinement —
+// bit-identical to the pre-adaptive PlanSuite.
+type Options struct {
+	// Prune skips cells whose optimistic cost×time bound is already
+	// strictly dominated by evaluated plans. The final frontier — and
+	// every evaluated plan on it — is identical to the exhaustive run's;
+	// only provably-dominated cells are skipped, and they are reported as
+	// Pruned plans carrying their bound.
+	Prune bool
+	// RefineRounds re-subdivides the numeric sweep axes (bandwidth, worker
+	// bound) adjacent to frontier cells for up to this many rounds after
+	// the coarse pass, planting off-grid candidates where the frontier
+	// suggests the objective landscape is interesting.
+	RefineRounds int
+	// MaxCost, when positive, constrains recommendations to configurations
+	// costing at most this much; cells whose optimistic bound already
+	// exceeds it are pruned outright, and evaluated plans with no
+	// configuration under it are marked Infeasible.
+	MaxCost float64
+	// MaxTimeSeconds is the analogous wall-time budget, in seconds.
+	MaxTimeSeconds float64
+}
+
+// adaptive reports whether any option changes the exhaustive pass.
+func (o Options) adaptive() bool {
+	return o.Prune || o.RefineRounds > 0 || o.constrained()
+}
+
+// constrained reports whether a cost or time budget is set.
+func (o Options) constrained() bool {
+	return o.MaxCost > 0 || o.MaxTimeSeconds > 0
+}
+
+// PlanSuiteOpts is PlanSuite with adaptive options and evaluation
+// statistics. With the zero Options it runs the exhaustive pass and the
+// stats only count plans; with pruning, constraints or refinement it runs
+// the streaming adaptive search:
+//
+//  1. Every cell's optimistic (time, cost) bound is computed from the
+//     registry's monotone bound hooks — catalog resolution only, no model
+//     construction, no Monte-Carlo kernel.
+//  2. Cells are planned best-bound-first on the shared parallelism budget,
+//     feeding an incremental Pareto frontier; a cell whose bound is already
+//     strictly dominated (or provably over budget) is pruned without ever
+//     building its model.
+//  3. Frontier-adjacent numeric axes are re-subdivided for RefineRounds
+//     rounds, planning off-grid candidates the declared grid stepped over.
+//
+// The pruning is exact, not heuristic: bounds lower-bound every
+// configuration of their cell, and only strict domination prunes, so the
+// evaluated frontier is identical to the exhaustive one at any parallelism
+// (see Frontier). Which dominated cells get pruned versus evaluated may vary
+// with scheduling; frontier membership and every evaluated plan cannot.
+func PlanSuiteOpts(s scenario.Suite, objective Objective, parallelism int, opts Options) (Report, scenario.EvalStats, error) {
+	if objective == "" {
+		obj, err := ParseObjective(s.Objective)
+		if err != nil {
+			return Report{}, scenario.EvalStats{}, err
+		}
+		objective = obj
+	} else if _, err := ParseObjective(string(objective)); err != nil {
+		return Report{}, scenario.EvalStats{}, err
+	}
+	if opts.RefineRounds < 0 {
+		return Report{}, scenario.EvalStats{}, fmt.Errorf("planner: negative refinement rounds %d", opts.RefineRounds)
+	}
+	cs, err := s.Cells()
+	if err != nil {
+		return Report{}, scenario.EvalStats{}, err
+	}
+	n := cs.Len()
+
+	var plans []Plan
+	var stats scenario.EvalStats
+	if !opts.adaptive() {
+		plans = make([]Plan, n)
+		core.ForEach(n, parallelism, func(i int) {
+			plans[i] = planOne(cs.At(i).Scenario)
+		})
+	} else {
+		var cells []scenario.Cell
+		plans, cells, stats = adaptivePass(cs, parallelism, opts)
+		if opts.RefineRounds > 0 {
+			plans = refineFrontier(plans, cells, parallelism, opts, &stats)
+		}
+	}
+
+	stats.Scenarios = len(plans)
+	for i := range plans {
+		switch {
+		case plans[i].Err != nil:
+			stats.Failed++
+		case !plans[i].Pruned:
+			stats.Evaluated++
+		}
+	}
+	markPareto(plans)
+	rankPlans(plans, objective)
+	return Report{Suite: s.Name, Objective: objective, Plans: plans}, stats, nil
+}
+
+// adaptivePass runs phases 1 and 2: bound every cell, then plan them
+// best-bound-first against an incremental frontier. It returns the plans,
+// the cell coordinates position-aligned with them (refinement needs the
+// swept axis values), and the stats with Pruned filled.
+func adaptivePass(cs *scenario.CellSet, parallelism int, opts Options) ([]Plan, []scenario.Cell, scenario.EvalStats) {
+	n := cs.Len()
+	cells := make([]scenario.Cell, n)
+	bounds := make([]cellBound, n)
+	core.ForEach(n, parallelism, func(i int) {
+		cells[i] = cs.At(i)
+		bounds[i] = boundFor(cells[i].Scenario)
+	})
+
+	// Best-bound-first order: bounded cells by ascending (time, cost) so
+	// likely-frontier cells evaluate early and the frontier gains pruning
+	// power fast; unbounded cells (which never prune anyway) keep suite
+	// order after them. Index is the final tie-break, so the order is
+	// deterministic.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := bounds[order[x]], bounds[order[y]]
+		if a.ok != b.ok {
+			return a.ok
+		}
+		if a.ok {
+			if a.time != b.time {
+				return a.time < b.time
+			}
+			if a.cost != b.cost {
+				return a.cost < b.cost
+			}
+		}
+		return order[x] < order[y]
+	})
+
+	var frontier Frontier
+	var pruned atomic.Int64
+	plans := make([]Plan, n)
+	core.ForEach(n, parallelism, func(k int) {
+		i := order[k]
+		plans[i] = planCell(cells[i], bounds[i], &frontier, opts, &pruned)
+	})
+	return plans, cells, scenario.EvalStats{Pruned: int(pruned.Load())}
+}
+
+// planCell plans one cell under the adaptive regime: prune on a provably
+// over-budget or frontier-dominated bound, otherwise evaluate and offer the
+// optimum to the frontier.
+func planCell(c scenario.Cell, b cellBound, frontier *Frontier, opts Options, pruned *atomic.Int64) Plan {
+	if b.ok {
+		if b.overBudget(opts) {
+			pruned.Add(1)
+			p := prunedPlan(c, b)
+			p.Infeasible = true
+			p.Notice = "pruned: optimistic bound exceeds the cost/time budget"
+			return p
+		}
+		// Prune when every interval corner of the bound is strictly
+		// dominated — the proof the cell's optimum is too (see
+		// cellBound.dominated). The margin shrinks each corner, so float
+		// rounding can only make pruning harder, never discard a cell
+		// that could have competed.
+		if opts.Prune && b.dominated(frontier) {
+			pruned.Add(1)
+			return prunedPlan(c, b)
+		}
+	}
+	p := planOneOpts(c.Scenario, opts)
+	if frontierEligible(&p) {
+		frontier.Insert(float64(p.Optimal.Time), p.Optimal.Cost)
+	}
+	return p
+}
+
+// prunedPlan reports a cell skipped on its bound, carrying the resolution
+// the bound pass already did so the report needs no model work at all.
+func prunedPlan(c scenario.Cell, b cellBound) Plan {
+	return Plan{
+		Scenario:         c.Scenario,
+		Family:           b.family,
+		ConvergenceAware: true,
+		Rule:             b.rule,
+		CostRate:         b.rate,
+		Pruned:           true,
+		Bound:            Point{Time: units.Seconds(b.time), Cost: b.cost},
+		Notice:           "pruned: optimistic bound dominated by evaluated plans",
+	}
+}
+
+// planOneOpts plans one scenario and, when a budget is set, moves the
+// recommendation to the best configuration inside it: minimum time among
+// feasible points, ties to cheaper then fewer machines. A convergence-aware
+// plan with no feasible point keeps its unconstrained optimum for reference
+// and is marked Infeasible. Constraints only bind convergence-aware plans —
+// fallback times are per-iteration and not comparable to a wall-clock
+// budget.
+func planOneOpts(sc scenario.Scenario, opts Options) Plan {
+	p := planOne(sc)
+	if p.Err != nil || !p.ConvergenceAware || !opts.constrained() {
+		return p
+	}
+	best := -1
+	for i, pt := range p.Curve {
+		if opts.MaxTimeSeconds > 0 && float64(pt.Time) > opts.MaxTimeSeconds {
+			continue
+		}
+		if opts.MaxCost > 0 && pt.Cost > opts.MaxCost {
+			continue
+		}
+		// The curve ascends in workers, so replacing only on strict
+		// improvement keeps the fewest machines among ties.
+		if best < 0 || pt.Time < p.Curve[best].Time ||
+			(pt.Time == p.Curve[best].Time && pt.Cost < p.Curve[best].Cost) {
+			best = i
+		}
+	}
+	if best < 0 {
+		p.Infeasible = true
+		p.Notice = "no configuration meets the cost/time budget; unconstrained optimum shown"
+		return p
+	}
+	p.Optimal = p.Curve[best]
+	return p
+}

@@ -1,0 +1,219 @@
+package planner
+
+import (
+	"math"
+
+	"dmlscale/internal/registry"
+	"dmlscale/internal/scenario"
+)
+
+// boundIntervals is how many geometric worker intervals the bound sweep
+// splits [1, maxN] into: enough for a tight utopia point, few enough that
+// bounding a cell stays O(1)-ish and allocation-free next to evaluating it.
+const boundIntervals = 24
+
+// pruneMargin shrinks a bound before the strict-domination check. The bound
+// math is exact in real arithmetic, but the monotone terms are evaluated in
+// floats; a relative margin of 1e-9 — orders of magnitude above accumulated
+// rounding, orders below any real domination gap — makes "bound ≤ actual"
+// robust, so rounding can only under-prune, never over-prune.
+const pruneMargin = 1 - 1e-9
+
+// corner is one worker interval's optimistic (time, cost) point: no
+// configuration inside the interval can beat it on either axis.
+type corner struct {
+	time, cost float64
+}
+
+// cellBound is one cell's optimistic planning bound, plus the identity
+// fields the planner needs to report a pruned cell without re-resolving it.
+type cellBound struct {
+	// ok is false when the cell cannot be bounded — no convergence block,
+	// a family without a bound hook, or any resolution failure. Such
+	// cells are never pruned; evaluation reports their real plan/error.
+	ok bool
+	// time and cost are the utopia point: for all n in range, TTA(n) ≥
+	// time and Cost(n) ≥ cost (the two minima may come from different n —
+	// the point is a corner, not a configuration). They order the
+	// evaluation pass and label pruned plans.
+	time, cost float64
+	// corners holds one optimistic point per worker interval. The cell's
+	// true optimum falls in some interval and is ≥ that interval's corner
+	// on both axes — so if EVERY corner that could contain the optimum is
+	// strictly dominated by evaluated plans (each possibly by a different
+	// one), the optimum itself is strictly dominated and the cell is
+	// provably off the frontier. This per-interval test prunes far more
+	// than the single utopia corner: the utopia point combines the fastest
+	// interval's time with the cheapest interval's cost, a phantom no
+	// frontier point may beat even when every real configuration is deeply
+	// dominated.
+	corners []corner
+	// optUB upper-bounds the cell's optimal time-to-accuracy: the smallest
+	// interval-endpoint value of the decomposed curve when the family's
+	// split is exact (so the decomposition IS the curve), +Inf otherwise.
+	// Intervals whose corner time exceeds it cannot contain the optimum —
+	// every configuration inside them is slower than some configuration
+	// elsewhere — so dominated skips their corners. Without this cutoff the
+	// n=1 corner alone blocks most pruning: its cost is the cell's cheapest
+	// conceivable spend, which no same-hardware plan can undercut, even
+	// though running on one worker is nowhere near time-optimal.
+	optUB float64
+	// family, rule and rate echo the resolution, for pruned-plan reports.
+	family string
+	rule   string
+	rate   float64
+}
+
+// boundFor computes a cell's bound without building its model: it resolves
+// the catalog entries, asks the family for its monotone lower-bound
+// decomposition (registry.BuildBoundModel — no Monte-Carlo kernel behind
+// it), and minimizes the interval bound
+//
+//	ttaLB[a,b] = iters(b) · (Decreasing(b) + Increasing(a))
+//	costLB[a,b] = rate · a · ttaLB[a,b] / 3600
+//
+// over ~boundIntervals geometric intervals covering [1, maxN]. Validity:
+// Decreasing/Increasing bracket the true iteration time by the registry
+// contract, and iters(n) is non-increasing in n (every cataloged rule is
+// non-increasing in the batch growth, which itself never shrinks), so each
+// interval's expression lower-bounds every n inside it.
+func boundFor(sc scenario.Scenario) (b cellBound) {
+	defer func() {
+		// A panicking hook must degrade to "cannot bound", never take
+		// down the pass — evaluation will surface the cell's real error.
+		if recover() != nil {
+			b = cellBound{}
+		}
+	}()
+	if sc.Convergence == nil {
+		return cellBound{}
+	}
+	family, err := sc.Family()
+	if err != nil {
+		return cellBound{}
+	}
+	node, err := registry.Node(sc.Hardware)
+	if err != nil {
+		return cellBound{}
+	}
+	protocol, err := registry.Protocol(sc.Protocol)
+	if err != nil {
+		return cellBound{}
+	}
+	bm, ok, err := registry.BuildBoundModel(family, sc.Name, sc.Workload, node, protocol)
+	if err != nil || !ok {
+		return cellBound{}
+	}
+	rule, err := sc.Convergence.IterationRule()
+	if err != nil {
+		return cellBound{}
+	}
+	base := sc.Convergence.BaseIterations
+	if base <= 0 {
+		return cellBound{}
+	}
+	growth := bm.BatchGrowth
+	if growth == nil {
+		growth = func(n int) float64 { return float64(n) }
+	}
+
+	maxN := sc.MaxN()
+	timeLB, costLB, optUB := math.Inf(1), math.Inf(1), math.Inf(1)
+	var corners []corner
+	visit := func(a, b int) {
+		iters := base * rule(growth(b))
+		tta := iters * float64(bm.Decreasing(b)+bm.Increasing(a))
+		cost := node.CostPerHour * float64(a) * tta / 3600
+		if math.IsNaN(tta) || math.IsNaN(cost) {
+			timeLB = math.NaN()
+			return
+		}
+		corners = append(corners, corner{time: tta, cost: cost})
+		timeLB = math.Min(timeLB, tta)
+		costLB = math.Min(costLB, cost)
+		if bm.Exact {
+			// With an exact split, the interval's right endpoint value is
+			// the true curve at n = b — an upper bound on the optimum.
+			optUB = math.Min(optUB, iters*float64(bm.Decreasing(b)+bm.Increasing(b)))
+		}
+	}
+	if maxN <= 2*boundIntervals {
+		// Small ranges: the degenerate intervals [n, n] make the bound the
+		// exact minimum of the decomposition — for families whose split is
+		// an equality (the gd families), the exact per-axis minima — at
+		// the cost of one closed-form evaluation per worker count.
+		for n := 1; n <= maxN; n++ {
+			visit(n, n)
+		}
+	} else {
+		ratio := math.Pow(float64(maxN), 1/float64(boundIntervals))
+		for a := 1; a <= maxN; {
+			b := int(math.Ceil(float64(a) * ratio))
+			if b <= a {
+				b = a + 1
+			}
+			if b > maxN {
+				b = maxN
+			}
+			visit(a, b)
+			if b == maxN {
+				break
+			}
+			a = b + 1
+		}
+	}
+	if !(timeLB > 0) || math.IsInf(timeLB, 1) || math.IsNaN(timeLB) || math.IsNaN(costLB) {
+		return cellBound{}
+	}
+	return cellBound{
+		ok:      true,
+		time:    timeLB,
+		cost:    costLB,
+		corners: corners,
+		optUB:   optUB,
+		family:  family,
+		rule:    sc.Convergence.Rule,
+		rate:    node.CostPerHour,
+	}
+}
+
+// dominated reports whether evaluated plans strictly dominate every interval
+// corner that could contain the cell's optimum — the proof that the optimum,
+// wherever in the worker range it falls, is strictly dominated and the cell
+// is off the frontier. Intervals whose corner time already exceeds optUB (an
+// upper bound on the optimal time-to-accuracy, finite only for exact family
+// splits) are skipped: the optimum provably is not there, so their corners —
+// notably the slow-but-cheap small-n ones whose cost nothing can undercut —
+// need not be dominated. The margins lean conservative on both sides: a
+// corner is skipped only when clearly past optUB and prunes only when
+// clearly dominated, so float rounding can only under-prune.
+func (b cellBound) dominated(f *Frontier) bool {
+	if !b.ok || len(b.corners) == 0 {
+		return false
+	}
+	for _, c := range b.corners {
+		if c.time*pruneMargin > b.optUB {
+			continue
+		}
+		if !f.DominatesStrictly(c.time*pruneMargin, c.cost*pruneMargin) {
+			return false
+		}
+	}
+	return true
+}
+
+// overBudget reports whether the bound alone proves the cell cannot meet
+// the run's constraints: even its cheapest conceivable configuration costs
+// more than MaxCost, or even its fastest runs longer than MaxTimeSeconds.
+func (b cellBound) overBudget(opts Options) bool {
+	if !b.ok {
+		return false
+	}
+	if opts.MaxCost > 0 && b.cost > opts.MaxCost {
+		return true
+	}
+	if opts.MaxTimeSeconds > 0 && b.time > opts.MaxTimeSeconds {
+		return true
+	}
+	return false
+}

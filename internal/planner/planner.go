@@ -31,7 +31,6 @@ import (
 	"strings"
 
 	"dmlscale/internal/convergence"
-	"dmlscale/internal/core"
 	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
 	"dmlscale/internal/units"
@@ -103,6 +102,22 @@ type Plan struct {
 	// (convergence-aware plans only; fallback times are per-iteration and
 	// would not be comparable).
 	Pareto bool
+	// Pruned marks a cell the adaptive planner skipped without building
+	// its model: the cell's optimistic bound (see Bound) was strictly
+	// dominated by already-evaluated plans, or provably outside the run's
+	// budget. Pruned plans carry no curve and no optimum.
+	Pruned bool
+	// Bound is a pruned cell's optimistic (time, cost) utopia point — the
+	// corner no configuration of the cell could have beaten.
+	Bound Point
+	// Refined marks a plan synthesized by frontier refinement — an
+	// off-grid subdivision of a numeric sweep axis — rather than declared
+	// by the suite.
+	Refined bool
+	// Infeasible marks a convergence-aware plan none of whose
+	// configurations meets the run's cost/time budget; Optimal still holds
+	// the unconstrained optimum for reference.
+	Infeasible bool
 	// Rank is the plan's 1-based position under the report's objective.
 	Rank int
 	// Err records why planning failed; other plans are unaffected.
@@ -136,26 +151,8 @@ func PlanScenario(sc scenario.Scenario) (Plan, error) {
 // Err set, ranked after every successful plan, and the rest of the suite
 // completes.
 func PlanSuite(s scenario.Suite, objective Objective, parallelism int) (Report, error) {
-	if objective == "" {
-		obj, err := ParseObjective(s.Objective)
-		if err != nil {
-			return Report{}, err
-		}
-		objective = obj
-	} else if _, err := ParseObjective(string(objective)); err != nil {
-		return Report{}, err
-	}
-	scenarios, err := s.Expand()
-	if err != nil {
-		return Report{}, err
-	}
-	plans := make([]Plan, len(scenarios))
-	core.ForEach(len(scenarios), parallelism, func(i int) {
-		plans[i] = planOne(scenarios[i])
-	})
-	markPareto(plans)
-	rankPlans(plans, objective)
-	return Report{Suite: s.Name, Objective: objective, Plans: plans}, nil
+	report, _, err := PlanSuiteOpts(s, objective, parallelism, Options{})
+	return report, err
 }
 
 // planOne builds the plan for one scenario, converting panics into errors so
@@ -266,24 +263,32 @@ func runCost(rate float64, workers int, t units.Seconds) float64 {
 	return rate * float64(workers) * float64(t) / 3600
 }
 
+// frontierEligible reports whether a plan competes on the cost×time
+// frontier: it evaluated, optimizes time-to-accuracy, and its optimum is a
+// real recommendation (not pruned away, not outside the budget).
+func frontierEligible(p *Plan) bool {
+	return p.Err == nil && p.ConvergenceAware && !p.Pruned && !p.Infeasible
+}
+
 // markPareto flags the plans on the suite's cost×time frontier: a
 // convergence-aware plan is on the frontier when no other convergence-aware
 // plan is at least as good on both axes and strictly better on one.
 // Fallback plans stay off the frontier — their times are per-iteration and
-// not comparable to times-to-accuracy.
+// not comparable to times-to-accuracy — and so do pruned and over-budget
+// plans, whose zero or unconstrained optima are not recommendations.
 func markPareto(plans []Plan) {
 	for i := range plans {
 		p := &plans[i]
-		if p.Err != nil || !p.ConvergenceAware {
+		if !frontierEligible(p) {
 			continue
 		}
 		dominated := false
 		for j := range plans {
 			q := &plans[j]
-			if i == j || q.Err != nil || !q.ConvergenceAware {
+			if i == j || !frontierEligible(q) {
 				continue
 			}
-			if dominates(q.Optimal, p.Optimal) {
+			if Dominates(q.Optimal, p.Optimal) {
 				dominated = true
 				break
 			}
@@ -292,21 +297,28 @@ func markPareto(plans []Plan) {
 	}
 }
 
-// dominates reports whether configuration a is at least as good as b on both
-// time and cost and strictly better on one.
-func dominates(a, b Point) bool {
+// Dominates reports whether configuration a is at least as good as b on both
+// time and cost and strictly better on one — the frontier relation used by
+// markPareto and the adaptive pruning pass.
+func Dominates(a, b Point) bool {
 	at, bt := float64(a.Time), float64(b.Time)
 	return at <= bt && a.Cost <= b.Cost && (at < bt || a.Cost < b.Cost)
 }
 
 // rankPlans orders plans in tiers — convergence-aware, per-iteration
-// fallback, failed — each tier sorted by the objective with the scenario
-// name as the final tie-break (suite names are unique, so the order is
-// total), then stamps the 1-based ranks.
+// fallback, over-budget, pruned, failed — each tier sorted by the objective
+// with the scenario name as the final tie-break (suite names are unique, so
+// the order is total), then stamps the 1-based ranks. Runs without adaptive
+// options produce only the first two tiers plus failures, so the order is
+// exactly the pre-adaptive one.
 func rankPlans(plans []Plan, objective Objective) {
 	tier := func(p *Plan) int {
 		switch {
 		case p.Err != nil:
+			return 4
+		case p.Pruned:
+			return 3
+		case p.Infeasible:
 			return 2
 		case !p.ConvergenceAware:
 			return 1
@@ -319,6 +331,15 @@ func rankPlans(plans []Plan, objective Objective) {
 			return ta < tb
 		}
 		if a.Err != nil { // both failed: order by name
+			return a.Scenario.Name < b.Scenario.Name
+		}
+		if a.Pruned { // both pruned: order by optimistic bound
+			if bt1, bt2 := float64(a.Bound.Time), float64(b.Bound.Time); bt1 != bt2 {
+				return bt1 < bt2
+			}
+			if a.Bound.Cost != b.Bound.Cost {
+				return a.Bound.Cost < b.Bound.Cost
+			}
 			return a.Scenario.Name < b.Scenario.Name
 		}
 		if objective == ObjectivePareto && a.Pareto != b.Pareto {
@@ -358,10 +379,20 @@ func (r Report) Export() scenario.PlanReport {
 			Family:           p.Family,
 			ConvergenceAware: p.ConvergenceAware,
 			Rule:             p.Rule,
+			Refined:          p.Refined,
+			Infeasible:       p.Infeasible,
 			Notice:           p.Notice,
 		}
 		if p.Err != nil {
 			rec.Error = p.Err.Error()
+			out.Plans[i] = rec
+			continue
+		}
+		if p.Pruned {
+			rec.Pruned = true
+			rec.BoundTimeSeconds = float64(p.Bound.Time)
+			rec.BoundCost = p.Bound.Cost
+			rec.CostRatePerNodeHour = p.CostRate
 			out.Plans[i] = rec
 			continue
 		}

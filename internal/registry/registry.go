@@ -641,6 +641,39 @@ type IterationModel struct {
 	BatchGrowth func(n int) float64
 }
 
+// BoundModel is a family's optimistic per-iteration decomposition for
+// adaptive planning. The contract: for every worker count n in a scenario's
+// range, the family's true per-iteration time satisfies
+//
+//	Time(n) ≥ Decreasing(n) + Increasing(n)
+//
+// with Decreasing non-increasing and Increasing non-decreasing in n. That
+// monotone split lets the planner lower-bound time-to-accuracy over a whole
+// worker interval [a, b] from the two endpoints alone —
+// iters(b)·(Decreasing(b) + Increasing(a)) — in O(1) per interval and
+// without touching the Monte-Carlo kernel, which is what makes it safe to
+// discard a grid cell whose bound is already Pareto-dominated before
+// evaluating it. For the synchronous gradient-descent families the
+// decomposition is exact (compute term + communication term); for async-gd
+// it is a conservative floor. BatchGrowth mirrors
+// IterationModel.BatchGrowth so the bound's iteration count uses the same
+// batch law as the real plan.
+type BoundModel struct {
+	// Decreasing is the non-increasing term (parallelizable compute).
+	Decreasing core.TimeFunc
+	// Increasing is the non-decreasing term (communication, staleness).
+	Increasing core.TimeFunc
+	// BatchGrowth is k(n), as in IterationModel.
+	BatchGrowth func(n int) float64
+	// Exact reports that Decreasing + Increasing equals the family's true
+	// iteration time, not merely a floor. Exactness upgrades the
+	// decomposition from a one-sided bound to the curve itself, which lets
+	// the planner discard worker intervals whose lower bound already
+	// exceeds the curve's minimum — they provably cannot contain the
+	// optimum — and test domination of the optimum alone.
+	Exact bool
+}
+
 // Family is one workload-family registry row.
 type Family struct {
 	// Name is the registry key.
@@ -654,6 +687,11 @@ type Family struct {
 	// iteration/batch notion (the graph-inference families), where the
 	// planner falls back to per-iteration ranking.
 	Iteration func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (IterationModel, error)
+	// Bound builds the family's optimistic lower-bound decomposition for
+	// adaptive planning. Nil for families without one (the graph-inference
+	// families, whose compute term comes from the Monte-Carlo kernel the
+	// bound must not touch); their cells are simply never pruned.
+	Bound func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (BoundModel, error)
 }
 
 // familyAliases maps accepted spellings to canonical family names. The empty
@@ -696,6 +734,24 @@ var families = map[string]Family{
 			// cluster grows no batch: k(n) = 1.
 			return IterationModel{Time: m.Time, BatchGrowth: fixedBatch}, nil
 		},
+		Bound: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (BoundModel, error) {
+			w, f, err := gdBoundInputs(name, spec, node)
+			if err != nil {
+				return BoundModel{}, err
+			}
+			// Exact split of t(n) = C·S/(F·n) + t_cm(W, n): the compute
+			// share shrinks with n, the collective grows with it.
+			return BoundModel{
+				Decreasing: func(n int) units.Seconds {
+					return units.ComputeTime(w.FlopsPerExample*w.BatchSize/float64(n), f)
+				},
+				Increasing: func(n int) units.Seconds {
+					return protocol.Time(w.ModelBits, n)
+				},
+				BatchGrowth: fixedBatch,
+				Exact:       true,
+			}, nil
+		},
 	},
 	"gd-weak": {
 		Name:        "gd-weak",
@@ -726,6 +782,24 @@ var families = map[string]Family{
 					return units.ComputeTime(w.FlopsPerExample*w.BatchSize, f) + protocol.Time(w.ModelBits, n)
 				},
 				BatchGrowth: func(n int) float64 { return float64(n) },
+			}, nil
+		},
+		Bound: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (BoundModel, error) {
+			w, f, err := gdBoundInputs(name, spec, node)
+			if err != nil {
+				return BoundModel{}, err
+			}
+			// Exact split of the planner's weak-scaling iteration time:
+			// fixed per-worker compute plus the growing collective.
+			return BoundModel{
+				Decreasing: func(int) units.Seconds {
+					return units.ComputeTime(w.FlopsPerExample*w.BatchSize, f)
+				},
+				Increasing: func(n int) units.Seconds {
+					return protocol.Time(w.ModelBits, n)
+				},
+				BatchGrowth: func(n int) float64 { return float64(n) },
+				Exact:       true,
 			}, nil
 		},
 	},
@@ -773,12 +847,47 @@ var families = map[string]Family{
 			// batch the convergence rule sees never grows: k(n) = 1.
 			return IterationModel{Time: m.CoreModel(name).Time, BatchGrowth: fixedBatch}, nil
 		},
+		Bound: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (BoundModel, error) {
+			m, err := asyncModel(name, spec, node, protocol)
+			if err != nil {
+				return BoundModel{}, err
+			}
+			// The effective time is UpdateTime(n)·(1 + γ·staleness(n)).
+			// UpdateTime is non-increasing (max of cycle/n and the
+			// constant serving floor) and never below CommPerUpdate, so
+			//
+			//	t(n) ≥ UpdateTime(n) + CommPerUpdate·γ·staleness(n)
+			//
+			// with the first term non-increasing and the second —
+			// staleness grows with n — non-decreasing: a conservative
+			// floor rather than the exact product.
+			return BoundModel{
+				Decreasing: m.UpdateTime,
+				Increasing: func(n int) units.Seconds {
+					return units.Seconds(float64(m.CommPerUpdate) * m.ConvergencePenalty * m.Staleness(n))
+				},
+				BatchGrowth: fixedBatch,
+			}, nil
+		},
 	},
 }
 
 // fixedBatch is the batch-growth law of families whose effective batch does
 // not grow with the cluster: k(n) = 1.
 func fixedBatch(int) float64 { return 1 }
+
+// gdBoundInputs resolves the workload and effective flops the
+// gradient-descent bound hooks share.
+func gdBoundInputs(name string, spec WorkloadSpec, node hardware.Node) (gd.Workload, units.Flops, error) {
+	w, err := gdWorkload(name, spec)
+	if err != nil {
+		return gd.Workload{}, 0, err
+	}
+	if err := node.Validate(); err != nil {
+		return gd.Workload{}, 0, err
+	}
+	return w, node.EffectiveFlops(), nil
+}
 
 // asyncModel assembles the asynchronous-SGD model behind the async-gd
 // family's Build and Iteration hooks.
@@ -995,6 +1104,26 @@ func BuildIterationModel(family, name string, spec WorkloadSpec, node hardware.N
 		return IterationModel{}, false, err
 	}
 	return m, true, nil
+}
+
+// BuildBoundModel constructs the optimistic lower-bound decomposition of a
+// family, resolving aliases like LookupFamily. ok is false (with a nil
+// error) for families without a bound hook — the graph-inference families,
+// whose compute term lives behind the Monte-Carlo kernel — whose cells the
+// adaptive planner then never prunes.
+func BuildBoundModel(family, name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (b BoundModel, ok bool, err error) {
+	f, err := LookupFamily(family)
+	if err != nil {
+		return BoundModel{}, false, err
+	}
+	if f.Bound == nil {
+		return BoundModel{}, false, nil
+	}
+	b, err = f.Bound(name, spec, node, protocol)
+	if err != nil {
+		return BoundModel{}, false, err
+	}
+	return b, true, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -98,6 +98,18 @@ type PlanRecord struct {
 	Cost                float64 `json:"cost,omitempty"`
 	// Pareto marks plans on the suite's cost×time frontier.
 	Pareto bool `json:"pareto,omitempty"`
+	// Pruned marks cells the adaptive planner skipped without evaluation;
+	// BoundTimeSeconds/BoundCost then carry the optimistic bound that got
+	// them pruned, and the curve fields are empty.
+	Pruned           bool    `json:"pruned,omitempty"`
+	BoundTimeSeconds float64 `json:"bound_time_seconds,omitempty"`
+	BoundCost        float64 `json:"bound_cost,omitempty"`
+	// Refined marks plans synthesized by frontier refinement — off-grid
+	// subdivisions of a numeric sweep axis — rather than declared.
+	Refined bool `json:"refined,omitempty"`
+	// Infeasible marks plans with no configuration inside the run's
+	// cost/time budget; the exported optimum is then the unconstrained one.
+	Infeasible bool `json:"infeasible,omitempty"`
 	// Notice explains a fallback or degenerate plan in one line.
 	Notice string `json:"notice,omitempty"`
 	// Workers, TimesSeconds, Iterations and Costs are the plan's full
@@ -128,25 +140,31 @@ func WritePlansJSON(w io.Writer, report PlanReport) error {
 
 // WritePlansCSV writes one row per plan, in rank order:
 //
-//	rank,scenario,family,convergence_aware,rule,optimal_workers,iterations_to_accuracy,time_seconds,cost_rate_per_node_hour,cost,pareto,notice,error
+//	rank,scenario,family,convergence_aware,rule,optimal_workers,iterations_to_accuracy,time_seconds,cost_rate_per_node_hour,cost,pareto,pruned,refined,infeasible,notice,error
 //
 // A failed scenario contributes a row with the numeric columns empty and the
-// error in the last column. The full curves are JSON-only: the CSV is the
+// error in the last column; a pruned cell carries its optimistic bound in
+// the time and cost columns. The full curves are JSON-only: the CSV is the
 // ranked recommendation table.
 func WritePlansCSV(w io.Writer, plans []PlanRecord) error {
 	cw := csv.NewWriter(w)
 	header := []string{"rank", "scenario", "family", "convergence_aware", "rule", "optimal_workers",
-		"iterations_to_accuracy", "time_seconds", "cost_rate_per_node_hour", "cost", "pareto", "notice", "error"}
+		"iterations_to_accuracy", "time_seconds", "cost_rate_per_node_hour", "cost", "pareto",
+		"pruned", "refined", "infeasible", "notice", "error"}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("scenario: plan csv: %w", err)
 	}
 	for _, rec := range plans {
 		if rec.Error != "" {
-			row := []string{strconv.Itoa(rec.Rank), rec.Scenario, rec.Family, "", "", "", "", "", "", "", "", rec.Notice, rec.Error}
+			row := []string{strconv.Itoa(rec.Rank), rec.Scenario, rec.Family, "", "", "", "", "", "", "", "", "", "", "", rec.Notice, rec.Error}
 			if err := cw.Write(row); err != nil {
 				return fmt.Errorf("scenario: plan csv: %w", err)
 			}
 			continue
+		}
+		timeSec, cost := rec.TimeSeconds, rec.Cost
+		if rec.Pruned {
+			timeSec, cost = rec.BoundTimeSeconds, rec.BoundCost
 		}
 		row := []string{
 			strconv.Itoa(rec.Rank),
@@ -156,10 +174,13 @@ func WritePlansCSV(w io.Writer, plans []PlanRecord) error {
 			rec.Rule,
 			strconv.Itoa(rec.OptimalWorkers),
 			strconv.FormatFloat(rec.IterationsToAccuracy, 'g', -1, 64),
-			strconv.FormatFloat(rec.TimeSeconds, 'g', -1, 64),
+			strconv.FormatFloat(timeSec, 'g', -1, 64),
 			strconv.FormatFloat(rec.CostRatePerNodeHour, 'g', -1, 64),
-			strconv.FormatFloat(rec.Cost, 'g', -1, 64),
+			strconv.FormatFloat(cost, 'g', -1, 64),
 			strconv.FormatBool(rec.Pareto),
+			strconv.FormatBool(rec.Pruned),
+			strconv.FormatBool(rec.Refined),
+			strconv.FormatBool(rec.Infeasible),
 			rec.Notice,
 			"",
 		}

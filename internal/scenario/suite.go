@@ -12,7 +12,6 @@ import (
 
 	"dmlscale/internal/core"
 	"dmlscale/internal/registry"
-	"dmlscale/internal/units"
 )
 
 // Suite declares many scenarios at once: an explicit list, a parameter
@@ -53,6 +52,9 @@ type Sweep struct {
 	// Protocols sweeps the protocol kind (leaf kinds; the bandwidth axis
 	// applies to each).
 	Protocols []string `json:"protocols,omitempty"`
+	// Hardware sweeps the node preset (an empty string keeps the base's
+	// own node).
+	Hardware []string `json:"hardware,omitempty"`
 	// PrecisionsBits sweeps the shipped-parameter width.
 	PrecisionsBits []float64 `json:"precisions_bits,omitempty"`
 	// MaxWorkers sweeps the evaluation bound.
@@ -64,70 +66,17 @@ type Sweep struct {
 const maxSuiteScenarios = 4096
 
 // Expand returns the sweep's scenarios: one per grid point, named after the
-// base plus the swept values.
+// base plus the swept values. It is a thin collector over the lazy grid
+// (see cells.go), kept for callers that want the whole slice; the cap guard
+// fires before any cell materializes.
 func (sw Sweep) Expand() ([]Scenario, error) {
-	protocols := sw.Protocols
-	if len(protocols) == 0 {
-		protocols = []string{""} // keep the base protocol
+	g, err := sw.grid(maxSuiteScenarios)
+	if err != nil {
+		return nil, err
 	}
-	bandwidths := sw.BandwidthsBitsPerSec
-	if len(bandwidths) == 0 {
-		bandwidths = []float64{0} // keep the base bandwidth
-	}
-	precisions := sw.PrecisionsBits
-	if len(precisions) == 0 {
-		precisions = []float64{0} // keep the base precision
-	}
-	maxWorkers := sw.MaxWorkers
-	if len(maxWorkers) == 0 {
-		maxWorkers = []int{0} // keep the base bound
-	}
-	// Refuse oversized grids before materializing anything: the cap is a
-	// guard against combinatorial explosion, so it must fire first. The
-	// per-axis check also keeps the product from overflowing.
-	points := 1
-	for _, n := range []int{len(protocols), len(bandwidths), len(precisions), len(maxWorkers)} {
-		points *= n
-		if points > maxSuiteScenarios {
-			return nil, fmt.Errorf("scenario: sweep expands to at least %d scenarios, cap is %d", points, maxSuiteScenarios)
-		}
-	}
-
-	out := make([]Scenario, 0, points)
-	for _, kind := range protocols {
-		for _, b := range bandwidths {
-			for _, prec := range precisions {
-				for _, maxN := range maxWorkers {
-					s := sw.Base
-					name := s.Name
-					if kind != "" {
-						if kind != s.Protocol.Kind {
-							// A different kind starts from a fresh spec
-							// carrying only the bandwidth (on a composite
-							// base that lives in the leaf children): the
-							// base's chunks/waves/latency belong to its
-							// own kind.
-							s.Protocol = ProtocolSpec{Kind: kind, BandwidthBitsPerSec: firstBandwidth(s.Protocol)}
-						}
-						name += ", " + kind
-					}
-					if b != 0 {
-						s.Protocol = withBandwidth(s.Protocol, b)
-						name += fmt.Sprintf(", %s", units.BitsPerSecond(b))
-					}
-					if prec != 0 {
-						s.Workload.PrecisionBits = prec
-						name += fmt.Sprintf(", %g-bit", prec)
-					}
-					if maxN != 0 {
-						s.MaxWorkers = maxN
-						name += fmt.Sprintf(", ≤%d workers", maxN)
-					}
-					s.Name = name
-					out = append(out, s)
-				}
-			}
-		}
+	out := make([]Scenario, g.total)
+	for i := range out {
+		out[i] = g.cell(i).Scenario
 	}
 	return out, nil
 }
@@ -173,48 +122,35 @@ func withBandwidth(p ProtocolSpec, b float64) ProtocolSpec {
 
 // Expand returns every scenario the suite declares: the explicit list
 // followed by the sweep grid, with the suite-level MaxWorkers override
-// applied.
+// applied. It is the materializing view over Cells, kept to the historical
+// cap; streaming consumers walk Cells directly and may go far beyond it.
+// Materializing re-checks names globally (explicit versus grid), which the
+// lazy view cannot afford.
 func (s Suite) Expand() ([]Scenario, error) {
-	if s.Name == "" {
-		return nil, fmt.Errorf("scenario: suite: missing name")
+	cs, err := s.cells(maxSuiteScenarios)
+	if err != nil {
+		return nil, err
 	}
-	if len(s.Scenarios) == 0 && s.Sweep == nil {
-		return nil, fmt.Errorf("scenario: suite %q: no scenarios and no sweep", s.Name)
-	}
-	if s.Objective != "" && !slices.Contains(Objectives(), s.Objective) {
-		return nil, fmt.Errorf("scenario: suite %q: unknown objective %q (known: %s)",
-			s.Name, s.Objective, strings.Join(Objectives(), ", "))
-	}
-	if s.MaxWorkers > 0 && s.Sweep != nil && len(s.Sweep.MaxWorkers) > 0 {
-		// Applying the suite-level bound over a swept worker axis would
-		// rewrite every grid point to the same bound — duplicate curves
-		// under labels claiming different ones. Refuse the ambiguity.
-		return nil, fmt.Errorf("scenario: suite %q: max_workers conflicts with the sweep's max_workers axis", s.Name)
-	}
-	out := append([]Scenario(nil), s.Scenarios...)
-	if s.Sweep != nil {
-		swept, err := s.Sweep.Expand()
-		if err != nil {
-			return nil, fmt.Errorf("scenario: suite %q: %w", s.Name, err)
-		}
-		out = append(out, swept...)
-	}
-	if len(out) > maxSuiteScenarios {
-		return nil, fmt.Errorf("scenario: suite %q expands to %d scenarios, cap is %d", s.Name, len(out), maxSuiteScenarios)
-	}
-	if s.MaxWorkers > 0 {
-		for i := range out {
-			out[i].MaxWorkers = s.MaxWorkers
-		}
-	}
+	out := make([]Scenario, cs.Len())
 	seen := make(map[string]bool, len(out))
-	for _, sc := range out {
-		if seen[sc.Name] {
-			return nil, fmt.Errorf("scenario: suite %q: duplicate scenario name %q", s.Name, sc.Name)
+	for i := range out {
+		out[i] = cs.At(i).Scenario
+		if seen[out[i].Name] {
+			return nil, fmt.Errorf("scenario: suite %q: duplicate scenario name %q", s.Name, out[i].Name)
 		}
-		seen[sc.Name] = true
+		seen[out[i].Name] = true
 	}
 	return out, nil
+}
+
+// validObjective reports whether name is a cataloged planner objective.
+func validObjective(name string) bool {
+	return slices.Contains(Objectives(), name)
+}
+
+// joinedObjectives renders the objective catalog for error messages.
+func joinedObjectives() string {
+	return strings.Join(Objectives(), ", ")
 }
 
 // Result is one evaluated suite entry. Err carries a per-scenario failure;
@@ -257,6 +193,16 @@ type EvalStats struct {
 	// (Monte-Carlo estimation, time evaluation).
 	BuildTime  time.Duration
 	SampleTime time.Duration
+	// Pruned counts cells skipped without evaluation because even their
+	// optimistic cost×time bound was dominated by the forming Pareto
+	// frontier, or fell outside the run's budget constraints. Always 0 for
+	// plain evaluation passes; the adaptive planner fills it.
+	Pruned int
+	// Refined counts cells synthesized by frontier refinement — off-grid
+	// subdivisions of the numeric axes next to frontier cells — and
+	// RefineRounds the refinement rounds that produced them.
+	Refined      int
+	RefineRounds int
 }
 
 // EvaluateSuite expands the suite and computes every curve concurrently on
@@ -275,25 +221,41 @@ func EvaluateSuite(s Suite, parallelism int) ([]Result, error) {
 // EvaluateSuiteStats is EvaluateSuite plus the pass's evaluation stats —
 // the suite-level half of the cache observability surface (the process-wide
 // kernel caches report through registry.SnapshotCaches).
+//
+// Cells are pulled lazily through core.EvaluateStream rather than expanded
+// up front, so grids beyond the materializing Expand cap (up to
+// MaxStreamCells) evaluate in one pass and the job list is never held
+// whole. Results, dedup flags and errors are bit-identical with the
+// materialized EvaluateAll path at any parallelism: pulls are serialized in
+// index order, so the representative of every model key is still its
+// first occurrence.
 func EvaluateSuiteStats(s Suite, parallelism int) ([]Result, EvalStats, error) {
-	scenarios, err := s.Expand()
+	cs, err := s.Cells()
 	if err != nil {
 		return nil, EvalStats{}, err
 	}
-	jobs := make([]core.Job, len(scenarios))
-	for i, sc := range scenarios {
-		jobs[i] = core.Job{
+	evaluated := make([]core.JobResult, cs.Len())
+	pull := cs.Next()
+	next := func() (core.StreamJob, bool) {
+		c, ok := pull()
+		if !ok {
+			return core.StreamJob{}, false
+		}
+		sc := c.Scenario
+		return core.StreamJob{Index: c.Index, Job: core.Job{
 			Name:    sc.Name,
 			Build:   sc.Model,
 			Workers: sc.Workers(),
-			Key:     sc.evalKey(),
-		}
+			Key:     sc.EvalKey(),
+		}}, true
 	}
-	evaluated := core.EvaluateAll(jobs, parallelism)
-	results := make([]Result, len(scenarios))
-	stats := EvalStats{Scenarios: len(scenarios)}
+	core.EvaluateStream(next, parallelism, func(i int, res core.JobResult) {
+		evaluated[i] = res
+	})
+	results := make([]Result, cs.Len())
+	stats := EvalStats{Scenarios: cs.Len()}
 	for i, ev := range evaluated {
-		res := Result{Scenario: scenarios[i], Curve: ev.Curve, Err: ev.Err, Deduped: ev.Deduped}
+		res := Result{Scenario: cs.At(i).Scenario, Curve: ev.Curve, Err: ev.Err, Deduped: ev.Deduped}
 		if ev.Err == nil {
 			if peak, ok := ev.Curve.Peak(); ok {
 				res.OptimalN = peak.N
@@ -343,7 +305,9 @@ func DecodeSuite(r io.Reader) (Suite, error) {
 	if err := dec.Decode(&s); err != nil {
 		return Suite{}, fmt.Errorf("scenario: suite: decode: %w", err)
 	}
-	if _, err := s.Expand(); err != nil {
+	// Validate through the lazy view: suite files may declare grids past
+	// the materializing Expand cap, and loading one must not expand it.
+	if _, err := s.Cells(); err != nil {
 		return Suite{}, err
 	}
 	return s, nil

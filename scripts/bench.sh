@@ -1,28 +1,29 @@
 #!/usr/bin/env bash
 # bench.sh — run the PR's headline benchmarks and record them as JSON.
 #
-# Emits BENCH_PR4.json at the repo root: one object per benchmark with
-# ns/op, B/op and allocs/op, the start of the repo's perf-trajectory
-# record (later PRs append BENCH_PR<n>.json files of the same shape and
-# diff against earlier ones).
+# Emits BENCH_PR<n>.json at the repo root: one object per benchmark with
+# ns/op, B/op and allocs/op — the repo's perf-trajectory record (each PR
+# with a headline benchmark commits a new BENCH_PR<n>.json of the same
+# shape and diffs against earlier ones).
 #
 # Usage:
 #   scripts/bench.sh                 # default benchmark set
 #   BENCH='Suite|MonteCarlo' scripts/bench.sh   # custom -bench regexp
 #   OUT=custom.json scripts/bench.sh
+#   BENCHTIME=10x scripts/bench.sh   # forwarded as -benchtime for stability
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkSweepGridColdVsWarm|BenchmarkPlanGridWarm}"
-if [ -z "${OUT:-}" ] && [ -e BENCH_PR4.json ]; then
-    echo "bench.sh: BENCH_PR4.json already exists (the committed perf baseline)." >&2
+BENCH="${BENCH:-BenchmarkSweepGridColdVsWarm|BenchmarkPlanGridWarm|BenchmarkSweepStreamPruned}"
+OUT="${OUT:-BENCH_PR6.json}"
+if [ -e "$OUT" ]; then
+    echo "bench.sh: $OUT already exists (a committed perf baseline)." >&2
     echo "bench.sh: pass OUT=BENCH_PR<n>.json to record this run without clobbering it." >&2
     exit 1
 fi
-OUT="${OUT:-BENCH_PR4.json}"
 
-raw=$(go test -run XXX -bench "$BENCH" -benchmem .)
+raw=$(go test -run XXX -bench "$BENCH" -benchmem ${BENCHTIME:+-benchtime "$BENCHTIME"} .)
 echo "$raw" >&2
 
 echo "$raw" | awk '
