@@ -39,12 +39,24 @@
 // and -max-time constrain recommendations to a budget: cells provably over
 // it are pruned, evaluated plans pick the fastest configuration inside it,
 // and plans with no such configuration are marked infeasible.
+//
+// A failing scenario reports its error in its row while the rest of the
+// suite still plans — but the process then exits 1, so scripts cannot
+// mistake a partially failed pass for a clean one. -keep-going restores
+// exit 0 for partial failures (a fully failed suite still exits 1).
+// SIGINT/SIGTERM cancels the in-flight grid: already planned cells render,
+// -stats still flushes, and the process exits 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dmlscale/internal/core"
@@ -55,48 +67,62 @@ import (
 )
 
 func main() {
-	var (
-		suitePath   = flag.String("suite", "", "JSON suite (or single-scenario) file")
-		objective   = flag.String("objective", "", "ranking objective: tta, cost or pareto (default: the suite's own, else tta)")
-		parallelism = flag.Int("parallel", 0, "total parallelism budget shared by plan workers and intra-curve shards; 0 means GOMAXPROCS")
-		format      = flag.String("format", "table", "output format: table, csv or json")
-		curves      = flag.Bool("curves", false, "print every plan's full time-to-accuracy curve (table format)")
-		stats       = flag.Bool("stats", false, "report kernel-cache hit ratio and planning wall time on stderr")
-		emitExample = flag.Bool("emit-example", false, "print an example planning suite and exit")
-		adaptive    = flag.Bool("adaptive", false, "prune cells whose optimistic cost×time bound is already dominated (same frontier, fewer evaluations)")
-		refine      = flag.Int("refine", 0, "rounds of frontier refinement: subdivide numeric sweep axes next to frontier cells")
-		maxCost     = flag.Float64("max-cost", 0, "cost budget per run; recommendations are constrained to it, 0 means unconstrained")
-		maxTime     = flag.Duration("max-time", 0, "wall-time budget per run (e.g. 90m, 2h); 0 means unconstrained")
-	)
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "dmls-plan: %v\n", err)
-		os.Exit(1)
+// run is the whole command under test: flags from args, rendering to the
+// given writers, cancellation from ctx, the exit code returned instead of
+// called.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dmls-plan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		suitePath   = fs.String("suite", "", "JSON suite (or single-scenario) file")
+		objective   = fs.String("objective", "", "ranking objective: tta, cost or pareto (default: the suite's own, else tta)")
+		parallelism = fs.Int("parallel", 0, "total parallelism budget shared by plan workers and intra-curve shards; 0 means GOMAXPROCS")
+		format      = fs.String("format", "table", "output format: table, csv or json")
+		curves      = fs.Bool("curves", false, "print every plan's full time-to-accuracy curve (table format)")
+		stats       = fs.Bool("stats", false, "report kernel-cache hit ratio and planning wall time on stderr")
+		emitExample = fs.Bool("emit-example", false, "print an example planning suite and exit")
+		adaptive    = fs.Bool("adaptive", false, "prune cells whose optimistic cost×time bound is already dominated (same frontier, fewer evaluations)")
+		refine      = fs.Int("refine", 0, "rounds of frontier refinement: subdivide numeric sweep axes next to frontier cells")
+		maxCost     = fs.Float64("max-cost", 0, "cost budget per run; recommendations are constrained to it, 0 means unconstrained")
+		maxTime     = fs.Duration("max-time", 0, "wall-time budget per run (e.g. 90m, 2h); 0 means unconstrained")
+		keepGoing   = fs.Bool("keep-going", false, "exit 0 even when some scenarios fail (a fully failed suite still exits 1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "dmls-plan: %v\n", err)
+		return 1
 	}
 
 	if *emitExample {
-		if err := exampleSuite().Encode(os.Stdout); err != nil {
-			fail(err)
+		if err := exampleSuite().Encode(stdout); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	if *suitePath == "" {
-		fail(fmt.Errorf("missing -suite (or -emit-example)"))
+		return fail(fmt.Errorf("missing -suite (or -emit-example)"))
 	}
 	if *format != "table" && *format != "csv" && *format != "json" {
-		fail(fmt.Errorf("unknown -format %q (table, csv, json)", *format))
+		return fail(fmt.Errorf("unknown -format %q (table, csv, json)", *format))
 	}
 	obj, err := planner.ParseObjective(*objective)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if *objective == "" {
 		obj = "" // defer to the suite's own objective
 	}
 	suite, err := scenario.LoadSuite(*suitePath)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if *parallelism > 0 {
 		core.SetParallelism(*parallelism)
@@ -108,64 +134,88 @@ func main() {
 		MaxTimeSeconds: maxTime.Seconds(),
 	}
 	start := time.Now()
-	report, evalStats, err := planner.PlanSuiteOpts(suite, obj, 0, opts)
-	if err != nil {
-		fail(err)
+	report, evalStats, err := planner.PlanSuiteCtx(ctx, suite, obj, 0, opts)
+	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !interrupted {
+		return fail(err)
 	}
 	elapsed := time.Since(start)
 	reportStats := func() {
 		if *stats {
-			fmt.Fprint(os.Stderr, statsReport(evalStats, registry.SnapshotCaches(), elapsed))
+			fmt.Fprint(stderr, statsReport(evalStats, registry.SnapshotCaches(), elapsed))
 		}
 	}
 
 	switch *format {
 	case "csv":
-		if err := scenario.WritePlansCSV(os.Stdout, report.Export().Plans); err != nil {
-			fail(err)
+		if err := scenario.WritePlansCSV(stdout, report.Export().Plans); err != nil {
+			return fail(err)
 		}
-		reportStats()
-		exitReportingFailures(report)
-		return
 	case "json":
-		if err := scenario.WritePlansJSON(os.Stdout, report.Export()); err != nil {
-			fail(err)
+		if err := scenario.WritePlansJSON(stdout, report.Export()); err != nil {
+			return fail(err)
 		}
-		reportStats()
-		exitReportingFailures(report)
-		return
-	}
+	default:
+		fmt.Fprintf(stdout, "suite: %s (%d scenarios, objective %s)\n\n", report.Suite, len(report.Plans), report.Objective)
+		fmt.Fprintln(stdout, planTable(report).String())
+		for _, line := range notices(report) {
+			fmt.Fprintln(stdout, line)
+		}
 
-	fmt.Printf("suite: %s (%d scenarios, objective %s)\n\n", report.Suite, len(report.Plans), report.Objective)
-	fmt.Println(planTable(report).String())
-	for _, line := range notices(report) {
-		fmt.Println(line)
-	}
-
-	if *curves {
-		for _, p := range report.Plans {
-			if p.Err != nil {
-				continue
-			}
-			fmt.Printf("\n%s\n", p.Scenario.Name)
-			header := []string{"workers", "t (s)", "cost"}
-			if p.ConvergenceAware {
-				header = []string{"workers", "t-to-accuracy (s)", "iterations", "cost"}
-			}
-			table := textio.NewTable(header...)
-			for _, pt := range p.Curve {
-				if p.ConvergenceAware {
-					table.AddRow(pt.Workers, float64(pt.Time), pt.Iterations, pt.Cost)
-				} else {
-					table.AddRow(pt.Workers, float64(pt.Time), pt.Cost)
+		if *curves {
+			for _, p := range report.Plans {
+				if p.Err != nil {
+					continue
 				}
+				fmt.Fprintf(stdout, "\n%s\n", p.Scenario.Name)
+				header := []string{"workers", "t (s)", "cost"}
+				if p.ConvergenceAware {
+					header = []string{"workers", "t-to-accuracy (s)", "iterations", "cost"}
+				}
+				table := textio.NewTable(header...)
+				for _, pt := range p.Curve {
+					if p.ConvergenceAware {
+						table.AddRow(pt.Workers, float64(pt.Time), pt.Iterations, pt.Cost)
+					} else {
+						table.AddRow(pt.Workers, float64(pt.Time), pt.Cost)
+					}
+				}
+				fmt.Fprintln(stdout, table.String())
 			}
-			fmt.Println(table.String())
 		}
 	}
 
 	reportStats()
-	exitReportingFailures(report)
+	if interrupted {
+		fmt.Fprintf(stderr, "dmls-plan: interrupted; partial results above (%d of %d cells planned)\n",
+			evalStats.Evaluated+evalStats.Pruned, evalStats.Scenarios)
+		return 130
+	}
+	failed := 0
+	for _, p := range report.Plans {
+		if p.Err != nil {
+			failed++
+		}
+	}
+	return exitCode("dmls-plan", failed, len(report.Plans), *keepGoing, stderr)
+}
+
+// exitCode turns the failure count into the process exit code: 0 for a
+// clean run, 1 when anything failed — unless keepGoing, which tolerates
+// partial failure (warned on stderr) but never a fully failed suite.
+func exitCode(cmd string, failed, total int, keepGoing bool, stderr io.Writer) int {
+	if failed == 0 {
+		return 0
+	}
+	if failed == total {
+		fmt.Fprintf(stderr, "%s: all %d scenarios failed\n", cmd, failed)
+		return 1
+	}
+	fmt.Fprintf(stderr, "%s: %d of %d scenarios failed (see results)\n", cmd, failed, total)
+	if keepGoing {
+		return 0
+	}
+	return 1
 }
 
 // statsReport renders the -stats block: how many cells were planned versus
@@ -173,8 +223,12 @@ func main() {
 // the process-wide cache counters (which, in a CLI run, cover exactly this
 // planning pass).
 func statsReport(st scenario.EvalStats, caches registry.CacheStats, elapsed time.Duration) string {
-	out := fmt.Sprintf("stats: %d cells planned in %v (%d evaluated, %d pruned, %d failed)\n",
+	out := fmt.Sprintf("stats: %d cells planned in %v (%d evaluated, %d pruned, %d failed",
 		st.Scenarios, elapsed.Round(time.Microsecond), st.Evaluated, st.Pruned, st.Failed)
+	if st.Cancelled > 0 {
+		out += fmt.Sprintf(", %d cancelled", st.Cancelled)
+	}
+	out += ")\n"
 	if st.RefineRounds > 0 {
 		out += fmt.Sprintf("stats: refinement added %d cells over %d rounds\n", st.Refined, st.RefineRounds)
 	}
@@ -234,24 +288,6 @@ func notices(report planner.Report) []string {
 		}
 	}
 	return out
-}
-
-// exitReportingFailures warns about partially failed suites on stderr and
-// exits non-zero when nothing planned.
-func exitReportingFailures(report planner.Report) {
-	failed := 0
-	for _, p := range report.Plans {
-		if p.Err != nil {
-			failed++
-		}
-	}
-	if failed == len(report.Plans) && failed > 0 {
-		fmt.Fprintf(os.Stderr, "dmls-plan: all %d scenarios failed\n", failed)
-		os.Exit(1)
-	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "dmls-plan: %d of %d scenarios failed (see results)\n", failed, len(report.Plans))
-	}
 }
 
 // exampleSuite is the -emit-example payload: the Fig. 3 convolutional

@@ -1,0 +1,85 @@
+// Command dmls-serve runs the planning service: the sweep and planning
+// engines behind a hardened HTTP/JSON API, so deployment tooling can ask
+// "how many machines?" with a curl instead of a binary.
+//
+// Usage:
+//
+//	dmls-serve -addr :8080
+//	dmls-serve -addr :8080 -max-inflight 4 -deadline 20s -max-cells 2048
+//
+// Endpoints:
+//
+//	POST /v1/sweep   {"suite": {...}}                 → dmls-sweep -format json output
+//	POST /v1/plan    {"suite": {...}, "adaptive": true} → dmls-plan -format json output
+//	GET  /healthz    liveness: "ok", or 503 "draining" during shutdown
+//	GET  /metrics    request counters + kernel-cache stats, JSON
+//
+// A /v1/plan response is byte-identical to running dmls-plan -format json
+// over the same suite with the same knobs. Requests past -max-inflight are
+// shed immediately with 429 and Retry-After; each request evaluates under
+// its own deadline (request "deadline" field, clamped to -max-deadline,
+// default -deadline) threaded through the whole engine, so an expired or
+// abandoned request frees its parallelism budget instead of wedging the
+// server. SIGINT/SIGTERM starts a graceful drain: in-flight requests get
+// -drain-timeout to finish before their contexts are cancelled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dmlscale/internal/core"
+	"dmlscale/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run wires flags, signals and the server lifecycle; split from main for
+// testability.
+func run(args []string, stderr *os.File) int {
+	fs := flag.NewFlagSet("dmls-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		deadline     = fs.Duration("deadline", 30*time.Second, "default per-request evaluation deadline")
+		maxDeadline  = fs.Duration("max-deadline", 2*time.Minute, "upper clamp on client-requested deadlines")
+		maxInFlight  = fs.Int("max-inflight", 8, "max concurrently evaluating requests; excess sheds with 429")
+		maxCells     = fs.Int("max-cells", 4096, "largest suite grid a request may expand to")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "grace for in-flight requests on SIGTERM before their contexts are cancelled")
+		parallelism  = fs.Int("parallel", 0, "process-wide parallelism budget; 0 means GOMAXPROCS")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *parallelism > 0 {
+		core.SetParallelism(*parallelism)
+	}
+
+	srv := serve.New(serve.Config{
+		Addr:            *addr,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxInFlight:     *maxInFlight,
+		MaxCells:        *maxCells,
+		DrainTimeout:    *drainTimeout,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(stderr, "dmls-serve: listening on %s\n", *addr)
+	if err := srv.Run(ctx); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(stderr, "dmls-serve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "dmls-serve: drained, bye")
+	return 0
+}

@@ -21,13 +21,23 @@
 // fanned out), and the build-versus-sample wall-time split.
 //
 // A failing scenario (unknown preset, bad figures) reports its error in the
-// table; the rest of the suite still evaluates.
+// table; the rest of the suite still evaluates — but the process then exits
+// 1, so scripts cannot mistake a partially failed sweep for a clean one.
+// -keep-going restores exit 0 for partial failures (a fully failed suite
+// still exits 1). SIGINT/SIGTERM cancels the in-flight grid: already
+// evaluated cells render (cancelled ones carry a "cancelled" error), -stats
+// still flushes, and the process exits 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dmlscale/internal/asciiplot"
@@ -42,122 +52,152 @@ import (
 const maxPlotCurves = 8
 
 func main() {
-	var (
-		suitePath   = flag.String("suite", "", "JSON suite (or single-scenario) file")
-		parallelism = flag.Int("parallel", 0, "total parallelism budget shared by suite-level curve workers and intra-curve Monte-Carlo shards; 0 means GOMAXPROCS")
-		format      = flag.String("format", "table", "output format: table, csv or json")
-		curves      = flag.Bool("curves", false, "print every scenario's full speedup curve (table format)")
-		noPlot      = flag.Bool("no-plot", false, "skip the overlaid speedup plot")
-		stats       = flag.Bool("stats", false, "report kernel-cache hit ratio, curve dedup and wall-time split on stderr")
-		emitExample = flag.Bool("emit-example", false, "print an example sweep suite and exit")
-	)
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "dmls-sweep: %v\n", err)
-		os.Exit(1)
+// run is the whole command under test: flags from args, rendering to the
+// given writers, cancellation from ctx, the exit code returned instead of
+// called.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dmls-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		suitePath   = fs.String("suite", "", "JSON suite (or single-scenario) file")
+		parallelism = fs.Int("parallel", 0, "total parallelism budget shared by suite-level curve workers and intra-curve Monte-Carlo shards; 0 means GOMAXPROCS")
+		format      = fs.String("format", "table", "output format: table, csv or json")
+		curves      = fs.Bool("curves", false, "print every scenario's full speedup curve (table format)")
+		noPlot      = fs.Bool("no-plot", false, "skip the overlaid speedup plot")
+		stats       = fs.Bool("stats", false, "report kernel-cache hit ratio, curve dedup and wall-time split on stderr")
+		emitExample = fs.Bool("emit-example", false, "print an example sweep suite and exit")
+		keepGoing   = fs.Bool("keep-going", false, "exit 0 even when some scenarios fail (a fully failed suite still exits 1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "dmls-sweep: %v\n", err)
+		return 1
 	}
 
 	if *emitExample {
-		if err := exampleSuite().Encode(os.Stdout); err != nil {
-			fail(err)
+		if err := exampleSuite().Encode(stdout); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	if *suitePath == "" {
-		fail(fmt.Errorf("missing -suite (or -emit-example)"))
+		return fail(fmt.Errorf("missing -suite (or -emit-example)"))
 	}
 	if *format != "table" && *format != "csv" && *format != "json" {
-		fail(fmt.Errorf("unknown -format %q (table, csv, json)", *format))
+		return fail(fmt.Errorf("unknown -format %q (table, csv, json)", *format))
 	}
 	suite, err := scenario.LoadSuite(*suitePath)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if *parallelism > 0 {
 		core.SetParallelism(*parallelism)
 	}
 	start := time.Now()
-	results, evalStats, err := scenario.EvaluateSuiteStats(suite, 0)
-	if err != nil {
-		fail(err)
+	results, evalStats, err := scenario.EvaluateSuiteStatsCtx(ctx, suite, 0)
+	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !interrupted {
+		return fail(err)
 	}
 	elapsed := time.Since(start)
 	reportStats := func() {
 		if *stats {
-			fmt.Fprint(os.Stderr, statsReport(evalStats, registry.SnapshotCaches(), elapsed))
+			fmt.Fprint(stderr, statsReport(evalStats, registry.SnapshotCaches(), elapsed))
 		}
 	}
 
 	switch *format {
 	case "csv":
-		if err := scenario.WriteResultsCSV(os.Stdout, results); err != nil {
-			fail(err)
+		if err := scenario.WriteResultsCSV(stdout, results); err != nil {
+			return fail(err)
 		}
-		reportStats()
-		exitReportingFailures(results)
-		return
 	case "json":
-		if err := scenario.WriteResultsJSON(os.Stdout, suite.Name, results); err != nil {
-			fail(err)
+		if err := scenario.WriteResultsJSON(stdout, suite.Name, results); err != nil {
+			return fail(err)
 		}
-		reportStats()
-		exitReportingFailures(results)
-		return
-	}
+	default:
+		fmt.Fprintf(stdout, "suite: %s (%d scenarios)\n\n", suite.Name, len(results))
+		fmt.Fprintln(stdout, summaryTable(results).String())
 
-	fmt.Printf("suite: %s (%d scenarios)\n\n", suite.Name, len(results))
-	fmt.Println(summaryTable(results).String())
-
-	if !*noPlot {
-		if plot, ok := overlayPlot(results); ok {
-			fmt.Println(plot)
+		if !*noPlot {
+			if plot, ok := overlayPlot(results); ok {
+				fmt.Fprintln(stdout, plot)
+			}
 		}
-	}
-	if *curves {
-		for _, res := range results {
-			if res.Err != nil {
-				continue
+		if *curves {
+			for _, res := range results {
+				if res.Err != nil {
+					continue
+				}
+				fmt.Fprintf(stdout, "\n%s\n", res.Scenario.Name)
+				table := textio.NewTable("workers", "t (s)", "speedup")
+				for _, p := range res.Curve.Points {
+					table.AddRow(p.N, float64(p.Time), p.Speedup)
+				}
+				fmt.Fprintln(stdout, table.String())
 			}
-			fmt.Printf("\n%s\n", res.Scenario.Name)
-			table := textio.NewTable("workers", "t (s)", "speedup")
-			for _, p := range res.Curve.Points {
-				table.AddRow(p.N, float64(p.Time), p.Speedup)
-			}
-			fmt.Println(table.String())
 		}
 	}
 
 	reportStats()
-	exitReportingFailures(results)
+	if interrupted {
+		fmt.Fprintf(stderr, "dmls-sweep: interrupted; partial results above (%d of %d cells evaluated)\n",
+			evalStats.Evaluated+evalStats.CurvesDeduped, evalStats.Scenarios)
+		return 130
+	}
+	return exitCode("dmls-sweep", countFailures(results), len(results), *keepGoing, stderr)
 }
 
-// statsReport renders the -stats block: the suite-level evaluation figures
-// and the process-wide cache counters (which, in a CLI run, cover exactly
-// this evaluation).
-func statsReport(st scenario.EvalStats, caches registry.CacheStats, elapsed time.Duration) string {
-	return fmt.Sprintf("stats: %d cells: %d evaluated, %d deduped, %d pruned, %d refined, %d failed; %v elapsed (build %v + sample %v summed across cells)\n",
-		st.Scenarios, st.Evaluated, st.CurvesDeduped, st.Pruned, st.Refined, st.Failed, elapsed.Round(time.Microsecond),
-		st.BuildTime.Round(time.Microsecond), st.SampleTime.Round(time.Microsecond)) +
-		caches.Report()
-}
-
-// exitReportingFailures warns about partially failed suites on stderr and
-// exits non-zero when nothing evaluated.
-func exitReportingFailures(results []scenario.Result) {
+// countFailures counts the results that carry their own evaluation error.
+func countFailures(results []scenario.Result) int {
 	failed := 0
 	for _, res := range results {
 		if res.Err != nil {
 			failed++
 		}
 	}
-	if failed == len(results) && failed > 0 {
-		fmt.Fprintf(os.Stderr, "dmls-sweep: all %d scenarios failed\n", failed)
-		os.Exit(1)
+	return failed
+}
+
+// exitCode turns the failure count into the process exit code: 0 for a
+// clean run, 1 when anything failed — unless keepGoing, which tolerates
+// partial failure (warned on stderr) but never a fully failed suite.
+func exitCode(cmd string, failed, total int, keepGoing bool, stderr io.Writer) int {
+	if failed == 0 {
+		return 0
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "dmls-sweep: %d of %d scenarios failed (see results)\n", failed, len(results))
+	if failed == total {
+		fmt.Fprintf(stderr, "%s: all %d scenarios failed\n", cmd, failed)
+		return 1
 	}
+	fmt.Fprintf(stderr, "%s: %d of %d scenarios failed (see results)\n", cmd, failed, total)
+	if keepGoing {
+		return 0
+	}
+	return 1
+}
+
+// statsReport renders the -stats block: the suite-level evaluation figures
+// and the process-wide cache counters (which, in a CLI run, cover exactly
+// this evaluation).
+func statsReport(st scenario.EvalStats, caches registry.CacheStats, elapsed time.Duration) string {
+	line := fmt.Sprintf("stats: %d cells: %d evaluated, %d deduped, %d pruned, %d refined, %d failed",
+		st.Scenarios, st.Evaluated, st.CurvesDeduped, st.Pruned, st.Refined, st.Failed)
+	if st.Cancelled > 0 {
+		line += fmt.Sprintf(", %d cancelled", st.Cancelled)
+	}
+	return line + fmt.Sprintf("; %v elapsed (build %v + sample %v summed across cells)\n",
+		elapsed.Round(time.Microsecond),
+		st.BuildTime.Round(time.Microsecond), st.SampleTime.Round(time.Microsecond)) +
+		caches.Report()
 }
 
 // summaryTable renders one row per scenario: optimum, peak, tail speedup,

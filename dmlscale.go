@@ -46,6 +46,8 @@
 package dmlscale
 
 import (
+	"context"
+
 	"dmlscale/internal/comm"
 	"dmlscale/internal/core"
 	"dmlscale/internal/experiments"
@@ -254,6 +256,18 @@ func EvaluateSuiteStats(s Suite, parallelism int) ([]SuiteResult, EvalStats, err
 	return scenario.EvaluateSuiteStats(s, parallelism)
 }
 
+// EvaluateSuiteCtx is EvaluateSuiteStats under a context, so a sweep can be
+// deadlined or aborted mid-grid: cancellation stops new model work
+// promptly — including Monte-Carlo kernels mid-estimate — and yields
+// deterministic partial results, one SuiteResult per cell, where cells
+// evaluated before ctx fired are bit-identical to an uncancelled run's and
+// the rest carry an error wrapping ctx.Err() (counted in
+// EvalStats.Cancelled). No goroutines or parallelism-budget slots outlive
+// the call. The returned error is ctx's own when the run was cut short.
+func EvaluateSuiteCtx(ctx context.Context, s Suite, parallelism int) ([]SuiteResult, EvalStats, error) {
+	return scenario.EvaluateSuiteStatsCtx(ctx, s, parallelism)
+}
+
 // PlanSuite expands a suite and plans every scenario concurrently: each
 // cell's per-iteration model composes with its convergence block into a
 // time-to-accuracy curve, the planner finds the optimal worker count, prices
@@ -274,6 +288,15 @@ func PlanSuite(s Suite, objective PlanObjective, parallelism int) (PlanReport, e
 // PlanSuite exactly.
 func PlanSuiteAdaptive(s Suite, objective PlanObjective, parallelism int, opts PlanOptions) (PlanReport, EvalStats, error) {
 	return planner.PlanSuiteOpts(s, objective, parallelism, opts)
+}
+
+// PlanSuiteCtx is PlanSuiteAdaptive under a context, so a planning pass can
+// be deadlined or aborted mid-grid: cells planned before ctx fired are
+// bit-identical to an uncancelled run's, the rest carry an error wrapping
+// ctx.Err() (EvalStats.Cancelled), and the returned error is ctx's own when
+// the run was cut short. No goroutines or budget slots outlive the call.
+func PlanSuiteCtx(ctx context.Context, s Suite, objective PlanObjective, parallelism int, opts PlanOptions) (PlanReport, EvalStats, error) {
+	return planner.PlanSuiteCtx(ctx, s, objective, parallelism, opts)
 }
 
 // PlanScenario plans a single scenario; see PlanSuite.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -16,6 +18,10 @@ type Job struct {
 	Name string
 	// Build constructs the model. It runs once, in the pool.
 	Build func() (Model, error)
+	// BuildCtx, when non-nil, supersedes Build: it receives the evaluation
+	// context so construction-time work (Monte-Carlo kernels, cache waits)
+	// can observe cancellation. Context-blind callers keep using Build.
+	BuildCtx func(ctx context.Context) (Model, error)
 	// Workers are the counts to sample.
 	Workers []int
 	// Base is the speedup reference count; 0 means 1.
@@ -35,7 +41,10 @@ type JobResult struct {
 	Name string
 	// Curve holds the sampled points when Err is nil.
 	Curve Curve
-	// Err records why this job failed; other jobs are unaffected.
+	// Err records why this job failed; other jobs are unaffected. A job
+	// abandoned by cancellation carries an error wrapping the context's —
+	// errors.Is(Err, context.Canceled/DeadlineExceeded) distinguishes
+	// "request abandoned" from "model broken".
 	Err error
 	// Deduped marks a result served by relabeling an identical job's curve
 	// (equal non-empty Key) instead of evaluating this job; the points
@@ -49,6 +58,23 @@ type JobResult struct {
 	SampleTime time.Duration
 }
 
+// IsCancelled reports whether the result records a context cancellation or
+// deadline expiry rather than a model failure.
+func (r JobResult) IsCancelled() bool {
+	return isCtxErr(r.Err)
+}
+
+// isCtxErr reports whether err wraps a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// cancelResult is the result of a job abandoned before (or during)
+// evaluation because the context was done.
+func cancelResult(name string, err error) JobResult {
+	return JobResult{Name: name, Err: fmt.Errorf("core: job %q cancelled: %w", name, err)}
+}
+
 // ForEach runs body(i) for every i in [0, n), work-stealing indices over an
 // atomic counter on the caller's goroutine plus as many extra workers as the
 // shared parallelism budget grants. parallelism caps the workers within that
@@ -60,8 +86,19 @@ type JobResult struct {
 // budget cannot leak. Suite evaluation (EvaluateAll) and planner grid
 // ranking both fan out through here, so they parallelize identically.
 func ForEach(n, parallelism int, body func(i int)) {
+	ForEachCtx(context.Background(), n, parallelism, body)
+}
+
+// ForEachCtx is ForEach under a context: once ctx is done, workers stop
+// pulling new indices (bodies already running finish — they are never
+// preempted) and ForEachCtx returns ctx.Err(). Indices are pulled in
+// ascending order, so the visited set is always a prefix [0, m) of the
+// range; callers that must fill every slot check the returned error and
+// complete the suffix themselves. Budget tokens are returned on every path,
+// cancelled or not.
+func ForEachCtx(ctx context.Context, n, parallelism int, body func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	budget := SharedBudget()
 	workers := parallelism
@@ -73,6 +110,7 @@ func ForEach(n, parallelism int, body func(i int)) {
 	}
 	extra := budget.TryAcquire(workers - 1)
 
+	done := ctx.Done()
 	panics := make(chan any, 1)
 	var next atomic.Int64
 	run := func() {
@@ -85,6 +123,13 @@ func ForEach(n, parallelism int, body func(i int)) {
 			}
 		}()
 		for {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
@@ -108,6 +153,7 @@ func ForEach(n, parallelism int, body func(i int)) {
 		panic(r)
 	default:
 	}
+	return ctx.Err()
 }
 
 // EvaluateAll evaluates every job concurrently and returns one result per
@@ -128,6 +174,15 @@ func ForEach(n, parallelism int, body func(i int)) {
 // dedup at any parallelism: the keys promise identical curves and every
 // model this module builds is deterministic.
 func EvaluateAll(jobs []Job, parallelism int) []JobResult {
+	return EvaluateAllCtx(context.Background(), jobs, parallelism)
+}
+
+// EvaluateAllCtx is EvaluateAll under a context. Every job still gets
+// exactly one result in job order; jobs not evaluated because ctx expired
+// carry an error wrapping ctx.Err() (see JobResult.IsCancelled), and jobs
+// evaluated before the cancellation are bit-identical to an uncancelled
+// run's. All budget tokens return to the pool on every path.
+func EvaluateAllCtx(ctx context.Context, jobs []Job, parallelism int) []JobResult {
 	results := make([]JobResult, len(jobs))
 	reps := make([]int, 0, len(jobs))
 	dupOf := make([]int, len(jobs))
@@ -143,9 +198,25 @@ func EvaluateAll(jobs []Job, parallelism int) []JobResult {
 		}
 		reps = append(reps, i)
 	}
-	ForEach(len(reps), parallelism, func(k int) {
-		results[reps[k]] = evaluateOne(jobs[reps[k]])
+	// visited records which slots the (possibly cancelled) loop actually
+	// filled; each index is written by exactly one worker and read only
+	// after ForEachCtx's WaitGroup settles, so plain bools suffice. Skipped
+	// when the context can never fire.
+	var visited []bool
+	if ctx.Done() != nil {
+		visited = make([]bool, len(reps))
+	}
+	ForEachCtx(ctx, len(reps), parallelism, func(k int) {
+		if visited != nil {
+			visited[k] = true
+		}
+		results[reps[k]] = evaluateOne(ctx, jobs[reps[k]])
 	})
+	for k := range visited {
+		if !visited[k] {
+			results[reps[k]] = cancelResult(jobs[reps[k]].Name, ctx.Err())
+		}
+	}
 	var failedDups []int
 	for i := range jobs {
 		if dupOf[i] == i {
@@ -160,29 +231,59 @@ func EvaluateAll(jobs []Job, parallelism int) []JobResult {
 		curve.Name = jobs[i].Name
 		results[i] = JobResult{Name: jobs[i].Name, Curve: curve, Deduped: true}
 	}
-	ForEach(len(failedDups), parallelism, func(k int) {
-		results[failedDups[k]] = evaluateOne(jobs[failedDups[k]])
+	var dupVisited []bool
+	if ctx.Done() != nil {
+		dupVisited = make([]bool, len(failedDups))
+	}
+	ForEachCtx(ctx, len(failedDups), parallelism, func(k int) {
+		if dupVisited != nil {
+			dupVisited[k] = true
+		}
+		results[failedDups[k]] = evaluateOne(ctx, jobs[failedDups[k]])
 	})
+	for k := range dupVisited {
+		if !dupVisited[k] {
+			results[failedDups[k]] = cancelResult(jobs[failedDups[k]].Name, ctx.Err())
+		}
+	}
 	return results
 }
 
 // evaluateOne runs a single job, converting panics into errors so a broken
-// model cannot kill the pool.
-func evaluateOne(job Job) (res JobResult) {
+// model cannot kill the pool. A done context short-circuits to a cancelled
+// result, and a panic that carries a context error — the idiom model
+// closures use to surface cancellation from inside context-blind Model
+// methods — unwraps to a clean cancelled result instead of a "panicked"
+// error.
+func evaluateOne(ctx context.Context, job Job) (res JobResult) {
 	res.Name = job.Name
 	defer func() {
 		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && isCtxErr(err) {
+				res = cancelResult(job.Name, err)
+				return
+			}
 			res.Err = fmt.Errorf("core: job %q panicked: %v", job.Name, r)
 		}
 	}()
-	if job.Build == nil {
+	if err := ctx.Err(); err != nil {
+		return cancelResult(job.Name, err)
+	}
+	build := job.Build
+	if job.BuildCtx != nil {
+		build = func() (Model, error) { return job.BuildCtx(ctx) }
+	}
+	if build == nil {
 		res.Err = fmt.Errorf("core: job %q has no builder", job.Name)
 		return res
 	}
 	start := time.Now()
-	model, err := job.Build()
+	model, err := build()
 	res.BuildTime = time.Since(start)
 	if err != nil {
+		if isCtxErr(err) {
+			return cancelResult(job.Name, err)
+		}
 		res.Err = fmt.Errorf("core: job %q: %w", job.Name, err)
 		return res
 	}
@@ -194,6 +295,9 @@ func evaluateOne(job Job) (res JobResult) {
 	curve, err := model.SpeedupCurveRelative(base, job.Workers)
 	res.SampleTime = time.Since(start)
 	if err != nil {
+		if isCtxErr(err) {
+			return cancelResult(job.Name, err)
+		}
 		res.Err = fmt.Errorf("core: job %q: %w", job.Name, err)
 		return res
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // StreamJob couples a job with the caller's stable index, so results of a
 // pulled stream can be correlated back without materializing a job slice.
@@ -21,13 +24,29 @@ type StreamJob struct {
 // caller after all workers settle and the tokens return to the pool, like
 // ForEach.
 func ForEachStream(parallelism int, next func() (int, bool), body func(i int)) {
+	ForEachStreamCtx(context.Background(), parallelism, next, body)
+}
+
+// ForEachStreamCtx is ForEachStream under a context: once ctx is done,
+// workers stop pulling (in-flight bodies finish) and the call returns
+// ctx.Err(). The pulled set is always a prefix of the stream. Budget tokens
+// return to the pool on every path.
+func ForEachStreamCtx(ctx context.Context, parallelism int, next func() (int, bool), body func(i int)) error {
 	var mu sync.Mutex
 	pull := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		return next()
 	}
+	done := ctx.Done()
 	runStreamWorkers(parallelism, func() bool {
+		if done != nil {
+			select {
+			case <-done:
+				return false
+			default:
+			}
+		}
 		i, ok := pull()
 		if !ok {
 			return false
@@ -35,6 +54,7 @@ func ForEachStream(parallelism int, next func() (int, bool), body func(i int)) {
 		body(i)
 		return true
 	})
+	return ctx.Err()
 }
 
 // streamEntry is the single-flight slot of one dedup key: the first puller
@@ -62,6 +82,21 @@ type streamEntry struct {
 // live worker (evaluateOne converts panics to error results before the
 // slot publishes).
 func EvaluateStream(next func() (StreamJob, bool), parallelism int, emit func(index int, res JobResult)) {
+	EvaluateStreamCtx(context.Background(), next, parallelism, emit)
+}
+
+// EvaluateStreamCtx is EvaluateStream under a context, with the guarantee
+// that cancellation still yields deterministic, complete accounting: every
+// job the stream yields is emitted exactly once. Once ctx is done, workers
+// stop evaluating and instead drain the remainder of the stream, emitting a
+// cancelled result (error wrapping ctx.Err()) per job — cheap pull-and-tag,
+// no model work. Jobs evaluated before the cancellation are bit-identical
+// to an uncancelled run's. A duplicate waiting on an in-flight
+// representative abandons the wait when ctx fires and is emitted cancelled;
+// the representative's own evaluation finishes on its worker regardless, so
+// the single-flight slot always publishes and no waiter can be stranded.
+// Returns ctx.Err(). Budget tokens return to the pool on every path.
+func EvaluateStreamCtx(ctx context.Context, next func() (StreamJob, bool), parallelism int, emit func(index int, res JobResult)) error {
 	var mu sync.Mutex
 	byKey := make(map[string]*streamEntry)
 
@@ -70,7 +105,7 @@ func EvaluateStream(next func() (StreamJob, bool), parallelism int, emit func(in
 		entry *streamEntry // this task evaluates the key's representative
 		dupOf *streamEntry // this task duplicates an earlier key
 	}
-	pull := func() (task, bool) {
+	pull := func(coalesce bool) (task, bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		sj, ok := next()
@@ -78,7 +113,7 @@ func EvaluateStream(next func() (StreamJob, bool), parallelism int, emit func(in
 			return task{}, false
 		}
 		k := sj.Job.Key
-		if k == "" {
+		if k == "" || !coalesce {
 			return task{sj: sj}, true
 		}
 		if e, ok := byKey[k]; ok {
@@ -89,34 +124,65 @@ func EvaluateStream(next func() (StreamJob, bool), parallelism int, emit func(in
 		return task{sj: sj, entry: e}, true
 	}
 
+	done := ctx.Done()
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+
 	runStreamWorkers(parallelism, func() bool {
-		t, ok := pull()
+		if cancelled() {
+			// Drain mode: tag-and-emit the rest of the stream without
+			// evaluating, registering no new single-flight entries (a
+			// cancelled representative would strand nothing, but would
+			// also publish nothing useful).
+			t, ok := pull(false)
+			if !ok {
+				return false
+			}
+			emit(t.sj.Index, cancelResult(t.sj.Job.Name, ctx.Err()))
+			return true
+		}
+		t, ok := pull(true)
 		if !ok {
 			return false
 		}
 		switch {
 		case t.entry != nil:
-			res := evaluateOne(t.sj.Job)
+			res := evaluateOne(ctx, t.sj.Job)
 			t.entry.res = res
 			close(t.entry.done)
 			emit(t.sj.Index, res)
 		case t.dupOf != nil:
-			<-t.dupOf.done
+			select {
+			case <-t.dupOf.done:
+			case <-done:
+				emit(t.sj.Index, cancelResult(t.sj.Job.Name, ctx.Err()))
+				return true
+			}
 			rep := t.dupOf.res
 			if rep.Err != nil {
 				// The representative failed: evaluate this duplicate
 				// individually so its error carries its own name.
-				emit(t.sj.Index, evaluateOne(t.sj.Job))
+				emit(t.sj.Index, evaluateOne(ctx, t.sj.Job))
 				return true
 			}
 			curve := rep.Curve
 			curve.Name = t.sj.Job.Name
 			emit(t.sj.Index, JobResult{Name: t.sj.Job.Name, Curve: curve, Deduped: true})
 		default:
-			emit(t.sj.Index, evaluateOne(t.sj.Job))
+			emit(t.sj.Index, evaluateOne(ctx, t.sj.Job))
 		}
 		return true
 	})
+	return ctx.Err()
 }
 
 // runStreamWorkers drives step — "pull one unit, process it, report whether

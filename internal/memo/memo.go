@@ -8,15 +8,28 @@
 // open-coding its own sync.Map-plus-Once hybrid.
 //
 // Concurrency model: a stripe's mutex is held only for map-and-recency-list
-// work; the cached computation runs afterwards through the entry's own
-// sync.Once. Concurrent callers of one key therefore single-flight the
-// (much more expensive) computation without serializing callers of other
-// keys, and an entry evicted while another goroutine is still filling it
-// stays valid for that goroutine — it just no longer serves future callers.
+// work; the cached computation runs afterwards on the first caller's
+// goroutine, publishing through the entry's done channel. Concurrent callers
+// of one key therefore single-flight the (much more expensive) computation
+// without serializing callers of other keys, and an entry evicted while
+// another goroutine is still filling it stays valid for that goroutine — it
+// just no longer serves future callers.
+//
+// Failure policy: only successful computations stay cached. A compute that
+// returns an error, returns its caller's context error, or panics publishes
+// that failure to the callers already coalesced on the entry — they were
+// waiting for exactly that computation — and then drops the entry, so a
+// later caller recomputes instead of reading a poisoned value. This is what
+// lets a long-running service recover from transient faults (an injected
+// panic, a cancelled computation) without a cache flush. Waiters are
+// individually abandonable: DoCtx returns the waiter's own context error
+// without disturbing the in-flight computation or its eventual caching.
 package memo
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -26,12 +39,15 @@ import (
 // calls served by an existing entry (including entries still being filled
 // by another goroutine — the caller waits on the single-flight instead of
 // recomputing); misses count calls that inserted a fresh entry, i.e. the
-// number of distinct computations performed since the last Reset; evictions
-// count entries dropped past the capacity bound.
+// number of computations started since the last Reset; evictions count
+// entries dropped past the capacity bound; drops count entries removed
+// because their computation failed or panicked (each such key recomputes on
+// its next use).
 type Stats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	Drops     int64
 	// Entries is the current number of cached keys.
 	Entries int
 }
@@ -45,12 +61,11 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// entry is one single-flight slot: the Once guards the computation, val/err
-// hold its (possibly failed) result. Errors are cached like values — the
-// computations memoized here are deterministic in their key, so a failure
-// would only repeat.
+// entry is one single-flight slot: done closes when val/err publish. The
+// first caller of the key owns the computation; everyone else waits on done
+// (or their own context).
 type entry[V any] struct {
-	once sync.Once
+	done chan struct{}
 	val  V
 	err  error
 }
@@ -80,7 +95,7 @@ type Cache[K comparable, V any] struct {
 	mask    uint64
 	stripes []stripe[K, V]
 
-	hits, misses, evictions atomic.Int64
+	hits, misses, evictions, drops atomic.Int64
 }
 
 // New returns a cache bounded to roughly capacity entries, sharded over up
@@ -119,54 +134,102 @@ func (c *Cache[K, V]) stripeFor(key K) *stripe[K, V] {
 	return &c.stripes[c.hash(key)&c.mask]
 }
 
-// Do returns the memoized result of compute for key, running compute at
+// Do is DoCtx without a context: the caller waits for an in-flight
+// computation unconditionally.
+func (c *Cache[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	return c.DoCtx(context.Background(), key, compute)
+}
+
+// DoCtx returns the memoized result of compute for key, running compute at
 // most once per cached lifetime of the key — concurrent callers of a fresh
 // key wait on the first caller's computation instead of repeating it. The
-// result (value or error) is cached until the key is evicted or the cache
-// reset; compute must therefore be deterministic in the key. The returned
-// value is shared with every other caller of the same key and must be
-// treated as read-only. A compute that panics re-raises on its own caller
-// and leaves the entry holding an error describing the panic — never a
-// silent zero value — for everyone else.
-func (c *Cache[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+// returned value is shared with every other caller of the same key and must
+// be treated as read-only; compute must be deterministic in the key.
+//
+// ctx governs only this caller's wait, never the computation: a waiter whose
+// context expires returns ctx.Err() immediately, while the computing
+// goroutine carries on and its result is cached for later callers. Only
+// successful results stay cached. A compute that returns an error — the
+// computing caller's own cancellation included — or panics hands that
+// failure to the callers already waiting on the entry and then drops the
+// entry, so the next caller recomputes; a panic additionally re-raises on
+// the computing caller.
+func (c *Cache[K, V]) DoCtx(ctx context.Context, key K, compute func() (V, error)) (V, error) {
 	st := c.stripeFor(key)
 	st.mu.Lock()
-	var e *entry[V]
 	if el, ok := st.entries[key]; ok {
 		st.order.MoveToFront(el)
-		e = el.Value.(*item[K, V]).entry
+		e := el.Value.(*item[K, V]).entry
 		st.mu.Unlock()
 		c.hits.Add(1)
-	} else {
-		e = &entry[V]{}
-		st.entries[key] = st.order.PushFront(&item[K, V]{key: key, entry: e})
-		evicted := 0
-		for len(st.entries) > st.cap {
-			back := st.order.Back()
-			st.order.Remove(back)
-			delete(st.entries, back.Value.(*item[K, V]).key)
-			evicted++
-		}
-		st.mu.Unlock()
-		c.misses.Add(1)
-		if evicted > 0 {
-			c.evictions.Add(int64(evicted))
+		select {
+		case <-e.done:
+			return e.val, e.err
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
 		}
 	}
-	e.once.Do(func() {
-		defer func() {
-			// sync.Once marks the entry done even when compute panics, so
-			// record the panic as the cached error before re-raising —
-			// otherwise every later caller would read a zero value with a
-			// nil error off the poisoned entry.
-			if r := recover(); r != nil {
-				e.err = fmt.Errorf("memo: compute panicked: %v", r)
-				panic(r)
-			}
-		}()
-		e.val, e.err = compute()
-	})
+	e := &entry[V]{done: make(chan struct{})}
+	st.entries[key] = st.order.PushFront(&item[K, V]{key: key, entry: e})
+	evicted := 0
+	for len(st.entries) > st.cap {
+		back := st.order.Back()
+		st.order.Remove(back)
+		delete(st.entries, back.Value.(*item[K, V]).key)
+		evicted++
+	}
+	st.mu.Unlock()
+	c.misses.Add(1)
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
+
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// compute panicked. Publish an error describing the panic to the
+		// waiters already coalesced on this entry — a closed done channel
+		// with a zero value and nil error would be a silently poisoned
+		// read — then drop the entry so later callers recompute, and let
+		// the panic continue to the computing caller.
+		e.err = fmt.Errorf("memo: compute panicked: %v", recover())
+		c.drop(st, key, e)
+		close(e.done)
+		panic(e.err)
+	}()
+	e.val, e.err = compute()
+	completed = true
+	if e.err != nil {
+		// Failures never stay cached: transient ones (cancellation, injected
+		// faults, resource pressure) would poison the key for every later
+		// caller, and deterministic ones merely recompute cheaply.
+		c.drop(st, key, e)
+	}
+	close(e.done)
 	return e.val, e.err
+}
+
+// drop unmaps a failed entry, unless eviction (or a concurrent Reset)
+// already removed it — the pointer comparison keeps a stale drop from
+// removing a successor entry under the same key.
+func (c *Cache[K, V]) drop(st *stripe[K, V], key K, e *entry[V]) {
+	st.mu.Lock()
+	if el, ok := st.entries[key]; ok && el.Value.(*item[K, V]).entry == e {
+		st.order.Remove(el)
+		delete(st.entries, key)
+		c.drops.Add(1)
+	}
+	st.mu.Unlock()
+}
+
+// IsContextError reports whether err carries a context cancellation or
+// deadline expiry — the test evaluation layers use to distinguish "this
+// request was abandoned" from "this model is broken".
+func IsContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Len returns the current number of cached keys across all stripes.
@@ -189,6 +252,7 @@ func (c *Cache[K, V]) Stats() Stats {
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
+		Drops:     c.drops.Load(),
 		Entries:   c.Len(),
 	}
 }
@@ -206,6 +270,7 @@ func (c *Cache[K, V]) Reset() {
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.evictions.Store(0)
+	c.drops.Store(0)
 }
 
 // Mix folds words into one 64-bit hash by chained SplitMix64 finalization —

@@ -1,12 +1,14 @@
 package memo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestDoCachesValues(t *testing.T) {
@@ -40,7 +42,10 @@ func TestDoCachesValues(t *testing.T) {
 	}
 }
 
-func TestDoCachesErrors(t *testing.T) {
+// TestDoDropsErrorEntries: failures never stay cached. Each sequential
+// caller of a failing key recomputes, and once the key succeeds it is
+// served from cache like any other.
+func TestDoDropsErrorEntries(t *testing.T) {
 	c := New[int, int](4, 1, nil)
 	boom := errors.New("boom")
 	calls := 0
@@ -52,8 +57,20 @@ func TestDoCachesErrors(t *testing.T) {
 			t.Fatalf("call %d: err = %v, want boom", i, err)
 		}
 	}
-	if calls != 1 {
-		t.Errorf("failing compute ran %d times, want 1 (errors are cached)", calls)
+	if calls != 3 {
+		t.Errorf("failing compute ran %d times, want 3 (failures are dropped, not cached)", calls)
+	}
+	if st := c.Stats(); st.Drops != 3 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 3 drops, 0 entries", st)
+	}
+	ok := 0
+	for i := 0; i < 2; i++ {
+		if v, err := c.Do(7, func() (int, error) { ok++; return 49, nil }); v != 49 || err != nil {
+			t.Fatalf("recovered key got (%d, %v), want (49, nil)", v, err)
+		}
+	}
+	if ok != 1 {
+		t.Errorf("recovered compute ran %d times, want 1 (success is cached)", ok)
 	}
 }
 
@@ -194,25 +211,106 @@ func TestConcurrentEvictionHammer(t *testing.T) {
 }
 
 // TestDoPanicDoesNotPoisonEntry: a panicking compute re-raises on its own
-// caller, and later callers of the same key get an error describing the
-// panic — never the zero value with a nil error off the consumed Once.
+// caller, hands a panic-describing error to any already-coalesced waiter,
+// and drops the entry — so a later caller of the same key recomputes and
+// succeeds instead of reading a poisoned value.
 func TestDoPanicDoesNotPoisonEntry(t *testing.T) {
 	c := New[int, int](4, 1, nil)
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("panic not re-raised on the first caller")
-			}
-		}()
-		c.Do(1, func() (int, error) { panic("kaboom") })
+	started := make(chan struct{})
+	release := make(chan struct{})
+	firstPanic := make(chan any, 1)
+	go func() {
+		defer func() { firstPanic <- recover() }()
+		c.Do(1, func() (int, error) {
+			close(started)
+			<-release
+			panic("kaboom")
+		})
 	}()
-	v, err := c.Do(1, func() (int, error) { return 7, nil })
-	if err == nil || !strings.Contains(err.Error(), "kaboom") {
-		t.Errorf("later caller got (%d, %v), want the cached panic error", v, err)
+	<-started // the single-flight entry is now in the map, compute blocked
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := c.Do(1, func() (int, error) {
+			t.Error("waiter recomputed instead of coalescing on the in-flight entry")
+			return 0, nil
+		})
+		waiterErr <- err
+	}()
+	// Give the waiter a moment to coalesce; the entry cannot disappear
+	// before release closes, so it can only wait, never recompute.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if p := <-firstPanic; p == nil {
+		t.Error("panic not re-raised on the computing caller")
+	}
+	if err := <-waiterErr; err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("coalesced waiter got err %v, want the panic error", err)
+	}
+	// The poisoned entry is gone: a later caller recomputes and succeeds.
+	if v, err := c.Do(1, func() (int, error) { return 7, nil }); v != 7 || err != nil {
+		t.Errorf("later caller got (%d, %v), want (7, nil)", v, err)
 	}
 	// Other keys are unaffected.
 	if v, err := c.Do(2, func() (int, error) { return 7, nil }); v != 7 || err != nil {
 		t.Errorf("healthy key got (%d, %v)", v, err)
+	}
+}
+
+// TestDoCtxAbandonedWaiter (satellite: cancellation edges): a waiter whose
+// context expires returns immediately with the context error, while the
+// computing goroutine finishes undisturbed and its result is cached for
+// later callers.
+func TestDoCtxAbandonedWaiter(t *testing.T) {
+	c := New[int, int](4, 1, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := c.Do(1, func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if v != 42 || err != nil {
+			t.Errorf("computing caller got (%d, %v), want (42, nil)", v, err)
+		}
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.DoCtx(ctx, 1, func() (int, error) {
+		t.Error("abandoning waiter recomputed")
+		return 0, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+	<-done
+	// The abandoned wait did not prevent caching: a later caller hits.
+	calls := 0
+	if v, err := c.Do(1, func() (int, error) { calls++; return 0, nil }); v != 42 || err != nil || calls != 0 {
+		t.Errorf("later caller got (%d, %v, %d recomputes), want the cached 42", v, err, calls)
+	}
+	if st := c.Stats(); st.Drops != 0 {
+		t.Errorf("stats = %+v: abandoning a wait must not drop the entry", st)
+	}
+}
+
+// TestDoCtxComputingCallerCancelled: when the computing caller itself
+// returns its context error, the entry is dropped — a cancelled request
+// must not poison the key — and the next caller recomputes.
+func TestDoCtxComputingCallerCancelled(t *testing.T) {
+	c := New[int, int](4, 1, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.DoCtx(ctx, 5, func() (int, error) {
+		return 0, ctx.Err()
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if v, err := c.Do(5, func() (int, error) { return 9, nil }); v != 9 || err != nil {
+		t.Errorf("post-cancellation caller got (%d, %v), want (9, nil)", v, err)
 	}
 }
 

@@ -14,6 +14,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -221,6 +222,17 @@ func StreamSeed(seed int64, workers, trial int) int64 {
 // parallelism. Each shard reuses one owner and one loads buffer across its
 // trials instead of allocating per assignment.
 func MonteCarloMaxEdges(degrees []int32, workers, trials int, seed int64) (Estimate, error) {
+	return MonteCarloMaxEdgesCtx(context.Background(), degrees, workers, trials, seed)
+}
+
+// MonteCarloMaxEdgesCtx is MonteCarloMaxEdges under a context: every shard
+// checks ctx between trials, so a deadline or abort interrupts the kernel in
+// roughly one trial's latency rather than after the full batch. A cancelled
+// run returns ctx's error (wrapped) and no estimate — a partial trial mean
+// would be a silently different, seed-order-dependent statistic. Results of
+// uncancelled runs are bit-identical to MonteCarloMaxEdges at any
+// parallelism.
+func MonteCarloMaxEdgesCtx(ctx context.Context, degrees []int32, workers, trials int, seed int64) (Estimate, error) {
 	if trials < 1 {
 		return Estimate{}, fmt.Errorf("partition: %d trials", trials)
 	}
@@ -234,12 +246,20 @@ func MonteCarloMaxEdges(degrees []int32, workers, trials int, seed int64) (Estim
 	edges /= 2
 	dup := DupCorrection(len(degrees), edges, workers)
 
+	done := ctx.Done()
 	maxes := make([]float64, trials)
 	core.ParallelChunks(trials, func(lo, hi int) {
 		owner := make([]int32, len(degrees))
 		loads := make([]int64, workers)
 		rng := rand.New(rand.NewSource(0))
 		for trial := lo; trial < hi; trial++ {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			rng.Seed(StreamSeed(seed, workers, trial))
 			for v := range owner {
 				owner[v] = int32(rng.Intn(workers))
@@ -253,6 +273,9 @@ func MonteCarloMaxEdges(degrees []int32, workers, trials int, seed int64) (Estim
 			maxes[trial] = MaxLoad(loads, dup)
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, fmt.Errorf("partition: Monte-Carlo estimation cancelled: %w", err)
+	}
 	total := 0.0
 	for _, m := range maxes {
 		total += m

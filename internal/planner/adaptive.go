@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -65,6 +66,17 @@ func (o Options) constrained() bool {
 // (see Frontier). Which dominated cells get pruned versus evaluated may vary
 // with scheduling; frontier membership and every evaluated plan cannot.
 func PlanSuiteOpts(s scenario.Suite, objective Objective, parallelism int, opts Options) (Report, scenario.EvalStats, error) {
+	return PlanSuiteCtx(context.Background(), s, objective, parallelism, opts)
+}
+
+// PlanSuiteCtx is PlanSuiteOpts under a context. Cancellation yields a
+// deterministic partial report: every cell still gets exactly one plan —
+// cells planned before ctx fired are bit-identical to an uncancelled run's,
+// the rest carry an error wrapping ctx.Err() (counted in
+// EvalStats.Cancelled and ranked with the failures) — and the returned
+// error is ctx's, so callers can tell an abandoned run from an invalid
+// suite while still rendering what completed.
+func PlanSuiteCtx(ctx context.Context, s scenario.Suite, objective Objective, parallelism int, opts Options) (Report, scenario.EvalStats, error) {
 	if objective == "" {
 		obj, err := ParseObjective(s.Objective)
 		if err != nil {
@@ -87,20 +99,34 @@ func PlanSuiteOpts(s scenario.Suite, objective Objective, parallelism int, opts 
 	var stats scenario.EvalStats
 	if !opts.adaptive() {
 		plans = make([]Plan, n)
-		core.ForEach(n, parallelism, func(i int) {
-			plans[i] = planOne(cs.At(i).Scenario)
+		var visited []bool
+		if ctx.Done() != nil {
+			visited = make([]bool, n)
+		}
+		core.ForEachCtx(ctx, n, parallelism, func(i int) {
+			if visited != nil {
+				visited[i] = true
+			}
+			plans[i] = planOne(ctx, cs.At(i).Scenario)
 		})
+		for i := range visited {
+			if !visited[i] {
+				plans[i] = cancelledPlan(cs.At(i).Scenario, ctx.Err())
+			}
+		}
 	} else {
 		var cells []scenario.Cell
-		plans, cells, stats = adaptivePass(cs, parallelism, opts)
-		if opts.RefineRounds > 0 {
-			plans = refineFrontier(plans, cells, parallelism, opts, &stats)
+		plans, cells, stats = adaptivePass(ctx, cs, parallelism, opts)
+		if opts.RefineRounds > 0 && ctx.Err() == nil {
+			plans = refineFrontier(ctx, plans, cells, parallelism, opts, &stats)
 		}
 	}
 
 	stats.Scenarios = len(plans)
 	for i := range plans {
 		switch {
+		case plans[i].Err != nil && isCtxErr(plans[i].Err):
+			stats.Cancelled++
 		case plans[i].Err != nil:
 			stats.Failed++
 		case !plans[i].Pruned:
@@ -109,21 +135,32 @@ func PlanSuiteOpts(s scenario.Suite, objective Objective, parallelism int, opts 
 	}
 	markPareto(plans)
 	rankPlans(plans, objective)
-	return Report{Suite: s.Name, Objective: objective, Plans: plans}, stats, nil
+	return Report{Suite: s.Name, Objective: objective, Plans: plans}, stats, ctx.Err()
 }
 
 // adaptivePass runs phases 1 and 2: bound every cell, then plan them
 // best-bound-first against an incremental frontier. It returns the plans,
 // the cell coordinates position-aligned with them (refinement needs the
 // swept axis values), and the stats with Pruned filled.
-func adaptivePass(cs *scenario.CellSet, parallelism int, opts Options) ([]Plan, []scenario.Cell, scenario.EvalStats) {
+func adaptivePass(ctx context.Context, cs *scenario.CellSet, parallelism int, opts Options) ([]Plan, []scenario.Cell, scenario.EvalStats) {
 	n := cs.Len()
 	cells := make([]scenario.Cell, n)
 	bounds := make([]cellBound, n)
-	core.ForEach(n, parallelism, func(i int) {
+	core.ForEachCtx(ctx, n, parallelism, func(i int) {
 		cells[i] = cs.At(i)
 		bounds[i] = boundFor(cells[i].Scenario)
 	})
+	if err := ctx.Err(); err != nil {
+		// Cancelled during the (cheap) bound pass: report every cell as
+		// cancelled. Cell expansion is catalog work, so re-materializing the
+		// coordinates serially costs microseconds per cell.
+		plans := make([]Plan, n)
+		for i := range plans {
+			cells[i] = cs.At(i)
+			plans[i] = cancelledPlan(cells[i].Scenario, err)
+		}
+		return plans, cells, scenario.EvalStats{}
+	}
 
 	// Best-bound-first order: bounded cells by ascending (time, cost) so
 	// likely-frontier cells evaluate early and the frontier gains pruning
@@ -153,17 +190,30 @@ func adaptivePass(cs *scenario.CellSet, parallelism int, opts Options) ([]Plan, 
 	var frontier Frontier
 	var pruned atomic.Int64
 	plans := make([]Plan, n)
-	core.ForEach(n, parallelism, func(k int) {
+	var visited []bool
+	if ctx.Done() != nil {
+		visited = make([]bool, n)
+	}
+	core.ForEachCtx(ctx, n, parallelism, func(k int) {
+		if visited != nil {
+			visited[k] = true
+		}
 		i := order[k]
-		plans[i] = planCell(cells[i], bounds[i], &frontier, opts, &pruned)
+		plans[i] = planCell(ctx, cells[i], bounds[i], &frontier, opts, &pruned)
 	})
+	for k := range visited {
+		if !visited[k] {
+			i := order[k]
+			plans[i] = cancelledPlan(cells[i].Scenario, ctx.Err())
+		}
+	}
 	return plans, cells, scenario.EvalStats{Pruned: int(pruned.Load())}
 }
 
 // planCell plans one cell under the adaptive regime: prune on a provably
 // over-budget or frontier-dominated bound, otherwise evaluate and offer the
 // optimum to the frontier.
-func planCell(c scenario.Cell, b cellBound, frontier *Frontier, opts Options, pruned *atomic.Int64) Plan {
+func planCell(ctx context.Context, c scenario.Cell, b cellBound, frontier *Frontier, opts Options, pruned *atomic.Int64) Plan {
 	if b.ok {
 		if b.overBudget(opts) {
 			pruned.Add(1)
@@ -182,7 +232,7 @@ func planCell(c scenario.Cell, b cellBound, frontier *Frontier, opts Options, pr
 			return prunedPlan(c, b)
 		}
 	}
-	p := planOneOpts(c.Scenario, opts)
+	p := planOneOpts(ctx, c.Scenario, opts)
 	if frontierEligible(&p) {
 		frontier.Insert(float64(p.Optimal.Time), p.Optimal.Cost)
 	}
@@ -211,8 +261,8 @@ func prunedPlan(c scenario.Cell, b cellBound) Plan {
 // and is marked Infeasible. Constraints only bind convergence-aware plans —
 // fallback times are per-iteration and not comparable to a wall-clock
 // budget.
-func planOneOpts(sc scenario.Scenario, opts Options) Plan {
-	p := planOne(sc)
+func planOneOpts(ctx context.Context, sc scenario.Scenario, opts Options) Plan {
+	p := planOne(ctx, sc)
 	if p.Err != nil || !p.ConvergenceAware || !opts.constrained() {
 		return p
 	}

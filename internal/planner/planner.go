@@ -25,6 +25,8 @@
 package planner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sort"
@@ -139,8 +141,20 @@ type Report struct {
 
 // PlanScenario plans a single scenario.
 func PlanScenario(sc scenario.Scenario) (Plan, error) {
-	p := planOne(sc)
+	p := planOne(context.Background(), sc)
 	return p, p.Err
+}
+
+// isCtxErr reports whether err wraps a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// cancelledPlan is the plan of a scenario abandoned by cancellation; its
+// error wraps the context's, so errors.Is distinguishes it from a model
+// failure.
+func cancelledPlan(sc scenario.Scenario, err error) Plan {
+	return Plan{Scenario: sc, Err: fmt.Errorf("planner: scenario %q cancelled: %w", sc.Name, err)}
 }
 
 // PlanSuite expands the suite and plans every scenario concurrently on the
@@ -156,14 +170,25 @@ func PlanSuite(s scenario.Suite, objective Objective, parallelism int) (Report, 
 }
 
 // planOne builds the plan for one scenario, converting panics into errors so
-// a broken model cannot take down a suite-wide planning pass.
-func planOne(sc scenario.Scenario) (p Plan) {
+// a broken model cannot take down a suite-wide planning pass. A done context
+// short-circuits to a cancelled plan, and a panic carrying a context error —
+// how model closures surface cancellation from inside context-blind time
+// functions — unwraps to a clean cancelled plan rather than a "panicked"
+// error.
+func planOne(ctx context.Context, sc scenario.Scenario) (p Plan) {
 	p.Scenario = sc
 	defer func() {
 		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && isCtxErr(err) {
+				p = cancelledPlan(sc, err)
+				return
+			}
 			p.Err = fmt.Errorf("planner: scenario %q panicked: %v", sc.Name, r)
 		}
 	}()
+	if err := ctx.Err(); err != nil {
+		return cancelledPlan(sc, err)
+	}
 	family, err := sc.Family()
 	if err != nil {
 		p.Err = err
@@ -178,7 +203,7 @@ func planOne(sc scenario.Scenario) (p Plan) {
 	p.CostRate = node.CostPerHour
 
 	if sc.Convergence == nil {
-		return fallbackPlan(p, sc, "no convergence block: ranked by per-iteration time")
+		return fallbackPlan(ctx, p, sc, "no convergence block: ranked by per-iteration time")
 	}
 	protocol, err := registry.Protocol(sc.Protocol)
 	if err != nil {
@@ -191,7 +216,7 @@ func planOne(sc scenario.Scenario) (p Plan) {
 		return p
 	}
 	if !ok {
-		return fallbackPlan(p, sc,
+		return fallbackPlan(ctx, p, sc,
 			fmt.Sprintf("family %s has no iteration model: ranked by per-iteration time", family))
 	}
 	rule, err := sc.Convergence.IterationRule()
@@ -228,11 +253,17 @@ func planOne(sc scenario.Scenario) (p Plan) {
 
 // fallbackPlan completes a plan for a scenario the planner cannot make
 // convergence-aware: it ranks by the per-iteration model's own time, prices
-// one iteration, and carries the notice explaining the downgrade.
-func fallbackPlan(p Plan, sc scenario.Scenario, notice string) Plan {
+// one iteration, and carries the notice explaining the downgrade. The
+// evaluation context is bound into the model, so the Monte-Carlo kernels
+// pricing graph-inference fallbacks observe cancellation (surfaced as a
+// ctx-carrying panic planOne's recover unwraps).
+func fallbackPlan(ctx context.Context, p Plan, sc scenario.Scenario, notice string) Plan {
 	p.Notice = notice
-	model, err := sc.Model()
+	model, err := sc.ModelCtx(ctx)
 	if err != nil {
+		if isCtxErr(err) {
+			return cancelledPlan(sc, err)
+		}
 		p.Err = err
 		return p
 	}

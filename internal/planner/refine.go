@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -28,7 +29,7 @@ const minRefineRatio = 1 + 1e-6
 // and the extended slices are returned via plans. Rounds stop early when the
 // frontier generates no new candidates (every neighbor gap is already below
 // the resolution floor, or all candidates duplicate existing cells).
-func refineFrontier(plans []Plan, cells []scenario.Cell, parallelism int, opts Options, stats *scenario.EvalStats) []Plan {
+func refineFrontier(ctx context.Context, plans []Plan, cells []scenario.Cell, parallelism int, opts Options, stats *scenario.EvalStats) []Plan {
 	// seen fingerprints every cell the pass holds, so adjacent frontier
 	// cells proposing the same midpoint — or a midpoint that lands on a
 	// declared grid point — cannot plan the same model twice.
@@ -40,6 +41,11 @@ func refineFrontier(plans []Plan, cells []scenario.Cell, parallelism int, opts O
 	}
 
 	for round := 0; round < opts.RefineRounds; round++ {
+		if ctx.Err() != nil {
+			// Refinement only adds optional off-grid candidates; a cancelled
+			// run keeps the plans it has instead of minting cancelled stubs.
+			return plans
+		}
 		eligible := make([]int, 0, len(plans))
 		for i := range plans {
 			if frontierEligible(&plans[i]) {
@@ -94,10 +100,23 @@ func refineFrontier(plans []Plan, cells []scenario.Cell, parallelism int, opts O
 		}
 		var pruned atomic.Int64
 		newPlans := make([]Plan, len(cand))
-		core.ForEach(len(cand), parallelism, func(k int) {
-			newPlans[k] = planCell(cand[k], boundFor(cand[k].Scenario), &frontier, opts, &pruned)
+		var visited []bool
+		if ctx.Done() != nil {
+			visited = make([]bool, len(cand))
+		}
+		core.ForEachCtx(ctx, len(cand), parallelism, func(k int) {
+			if visited != nil {
+				visited[k] = true
+			}
+			newPlans[k] = planCell(ctx, cand[k], boundFor(cand[k].Scenario), &frontier, opts, &pruned)
 			newPlans[k].Refined = true
 		})
+		for k := range visited {
+			if !visited[k] {
+				newPlans[k] = cancelledPlan(cand[k].Scenario, ctx.Err())
+				newPlans[k].Refined = true
+			}
+		}
 		plans = append(plans, newPlans...)
 		cells = append(cells, cand...)
 		stats.Pruned += int(pruned.Load())

@@ -14,6 +14,7 @@
 package registry
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -467,10 +468,18 @@ func validateGraph(s GraphSpec) error {
 // with every other caller of the same spec and must be treated as
 // read-only.
 func GraphDegrees(s GraphSpec) ([]int32, error) {
+	return GraphDegreesCtx(context.Background(), s)
+}
+
+// GraphDegreesCtx is GraphDegrees under a context: a caller waiting on
+// another goroutine's in-flight generation abandons the wait when ctx fires
+// (the generation itself completes and is cached for later callers — see
+// memo.Cache.DoCtx).
+func GraphDegreesCtx(ctx context.Context, s GraphSpec) ([]int32, error) {
 	if err := validateGraph(s); err != nil {
 		return nil, err
 	}
-	return degreeCache.Do(s, func() ([]int32, error) {
+	return degreeCache.DoCtx(ctx, s, func() ([]int32, error) {
 		return graphFamilies[s.Family].degrees(s)
 	})
 }
@@ -682,6 +691,13 @@ type Family struct {
 	Description string
 	// Build constructs the core model for a validated spec.
 	Build func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error)
+	// BuildCtx, when non-nil, supersedes Build for context-aware callers:
+	// it binds the evaluation context into the model so construction- and
+	// evaluation-time kernel work (degree generation, Monte-Carlo
+	// estimation) observes cancellation. Families whose models are pure
+	// closed-form leave it nil — their Build is instantaneous and their
+	// models never block.
+	BuildCtx func(ctx context.Context, name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error)
 	// Iteration builds the per-iteration hook convergence-aware planning
 	// composes with an iteration rule. Nil for families with no
 	// iteration/batch notion (the graph-inference families), where the
@@ -807,25 +823,17 @@ var families = map[string]Family{
 		Name:        "graph-inference",
 		Description: "graphical-model inference: t_cp ∝ Monte-Carlo maxᵢEᵢ · ops/edge",
 		Build: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error) {
-			if spec.OpsPerEdge <= 0 {
-				return core.Model{}, fmt.Errorf("registry: family graph-inference: ops_per_edge must be positive, got %g", spec.OpsPerEdge)
-			}
-			return graphModel(name, spec, spec.OpsPerEdge, node, protocol)
+			return buildGraphInference(context.Background(), name, spec, node, protocol)
 		},
+		BuildCtx: buildGraphInference,
 	},
 	"mrf": {
 		Name:        "mrf",
 		Description: "pairwise-MRF belief propagation: ops/edge = c(S) = S + 2·(S + S²)",
 		Build: func(name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error) {
-			states := spec.States
-			if states == 0 {
-				states = 2
-			}
-			if states < 2 {
-				return core.Model{}, fmt.Errorf("registry: family mrf: states %d < 2", states)
-			}
-			return graphModel(name, spec, bp.OpsPerEdge(states), node, protocol)
+			return buildMRF(context.Background(), name, spec, node, protocol)
 		},
+		BuildCtx: buildMRF,
 	},
 	"async-gd": {
 		Name:        "async-gd",
@@ -948,11 +956,31 @@ func gdWorkload(name string, spec WorkloadSpec) (gd.Workload, error) {
 	return wl, nil
 }
 
+// buildGraphInference is the graph-inference family's model constructor.
+func buildGraphInference(ctx context.Context, name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error) {
+	if spec.OpsPerEdge <= 0 {
+		return core.Model{}, fmt.Errorf("registry: family graph-inference: ops_per_edge must be positive, got %g", spec.OpsPerEdge)
+	}
+	return graphModel(ctx, name, spec, spec.OpsPerEdge, node, protocol)
+}
+
+// buildMRF is the mrf family's model constructor.
+func buildMRF(ctx context.Context, name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error) {
+	states := spec.States
+	if states == 0 {
+		states = 2
+	}
+	if states < 2 {
+		return core.Model{}, fmt.Errorf("registry: family mrf: states %d < 2", states)
+	}
+	return graphModel(ctx, name, spec, bp.OpsPerEdge(states), node, protocol)
+}
+
 // graphModel builds the §IV-B inference model for the two graph families:
 // computation from the memoized Monte-Carlo maxᵢEᵢ estimate, communication
 // from the protocol moving every vertex's S-state belief (zero under the
 // paper's shared-memory assumption).
-func graphModel(name string, spec WorkloadSpec, opsPerEdge float64, node hardware.Node, protocol comm.Model) (core.Model, error) {
+func graphModel(ctx context.Context, name string, spec WorkloadSpec, opsPerEdge float64, node hardware.Node, protocol comm.Model) (core.Model, error) {
 	if spec.Graph == nil {
 		return core.Model{}, fmt.Errorf("registry: workload %q: graph families need a graph spec", name)
 	}
@@ -963,11 +991,11 @@ func graphModel(name string, spec WorkloadSpec, opsPerEdge float64, node hardwar
 	if trials < 0 || trials > maxMonteCarloTrials {
 		return core.Model{}, fmt.Errorf("registry: workload %q: trials %d outside [1, %d]", name, trials, maxMonteCarloTrials)
 	}
-	degrees, err := GraphDegrees(*spec.Graph)
+	degrees, err := GraphDegreesCtx(ctx, *spec.Graph)
 	if err != nil {
 		return core.Model{}, err
 	}
-	model, err := GraphInferenceModel(name, degrees, opsPerEdge, node.EffectiveFlops(), trials, spec.Seed)
+	model, err := GraphInferenceModelCtx(ctx, name, degrees, opsPerEdge, node.EffectiveFlops(), trials, spec.Seed)
 	if err != nil {
 		return core.Model{}, err
 	}
@@ -1011,6 +1039,19 @@ func graphModel(name string, spec WorkloadSpec, opsPerEdge float64, node hardwar
 // GraphDegrees returns are shared read-only already), or the shared cache
 // could be poisoned with estimates keyed under the original contents.
 func GraphInferenceModel(name string, degrees []int32, opsPerEdge float64, f units.Flops, trials int, seed int64) (core.Model, error) {
+	return GraphInferenceModelCtx(context.Background(), name, degrees, opsPerEdge, f, trials, seed)
+}
+
+// GraphInferenceModelCtx is GraphInferenceModel with the evaluation context
+// bound into the model at construction: Model.Time is context-blind, so the
+// kernel closure captures ctx and surfaces cancellation the same way it
+// surfaces estimator errors — a panic carrying the (wrapped) context error,
+// which the suite/planner evaluators unwrap into the cell's cancelled
+// result. Cancellation reaches both the Monte-Carlo trial loop (checked
+// between trials) and waits on another goroutine's in-flight kernel; a
+// cancelled kernel is never cached, so the next un-cancelled caller
+// recomputes cleanly.
+func GraphInferenceModelCtx(ctx context.Context, name string, degrees []int32, opsPerEdge float64, f units.Flops, trials int, seed int64) (core.Model, error) {
 	if len(degrees) == 0 {
 		return core.Model{}, fmt.Errorf("registry: graph inference %q: empty degree sequence", name)
 	}
@@ -1030,8 +1071,17 @@ func GraphInferenceModel(name string, degrees []int32, opsPerEdge float64, f uni
 			panic(fmt.Errorf("registry: graph inference %q: worker count %d < 1", name, n))
 		}
 		key := estimateKey{fnv: fnv, mix: mix, vertices: len(degrees), workers: n, trials: trials, seed: seed}
-		v, err := estimateCache.Do(key, func() (float64, error) {
-			est, err := partition.MonteCarloMaxEdges(degrees, n, trials, seed)
+		v, err := estimateCache.DoCtx(ctx, key, func() (float64, error) {
+			if err := injectKernelFault(ctx, KernelCall{
+				Fingerprint: fnv,
+				Vertices:    len(degrees),
+				Workers:     n,
+				Trials:      trials,
+				Seed:        seed,
+			}); err != nil {
+				return 0, err
+			}
+			est, err := partition.MonteCarloMaxEdgesCtx(ctx, degrees, n, trials, seed)
 			if err != nil {
 				return 0, err
 			}
@@ -1082,6 +1132,20 @@ func BuildModel(family, name string, spec WorkloadSpec, node hardware.Node, prot
 	f, err := LookupFamily(family)
 	if err != nil {
 		return core.Model{}, err
+	}
+	return f.Build(name, spec, node, protocol)
+}
+
+// BuildModelCtx is BuildModel with the evaluation context bound into the
+// model (see Family.BuildCtx); families without kernel work fall back to
+// their context-blind Build.
+func BuildModelCtx(ctx context.Context, family, name string, spec WorkloadSpec, node hardware.Node, protocol comm.Model) (core.Model, error) {
+	f, err := LookupFamily(family)
+	if err != nil {
+		return core.Model{}, err
+	}
+	if f.BuildCtx != nil {
+		return f.BuildCtx(ctx, name, spec, node, protocol)
 	}
 	return f.Build(name, spec, node, protocol)
 }

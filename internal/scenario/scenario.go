@@ -18,6 +18,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -162,6 +163,15 @@ func (s Scenario) EvalKey() string {
 // Model builds the core model the scenario describes through the registry —
 // the same construction path the CLIs and the experiment harness use.
 func (s Scenario) Model() (core.Model, error) {
+	return s.ModelCtx(context.Background())
+}
+
+// ModelCtx is Model with the evaluation context bound into the model (see
+// registry.BuildModelCtx): kernel work behind the model's time functions —
+// Monte-Carlo estimation, graph generation, single-flight cache waits —
+// observes ctx and surfaces cancellation as the cell's error instead of
+// running to completion.
+func (s Scenario) ModelCtx(ctx context.Context) (core.Model, error) {
 	if s.Name == "" {
 		return core.Model{}, fmt.Errorf("scenario: missing name")
 	}
@@ -180,7 +190,7 @@ func (s Scenario) Model() (core.Model, error) {
 	if err != nil {
 		return core.Model{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
-	model, err := registry.BuildModel(family, s.Name, s.Workload, node, protocol)
+	model, err := registry.BuildModelCtx(ctx, family, s.Name, s.Workload, node, protocol)
 	if err != nil {
 		return core.Model{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -187,7 +188,13 @@ type EvalStats struct {
 	CurvesDeduped int
 	// Failed counts cells whose own evaluation errored (duplicates of a
 	// failed cell re-evaluate individually, so each failure counts here).
+	// Cancelled cells are counted separately.
 	Failed int
+	// Cancelled counts cells abandoned because the evaluation context was
+	// cancelled or its deadline expired (their Result.Err wraps the context
+	// error). Always 0 for context-less passes; Scenarios = Evaluated +
+	// CurvesDeduped + Failed + Cancelled.
+	Cancelled int
 	// BuildTime is the summed model-construction time (catalog resolution,
 	// graph generation); SampleTime is the summed curve-sampling time
 	// (Monte-Carlo estimation, time evaluation).
@@ -230,6 +237,17 @@ func EvaluateSuite(s Suite, parallelism int) ([]Result, error) {
 // index order, so the representative of every model key is still its
 // first occurrence.
 func EvaluateSuiteStats(s Suite, parallelism int) ([]Result, EvalStats, error) {
+	return EvaluateSuiteStatsCtx(context.Background(), s, parallelism)
+}
+
+// EvaluateSuiteStatsCtx is EvaluateSuiteStats under a context. Cancellation
+// yields deterministic partial results: every cell still gets exactly one
+// Result — cells evaluated before ctx fired are bit-identical to an
+// uncancelled run's, the rest carry an error wrapping ctx.Err() and count
+// in EvalStats.Cancelled — and the suite-level error is ctx's, so callers
+// can distinguish "suite invalid" from "run abandoned" while still
+// rendering what completed.
+func EvaluateSuiteStatsCtx(ctx context.Context, s Suite, parallelism int) ([]Result, EvalStats, error) {
 	cs, err := s.Cells()
 	if err != nil {
 		return nil, EvalStats{}, err
@@ -243,13 +261,13 @@ func EvaluateSuiteStats(s Suite, parallelism int) ([]Result, EvalStats, error) {
 		}
 		sc := c.Scenario
 		return core.StreamJob{Index: c.Index, Job: core.Job{
-			Name:    sc.Name,
-			Build:   sc.Model,
-			Workers: sc.Workers(),
-			Key:     sc.EvalKey(),
+			Name:     sc.Name,
+			BuildCtx: sc.ModelCtx,
+			Workers:  sc.Workers(),
+			Key:      sc.EvalKey(),
 		}}, true
 	}
-	core.EvaluateStream(next, parallelism, func(i int, res core.JobResult) {
+	core.EvaluateStreamCtx(ctx, next, parallelism, func(i int, res core.JobResult) {
 		evaluated[i] = res
 	})
 	results := make([]Result, cs.Len())
@@ -265,6 +283,8 @@ func EvaluateSuiteStats(s Suite, parallelism int) ([]Result, EvalStats, error) {
 		switch {
 		case ev.Deduped:
 			stats.CurvesDeduped++
+		case ev.IsCancelled():
+			stats.Cancelled++
 		case ev.Err != nil:
 			stats.Failed++
 		default:
@@ -274,7 +294,7 @@ func EvaluateSuiteStats(s Suite, parallelism int) ([]Result, EvalStats, error) {
 		stats.SampleTime += ev.SampleTime
 		results[i] = res
 	}
-	return results, stats, nil
+	return results, stats, ctx.Err()
 }
 
 // DecodeSuite reads a suite from JSON. A file holding a single scenario is

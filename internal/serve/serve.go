@@ -1,0 +1,554 @@
+// Package serve exposes the evaluation and planning engines as a hardened
+// HTTP/JSON service: POST /v1/sweep and /v1/plan accept the same suite
+// documents the CLIs read and return the same JSON exports byte-for-byte,
+// so a request against a running server and an offline dmls-plan invocation
+// over the same suite are interchangeable evidence.
+//
+// Robustness is the point, not an afterthought:
+//
+//   - Admission control: at most MaxInFlight evaluation requests run at
+//     once; excess load is shed immediately with 429 and Retry-After
+//     instead of queueing until every request misses its deadline.
+//   - Per-request deadlines: every evaluation runs under a context with a
+//     deadline (the request's own, clamped to MaxDeadline, defaulting to
+//     DefaultDeadline), threaded through the whole engine down to the
+//     Monte-Carlo trial loop; expiry returns 504 with no goroutine or
+//     budget slot left behind.
+//   - Oversized grids are rejected 4xx from catalog arithmetic alone,
+//     before any model is built.
+//   - Panic containment: a panicking request becomes a structured 500 and
+//     the server keeps serving.
+//   - Graceful drain: Run stops accepting, lets in-flight requests finish
+//     for DrainTimeout, then cancels their contexts and closes.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"dmlscale/internal/core"
+	"dmlscale/internal/planner"
+	"dmlscale/internal/registry"
+	"dmlscale/internal/scenario"
+)
+
+// Config sizes the server's robustness envelope. The zero value is usable:
+// every field has a production-shaped default.
+type Config struct {
+	// Addr is the listen address; default ":8080".
+	Addr string
+	// DefaultDeadline bounds requests that name no deadline of their own;
+	// default 30s.
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps client-requested deadlines; default 2m.
+	MaxDeadline time.Duration
+	// MaxInFlight caps concurrently evaluating requests; excess sheds with
+	// 429. Default 8.
+	MaxInFlight int
+	// MaxCells rejects suites expanding past this many grid cells before
+	// any model work; default 4096.
+	MaxCells int
+	// DrainTimeout bounds how long Run waits for in-flight requests after
+	// shutdown begins before cancelling their contexts; default 10s.
+	DrainTimeout time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.MaxCells <= 0 {
+		c.MaxCells = 4096
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Metrics is the counter snapshot /metrics reports. All counters are
+// monotone since process start.
+type Metrics struct {
+	UptimeSeconds   float64             `json:"uptime_seconds"`
+	Requests        int64               `json:"requests_total"`
+	Sweeps          int64               `json:"sweeps_total"`
+	Plans           int64               `json:"plans_total"`
+	Shed            int64               `json:"shed_total"`
+	BadRequests     int64               `json:"bad_requests_total"`
+	DeadlineExpired int64               `json:"deadline_expired_total"`
+	ClientGone      int64               `json:"client_gone_total"`
+	Panics          int64               `json:"panics_total"`
+	InFlight        int64               `json:"in_flight"`
+	Draining        bool                `json:"draining"`
+	Parallelism     int                 `json:"parallelism"`
+	Caches          registry.CacheStats `json:"caches"`
+}
+
+// Server is the planning service. Construct with New, mount Handler on any
+// mux or listener, or let Run own the listen/drain lifecycle.
+type Server struct {
+	cfg Config
+
+	// baseCtx parents every request context; cancelling it is the drain
+	// deadline's hard stop for in-flight evaluations.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	// sem admits at most MaxInFlight evaluation requests.
+	sem chan struct{}
+
+	draining  atomic.Bool
+	start     time.Time
+	boundAddr atomic.Pointer[string]
+
+	requests        atomic.Int64
+	sweeps          atomic.Int64
+	plans           atomic.Int64
+	shed            atomic.Int64
+	badRequests     atomic.Int64
+	deadlineExpired atomic.Int64
+	clientGone      atomic.Int64
+	panics          atomic.Int64
+	inFlight        atomic.Int64
+
+	mux *http.ServeMux
+}
+
+// New builds a server from cfg (zero-value fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		baseCtx: ctx,
+		cancel:  cancel,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.Handle("POST /v1/sweep", s.contained(s.handleSweep))
+	s.mux.Handle("POST /v1/plan", s.contained(s.handlePlan))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's routes, each wrapped in panic containment.
+func (s *Server) Handler() http.Handler {
+	return s.mux
+}
+
+// Close cancels the server's base context, aborting any in-flight
+// evaluations. Run calls it as the drain deadline's hard stop; tests call
+// it directly.
+func (s *Server) Close() {
+	s.cancel()
+}
+
+// Metrics snapshots the counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Requests:        s.requests.Load(),
+		Sweeps:          s.sweeps.Load(),
+		Plans:           s.plans.Load(),
+		Shed:            s.shed.Load(),
+		BadRequests:     s.badRequests.Load(),
+		DeadlineExpired: s.deadlineExpired.Load(),
+		ClientGone:      s.clientGone.Load(),
+		Panics:          s.panics.Load(),
+		InFlight:        s.inFlight.Load(),
+		Draining:        s.draining.Load(),
+		Parallelism:     core.Parallelism(),
+		Caches:          registry.SnapshotCaches(),
+	}
+}
+
+// Addr returns the bound listen address once Run has opened its listener
+// ("" before that) — the actual port when cfg.Addr asked for :0.
+func (s *Server) Addr() string {
+	if p := s.boundAddr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Run listens on cfg.Addr and serves until ctx is cancelled, then drains:
+// stop accepting, let in-flight requests finish for DrainTimeout, cancel
+// their contexts, close. It returns nil after a clean drain.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		s.cancel()
+		return err
+	}
+	addr := ln.Addr().String()
+	s.boundAddr.Store(&addr)
+	srv := &http.Server{
+		Handler: s.Handler(),
+		BaseContext: func(net.Listener) context.Context {
+			return s.baseCtx
+		},
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.cancel()
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err = srv.Shutdown(drainCtx)
+	// Whether the drain was clean or timed out, in-flight evaluations must
+	// not outlive the process: cancel their base context, then close.
+	s.cancel()
+	srv.Close()
+	<-errc // ListenAndServe has returned http.ErrServerClosed
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
+
+// apiError is the structured error body every non-200 response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeError emits a structured error response.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// contained wraps an evaluation handler in the shared robustness layers:
+// request counting, admission control, and panic containment. The handler
+// itself buffers its response, so a panic anywhere in decode or evaluation
+// turns into a clean structured 500 — never a half-written 200.
+func (s *Server) contained(h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at capacity (%d requests in flight); retry", s.cfg.MaxInFlight)
+			return
+		}
+		s.inFlight.Add(1)
+		defer func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				writeError(w, http.StatusInternalServerError, "internal: request panicked: %v", v)
+			}
+		}()
+		h(w, r)
+	})
+}
+
+// requestCtx derives the evaluation context: the request's context (itself
+// parented on the server's base context, so drain hard-stop and client
+// disconnect both propagate) bounded by the effective deadline.
+func (s *Server) requestCtx(r *http.Request, deadline time.Duration) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if deadline > 0 {
+		d = min(deadline, s.cfg.MaxDeadline)
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// evalFailure maps an engine-returned context error onto the wire: 504 for
+// an expired per-request deadline, a counted no-op for a vanished client or
+// a drain hard-stop (there is no one left to answer). Returns true when it
+// consumed the error.
+func (s *Server) evalFailure(w http.ResponseWriter, r *http.Request, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlineExpired.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "evaluation deadline expired: %v", err)
+		return true
+	case errors.Is(err, context.Canceled):
+		s.clientGone.Add(1)
+		// Client disconnect or drain hard-stop: the connection is dead or
+		// dying; 503 is best-effort for the drain case.
+		writeError(w, http.StatusServiceUnavailable, "evaluation cancelled: %v", err)
+		return true
+	}
+	return false
+}
+
+// decodeRequest strictly decodes a request body into dst, rejecting unknown
+// fields and trailing garbage. The body is read whole first so suite
+// sub-documents can be re-decoded through scenario's own strict path.
+func decodeRequest(r *http.Request, dst any) error {
+	raw, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 4<<20))
+	if err != nil {
+		return fmt.Errorf("read body: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after request object")
+	}
+	return nil
+}
+
+// decodeSuite turns the raw suite sub-document into a validated suite and
+// enforces the server's grid cap before any model work. The cap check is
+// catalog arithmetic on the lazy cell view — an oversized or malformed grid
+// never reaches the engine.
+func (s *Server) decodeSuite(raw json.RawMessage) (scenario.Suite, error) {
+	if len(raw) == 0 {
+		return scenario.Suite{}, fmt.Errorf("missing \"suite\"")
+	}
+	suite, err := scenario.DecodeSuite(bytes.NewReader(raw))
+	if err != nil {
+		return scenario.Suite{}, err
+	}
+	cs, err := suite.Cells()
+	if err != nil {
+		return scenario.Suite{}, err
+	}
+	if cs.Len() > s.cfg.MaxCells {
+		return scenario.Suite{}, fmt.Errorf("suite expands to %d cells, over the server's limit of %d", cs.Len(), s.cfg.MaxCells)
+	}
+	return suite, nil
+}
+
+// SweepRequest is the POST /v1/sweep body: the suite document the CLIs
+// read, plus optional per-request knobs.
+type SweepRequest struct {
+	// Suite is the suite (or single-scenario) document, verbatim.
+	Suite json.RawMessage `json:"suite"`
+	// Parallelism caps this request's suite-level workers within the shared
+	// budget; 0 means no extra cap.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Deadline bounds the evaluation (Go duration string, e.g. "30s"),
+	// clamped to the server's MaxDeadline; empty means DefaultDeadline.
+	Deadline string `json:"deadline,omitempty"`
+}
+
+// handleSweep evaluates a suite and responds with the exact document
+// dmls-sweep -format json writes.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeRequest(r, &req); err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	deadline, err := parseDeadline(req.Deadline)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	suite, err := s.decodeSuite(req.Suite)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, deadline)
+	defer cancel()
+	results, _, err := scenario.EvaluateSuiteStatsCtx(ctx, suite, req.Parallelism)
+	if s.evalFailure(w, r, err) {
+		return
+	}
+	s.sweeps.Add(1)
+	var buf bytes.Buffer
+	if err := scenario.WriteResultsJSON(&buf, suite.Name, results); err != nil {
+		writeError(w, http.StatusInternalServerError, "encode results: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// PlanRequest is the POST /v1/plan body: the planning suite plus the same
+// knobs dmls-plan exposes as flags. MaxTime and MaxTimeSeconds are two
+// spellings of one budget — setting both is a conflict, rejected 400.
+type PlanRequest struct {
+	// Suite is the suite (or single-scenario) document, verbatim.
+	Suite json.RawMessage `json:"suite"`
+	// Objective overrides the suite's own ranking objective: tta, cost or
+	// pareto.
+	Objective string `json:"objective,omitempty"`
+	// Adaptive prunes cells whose optimistic bound is already dominated
+	// (dmls-plan -adaptive).
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Refine runs this many rounds of frontier refinement (dmls-plan
+	// -refine).
+	Refine int `json:"refine,omitempty"`
+	// MaxCost is the cost budget per run; 0 means unconstrained.
+	MaxCost float64 `json:"max_cost,omitempty"`
+	// MaxTimeSeconds is the wall-time budget per run, in seconds.
+	MaxTimeSeconds float64 `json:"max_time_seconds,omitempty"`
+	// MaxTime is the same budget as a Go duration string ("90m", "2h").
+	// Conflicts with MaxTimeSeconds.
+	MaxTime string `json:"max_time,omitempty"`
+	// Parallelism caps this request's suite-level workers within the shared
+	// budget; 0 means no extra cap.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Deadline bounds the planning pass (Go duration string), clamped to
+	// the server's MaxDeadline; empty means DefaultDeadline.
+	Deadline string `json:"deadline,omitempty"`
+}
+
+// options validates the request's planner knobs into planner.Options.
+func (req PlanRequest) options() (planner.Options, error) {
+	if req.Refine < 0 {
+		return planner.Options{}, fmt.Errorf("negative refine %d", req.Refine)
+	}
+	if req.MaxCost < 0 {
+		return planner.Options{}, fmt.Errorf("negative max_cost %g", req.MaxCost)
+	}
+	if req.MaxTimeSeconds < 0 {
+		return planner.Options{}, fmt.Errorf("negative max_time_seconds %g", req.MaxTimeSeconds)
+	}
+	opts := planner.Options{
+		Prune:          req.Adaptive,
+		RefineRounds:   req.Refine,
+		MaxCost:        req.MaxCost,
+		MaxTimeSeconds: req.MaxTimeSeconds,
+	}
+	if req.MaxTime != "" {
+		if req.MaxTimeSeconds != 0 {
+			return planner.Options{}, fmt.Errorf("max_time and max_time_seconds both set; pick one")
+		}
+		d, err := time.ParseDuration(req.MaxTime)
+		if err != nil {
+			return planner.Options{}, fmt.Errorf("bad max_time: %v", err)
+		}
+		if d < 0 {
+			return planner.Options{}, fmt.Errorf("negative max_time %v", d)
+		}
+		opts.MaxTimeSeconds = d.Seconds()
+	}
+	return opts, nil
+}
+
+// handlePlan plans a suite and responds with the exact document dmls-plan
+// -format json writes, so served and offline plans are byte-comparable.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := decodeRequest(r, &req); err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
+		return
+	}
+	deadline, err := parseDeadline(req.Deadline)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
+		return
+	}
+	opts, err := req.options()
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
+		return
+	}
+	obj, err := planner.ParseObjective(req.Objective)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
+		return
+	}
+	if req.Objective == "" {
+		obj = "" // defer to the suite's own objective
+	}
+	suite, err := s.decodeSuite(req.Suite)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, deadline)
+	defer cancel()
+	report, _, err := planner.PlanSuiteCtx(ctx, suite, obj, req.Parallelism, opts)
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		// Suite-shape errors the cap check could not see (bad objective in
+		// the suite file, negative refine) are the client's.
+		s.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
+		return
+	}
+	if s.evalFailure(w, r, err) {
+		return
+	}
+	s.plans.Add(1)
+	var buf bytes.Buffer
+	if err := scenario.WritePlansJSON(&buf, report.Export()); err != nil {
+		writeError(w, http.StatusInternalServerError, "encode plans: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// parseDeadline parses an optional request deadline.
+func parseDeadline(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad deadline: %v", err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("non-positive deadline %v", d)
+	}
+	return d, nil
+}
+
+// handleHealthz answers liveness probes: "ok" while serving, 503
+// "draining" once shutdown has begun so load balancers stop routing here.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// handleMetrics reports the counter snapshot plus the process-wide kernel
+// cache stats, as one JSON document.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Metrics())
+}

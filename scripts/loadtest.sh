@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# loadtest.sh — smoke-test dmls-serve under pressure and record the result.
+#
+# Builds dmls-serve, starts it with a deliberately small -max-inflight so
+# admission control is observable, replays every examples/suites/*.json as
+# both a /v1/sweep and a /v1/plan request at higher client concurrency, and
+# asserts the three robustness properties end to end:
+#
+#   1. every request is either served (200) or cleanly shed (429) — never
+#      an unexplained error, and at this concurrency some MUST be shed;
+#   2. /healthz answers 200 throughout the storm;
+#   3. SIGTERM drains: the server exits 0 within the drain deadline.
+#
+# The p50/p99/shed-rate summary lands in BENCH_PR<n>.json at the repo root,
+# the same perf-trajectory record bench.sh feeds.
+#
+# Usage:
+#   scripts/loadtest.sh                       # writes BENCH_PR7.json
+#   OUT=/tmp/smoke.json scripts/loadtest.sh   # CI smoke, no baseline write
+#   REQUESTS=20 CONCURRENCY=4 scripts/loadtest.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_PR7.json}"
+PORT="${PORT:-18080}"
+REQUESTS="${REQUESTS:-60}"
+CONCURRENCY="${CONCURRENCY:-8}"
+MAX_INFLIGHT="${MAX_INFLIGHT:-2}"
+DRAIN_TIMEOUT="${DRAIN_TIMEOUT:-10s}"
+
+if [ -e "$OUT" ]; then
+    echo "loadtest.sh: $OUT already exists (a committed perf baseline)." >&2
+    echo "loadtest.sh: pass OUT=<path> to record this run without clobbering it." >&2
+    exit 1
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/dmls-serve" ./cmd/dmls-serve
+go build -o "$workdir/loadtest" ./scripts/loadtest
+
+"$workdir/dmls-serve" -addr "127.0.0.1:$PORT" -max-inflight "$MAX_INFLIGHT" \
+    -drain-timeout "$DRAIN_TIMEOUT" 2>"$workdir/serve.log" &
+server_pid=$!
+# Kill the server on any failure path so the trap's rm never races a writer.
+trap 'kill "$server_pid" 2>/dev/null || true; wait "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+base="http://127.0.0.1:$PORT"
+for _ in $(seq 1 100); do
+    if curl -fsS -o /dev/null "$base/healthz" 2>/dev/null; then break; fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "loadtest.sh: dmls-serve died on startup:" >&2
+        cat "$workdir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS -o /dev/null "$base/healthz" || { echo "loadtest.sh: server never became healthy" >&2; exit 1; }
+
+"$workdir/loadtest" -base "$base" -suites examples/suites \
+    -requests "$REQUESTS" -concurrency "$CONCURRENCY" \
+    -server-max-inflight "$MAX_INFLIGHT" >"$workdir/summary.json"
+
+summary=$(cat "$workdir/summary.json")
+shed=$(echo "$summary" | jq -r .shed)
+if [ "$shed" -eq 0 ]; then
+    echo "loadtest.sh: expected admission control to shed at this concurrency, but shed=0" >&2
+    exit 1
+fi
+
+# Clean drain: SIGTERM, then the server must exit 0 inside the drain window.
+kill -TERM "$server_pid"
+drain_rc=0
+wait "$server_pid" || drain_rc=$?
+if [ "$drain_rc" -ne 0 ]; then
+    echo "loadtest.sh: dmls-serve did not drain cleanly (exit $drain_rc):" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+if ! grep -q "drained" "$workdir/serve.log"; then
+    echo "loadtest.sh: no drain notice in the server log:" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+trap 'rm -rf "$workdir"' EXIT
+
+echo "$summary" | jq '. + {"clean_drain": true}' >"$OUT"
+echo "loadtest.sh: wrote $OUT" >&2
+cat "$OUT"
