@@ -14,6 +14,7 @@ import (
 
 	"dmlscale"
 	"dmlscale/internal/experiments"
+	"dmlscale/internal/obs"
 	"dmlscale/internal/scenario"
 )
 
@@ -399,4 +400,35 @@ func BenchmarkSweepStreamPruned(b *testing.B) {
 	}
 	b.Run("Exhaustive", func(b *testing.B) { run(b, dmlscale.PlanOptions{}) })
 	b.Run("Pruned", func(b *testing.B) { run(b, dmlscale.PlanOptions{Prune: true}) })
+}
+
+// BenchmarkSweepGridTracedVsUntraced pins the cost of the observability
+// spine on the 12-cell kernel grid with warm caches. Untraced runs with no
+// recorder installed — every obs.Start is one atomic load returning a nil
+// span, so ns/op here versus the pre-instrumentation baseline is the
+// nil-recorder overhead the obs package promises to keep under a couple of
+// percent. Traced records every span into an in-memory TraceBuffer, the
+// -trace flag's cost. Results are bit-identical in both modes
+// (TestTracedSweepOutputBitIdentical asserts it at the CLI).
+func BenchmarkSweepGridTracedVsUntraced(b *testing.B) {
+	suite := benchKernelGrid()
+	defer dmlscale.ResetCaches()
+	dmlscale.ResetCaches()
+	evaluateGrid(b, suite) // prewarm: graph + every kernel estimate
+	b.Run("Untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			evaluateGrid(b, suite)
+		}
+	})
+	b.Run("Traced", func(b *testing.B) {
+		buf := obs.NewTraceBuffer(0)
+		obs.SetRecorder(buf)
+		defer obs.SetRecorder(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			evaluateGrid(b, suite)
+		}
+		b.ReportMetric(float64(buf.Ended())/float64(b.N), "spans/op")
+	})
 }

@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"dmlscale/internal/core"
+	"dmlscale/internal/obs"
 	"dmlscale/internal/planner"
 	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
@@ -85,6 +86,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		format      = fs.String("format", "table", "output format: table, csv or json")
 		curves      = fs.Bool("curves", false, "print every plan's full time-to-accuracy curve (table format)")
 		stats       = fs.Bool("stats", false, "report kernel-cache hit ratio and planning wall time on stderr")
+		tracePath   = fs.String("trace", "", "write a Chrome/Perfetto trace of the planning pass (suite→cell→kernel spans) to this file")
 		emitExample = fs.Bool("emit-example", false, "print an example planning suite and exit")
 		adaptive    = fs.Bool("adaptive", false, "prune cells whose optimistic cost×time bound is already dominated (same frontier, fewer evaluations)")
 		refine      = fs.Int("refine", 0, "rounds of frontier refinement: subdivide numeric sweep axes next to frontier cells")
@@ -133,6 +135,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxCost:        *maxCost,
 		MaxTimeSeconds: maxTime.Seconds(),
 	}
+	var traceBuf *obs.TraceBuffer
+	if *tracePath != "" {
+		traceBuf = obs.NewTraceBuffer(0)
+		obs.SetRecorder(traceBuf)
+		defer obs.SetRecorder(nil)
+	}
 	start := time.Now()
 	report, evalStats, err := planner.PlanSuiteCtx(ctx, suite, obj, 0, opts)
 	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
@@ -140,6 +148,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	elapsed := time.Since(start)
+	if traceBuf != nil {
+		obs.SetRecorder(nil)
+		if terr := writeTrace(*tracePath, traceBuf); terr != nil {
+			return fail(terr)
+		}
+		fmt.Fprintf(stderr, "dmls-plan: wrote %d spans to %s\n", traceBuf.Ended(), *tracePath)
+	}
 	reportStats := func() {
 		if *stats {
 			fmt.Fprint(stderr, statsReport(evalStats, registry.SnapshotCaches(), elapsed))
@@ -219,9 +234,10 @@ func exitCode(cmd string, failed, total int, keepGoing bool, stderr io.Writer) i
 }
 
 // statsReport renders the -stats block: how many cells were planned versus
-// pruned on their bound, what refinement added, how long the pass took, and
-// the process-wide cache counters (which, in a CLI run, cover exactly this
-// planning pass).
+// pruned on their bound, what refinement added, how long the pass took and
+// where that wall time went (bound pass, refinement rounds, per-cell
+// planning, kernel compute), the slowest cells, and the process-wide cache
+// counters (which, in a CLI run, cover exactly this planning pass).
 func statsReport(st scenario.EvalStats, caches registry.CacheStats, elapsed time.Duration) string {
 	out := fmt.Sprintf("stats: %d cells planned in %v (%d evaluated, %d pruned, %d failed",
 		st.Scenarios, elapsed.Round(time.Microsecond), st.Evaluated, st.Pruned, st.Failed)
@@ -232,7 +248,43 @@ func statsReport(st scenario.EvalStats, caches registry.CacheStats, elapsed time
 	if st.RefineRounds > 0 {
 		out += fmt.Sprintf("stats: refinement added %d cells over %d rounds\n", st.Refined, st.RefineRounds)
 	}
+	out += fmt.Sprintf("stats: wall split: bound %v, refine %v, cell planning %v summed, kernel compute %v\n",
+		st.BoundTime.Round(time.Microsecond), st.RefineTime.Round(time.Microsecond),
+		st.PlanTime.Round(time.Microsecond), st.KernelComputeTime.Round(time.Microsecond))
+	out += slowestCellsReport(st.SlowestCells)
 	return out + caches.Report()
+}
+
+// slowestCellsReport renders the top-k slowest cells, one line, or nothing
+// when no cell recorded a timing.
+func slowestCellsReport(cells []scenario.CellTiming) string {
+	if len(cells) == 0 {
+		return ""
+	}
+	out := "stats: slowest cells:"
+	for i, ct := range cells {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf(" %s %v", ct.Name, ct.Total.Round(time.Microsecond))
+	}
+	return out + "\n"
+}
+
+// writeTrace flushes the recorded spans as a Chrome/Perfetto trace file.
+func writeTrace(path string, buf *obs.TraceBuffer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := buf.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	return nil
 }
 
 // planTable renders the ranked recommendations: one row per plan with its

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// graphScenario exercises the Monte-Carlo kernel so the trace carries
+// suite→cell→kernel nesting, not just closed-form cells.
+const graphScenario = `{"name": "gi", "workload": {"family": "graph-inference",
+  "graph": {"family": "grid", "vertices": 2000, "seed": 7}, "ops_per_edge": 10, "trials": 2},
+  "hardware": {"preset": "dl980-core"}, "protocol": {"kind": "shared-memory"}, "max_workers": 8}`
+
+// chromeEvent is the slice of the Chrome trace event format the test cares
+// about.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// TestTraceFlagWritesChromeTrace: dmls-plan -adaptive -trace writes a
+// Chrome/Perfetto-loadable file whose spans nest suite→cell→kernel.
+func TestTraceFlagWritesChromeTrace(t *testing.T) {
+	suite := writeSuite(t, goodScenario, graphScenario)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var stdout, stderr bytes.Buffer
+	if got := run(context.Background(), []string{"-suite", suite, "-adaptive", "-trace", tracePath}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", got, stderr.String())
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file not valid JSON: %v", err)
+	}
+	byName := map[string][]chromeEvent{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" && ev.Ph != "M" {
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+		byName[ev.Name] = append(byName[ev.Name], ev)
+	}
+	if len(byName["suite"]) != 1 {
+		t.Fatalf("want exactly 1 suite span, got %d", len(byName["suite"]))
+	}
+	if len(byName["cell"]) == 0 || len(byName["kernel"]) == 0 {
+		t.Fatalf("trace missing cell/kernel spans: %v", keys(byName))
+	}
+	// Nesting: every cell lies within the suite span, and every kernel
+	// within some cell span.
+	within := func(inner, outer chromeEvent) bool {
+		return inner.Ts >= outer.Ts && inner.Ts+inner.Dur <= outer.Ts+outer.Dur
+	}
+	su := byName["suite"][0]
+	for _, c := range byName["cell"] {
+		if !within(c, su) {
+			t.Fatalf("cell span [%v,%v] outside suite [%v,%v]", c.Ts, c.Ts+c.Dur, su.Ts, su.Ts+su.Dur)
+		}
+	}
+	for _, k := range byName["kernel"] {
+		nested := false
+		for _, c := range byName["cell"] {
+			if within(k, c) {
+				nested = true
+				break
+			}
+		}
+		if !nested {
+			t.Fatalf("kernel span at ts=%v not nested in any cell", k.Ts)
+		}
+	}
+	if !strings.Contains(stderr.String(), "wrote") {
+		t.Fatalf("no trace confirmation on stderr: %s", stderr.String())
+	}
+}
+
+func keys(m map[string][]chromeEvent) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -12,7 +12,15 @@
 //	POST /v1/sweep   {"suite": {...}}                 → dmls-sweep -format json output
 //	POST /v1/plan    {"suite": {...}, "adaptive": true} → dmls-plan -format json output
 //	GET  /healthz    liveness: "ok", or 503 "draining" during shutdown
-//	GET  /metrics    request counters + kernel-cache stats, JSON
+//	GET  /metrics    Prometheus text exposition (counters, per-route latency
+//	                 histograms, cache gauges); legacy JSON snapshot under
+//	                 Accept: application/json
+//
+// Observability: every request carries a W3C traceparent (an incoming one
+// is honored, otherwise a trace id is minted) echoed on the response;
+// -access-log emits one structured JSON line per evaluation request with
+// the phase breakdown; -debug-addr serves net/http/pprof on a separate
+// listener so profiling is never exposed on the service address.
 //
 // A /v1/plan response is byte-identical to running dmls-plan -format json
 // over the same suite with the same knobs. Requests past -max-inflight are
@@ -28,7 +36,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,12 +65,29 @@ func run(args []string, stderr *os.File) int {
 		maxCells     = fs.Int("max-cells", 4096, "largest suite grid a request may expand to")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "grace for in-flight requests on SIGTERM before their contexts are cancelled")
 		parallelism  = fs.Int("parallel", 0, "process-wide parallelism budget; 0 means GOMAXPROCS")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables profiling")
+		accessLog    = fs.String("access-log", "", "append structured JSON access-log lines to this file; \"-\" means stderr, empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *parallelism > 0 {
 		core.SetParallelism(*parallelism)
+	}
+
+	var logW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logW = stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "dmls-serve: open access log: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		logW = f
 	}
 
 	srv := serve.New(serve.Config{
@@ -70,7 +97,25 @@ func run(args []string, stderr *os.File) int {
 		MaxInFlight:     *maxInFlight,
 		MaxCells:        *maxCells,
 		DrainTimeout:    *drainTimeout,
+		AccessLog:       logW,
 	})
+
+	if *debugAddr != "" {
+		// Profiling lives on its own listener so it is never exposed on the
+		// service address: the debug mux carries pprof and nothing else.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(stderr, "dmls-serve: pprof on %s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				fmt.Fprintf(stderr, "dmls-serve: pprof listener: %v\n", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

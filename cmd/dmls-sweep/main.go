@@ -42,6 +42,7 @@ import (
 
 	"dmlscale/internal/asciiplot"
 	"dmlscale/internal/core"
+	"dmlscale/internal/obs"
 	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
 	"dmlscale/internal/textio"
@@ -70,6 +71,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		curves      = fs.Bool("curves", false, "print every scenario's full speedup curve (table format)")
 		noPlot      = fs.Bool("no-plot", false, "skip the overlaid speedup plot")
 		stats       = fs.Bool("stats", false, "report kernel-cache hit ratio, curve dedup and wall-time split on stderr")
+		tracePath   = fs.String("trace", "", "write a Chrome/Perfetto trace of the evaluation (suite→cell→kernel spans) to this file")
 		emitExample = fs.Bool("emit-example", false, "print an example sweep suite and exit")
 		keepGoing   = fs.Bool("keep-going", false, "exit 0 even when some scenarios fail (a fully failed suite still exits 1)")
 	)
@@ -101,6 +103,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *parallelism > 0 {
 		core.SetParallelism(*parallelism)
 	}
+	var traceBuf *obs.TraceBuffer
+	if *tracePath != "" {
+		traceBuf = obs.NewTraceBuffer(0)
+		obs.SetRecorder(traceBuf)
+		defer obs.SetRecorder(nil)
+	}
 	start := time.Now()
 	results, evalStats, err := scenario.EvaluateSuiteStatsCtx(ctx, suite, 0)
 	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
@@ -108,6 +116,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	elapsed := time.Since(start)
+	if traceBuf != nil {
+		obs.SetRecorder(nil)
+		if terr := writeTrace(*tracePath, traceBuf); terr != nil {
+			return fail(terr)
+		}
+		fmt.Fprintf(stderr, "dmls-sweep: wrote %d spans to %s\n", traceBuf.Ended(), *tracePath)
+	}
 	reportStats := func() {
 		if *stats {
 			fmt.Fprint(stderr, statsReport(evalStats, registry.SnapshotCaches(), elapsed))
@@ -185,19 +200,59 @@ func exitCode(cmd string, failed, total int, keepGoing bool, stderr io.Writer) i
 	return 1
 }
 
-// statsReport renders the -stats block: the suite-level evaluation figures
-// and the process-wide cache counters (which, in a CLI run, cover exactly
-// this evaluation).
+// statsReport renders the -stats block: the suite-level evaluation figures,
+// the wall-time split (including how much of it was Monte-Carlo kernel
+// compute), the slowest cells and the process-wide cache counters (which, in
+// a CLI run, cover exactly this evaluation).
 func statsReport(st scenario.EvalStats, caches registry.CacheStats, elapsed time.Duration) string {
 	line := fmt.Sprintf("stats: %d cells: %d evaluated, %d deduped, %d pruned, %d refined, %d failed",
 		st.Scenarios, st.Evaluated, st.CurvesDeduped, st.Pruned, st.Refined, st.Failed)
 	if st.Cancelled > 0 {
 		line += fmt.Sprintf(", %d cancelled", st.Cancelled)
 	}
-	return line + fmt.Sprintf("; %v elapsed (build %v + sample %v summed across cells)\n",
+	out := line + fmt.Sprintf("; %v elapsed (build %v + sample %v summed across cells)\n",
 		elapsed.Round(time.Microsecond),
-		st.BuildTime.Round(time.Microsecond), st.SampleTime.Round(time.Microsecond)) +
-		caches.Report()
+		st.BuildTime.Round(time.Microsecond), st.SampleTime.Round(time.Microsecond))
+	out += fmt.Sprintf("stats: kernel compute %v of the sampled time (cache misses only; hits are free)\n",
+		st.KernelComputeTime.Round(time.Microsecond))
+	out += slowestCellsReport(st.SlowestCells)
+	return out + caches.Report()
+}
+
+// slowestCellsReport renders the top-k slowest cells, one line, or nothing
+// when no cell recorded a timing.
+func slowestCellsReport(cells []scenario.CellTiming) string {
+	if len(cells) == 0 {
+		return ""
+	}
+	out := "stats: slowest cells:"
+	for i, ct := range cells {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf(" %s %v", ct.Name, ct.Total.Round(time.Microsecond))
+		if ct.Build > 0 || ct.Sample > 0 {
+			out += fmt.Sprintf(" (build %v + sample %v)",
+				ct.Build.Round(time.Microsecond), ct.Sample.Round(time.Microsecond))
+		}
+	}
+	return out + "\n"
+}
+
+// writeTrace flushes the recorded spans as a Chrome/Perfetto trace file.
+func writeTrace(path string, buf *obs.TraceBuffer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := buf.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	return nil
 }
 
 // summaryTable renders one row per scenario: optimum, peak, tail speedup,

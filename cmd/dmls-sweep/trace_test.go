@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTracedSweepOutputBitIdentical: -trace must observe, never perturb —
+// the JSON export of a traced sweep equals the untraced one byte for byte.
+func TestTracedSweepOutputBitIdentical(t *testing.T) {
+	suite := writeSuite(t, goodScenario)
+	var plain, traced, stderr bytes.Buffer
+	if got := run(context.Background(), []string{"-suite", suite, "-format", "json"}, &plain, &stderr); got != 0 {
+		t.Fatalf("untraced run: exit %d\n%s", got, stderr.String())
+	}
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	stderr.Reset()
+	if got := run(context.Background(), []string{"-suite", suite, "-format", "json", "-trace", tracePath}, &traced, &stderr); got != 0 {
+		t.Fatalf("traced run: exit %d\n%s", got, stderr.String())
+	}
+	if !bytes.Equal(plain.Bytes(), traced.Bytes()) {
+		t.Fatalf("traced output differs from untraced:\nuntraced: %s\ntraced:   %s", plain.String(), traced.String())
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+}
+
+// TestStatsReportsWallSplit: the extended -stats block attributes kernel
+// compute time and names the slowest cells.
+func TestStatsReportsWallSplit(t *testing.T) {
+	suite := writeSuite(t, goodScenario)
+	var stdout, stderr bytes.Buffer
+	if got := run(context.Background(), []string{"-suite", suite, "-stats"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d\n%s", got, stderr.String())
+	}
+	for _, want := range []string{"kernel compute", "slowest cells"} {
+		if !bytes.Contains(stderr.Bytes(), []byte(want)) {
+			t.Fatalf("-stats missing %q:\n%s", want, stderr.String())
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"dmlscale/internal/obs"
 )
 
 // drainBudget verifies every shared-budget token is back in the pool — the
@@ -227,6 +229,60 @@ func TestEvaluateStreamCtxCancelledWaiter(t *testing.T) {
 	}
 	if dup.Err != nil && !dup.IsCancelled() {
 		t.Fatalf("dup should be cancelled or deduped, got %v", dup.Err)
+	}
+	drainBudget(t)
+}
+
+// TestCancelledEvaluationEndsAllSpans: span recording under cancellation
+// must leave no span open — every cell/build/sample span begun before the
+// cancel ends inside the recover path, so a deadlined run still produces a
+// well-formed trace instead of leaking half-open spans.
+func TestCancelledEvaluationEndsAllSpans(t *testing.T) {
+	buf := obs.NewTraceBuffer(0)
+	obs.SetRecorder(buf)
+	defer obs.SetRecorder(nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workers := Range(1, 4)
+	const n = 32
+	jobs := make([]Job, n)
+	var evaluated atomic.Int64
+	for i := range jobs {
+		name := fmt.Sprintf("span-job-%03d", i)
+		jobs[i] = Job{
+			Name: name,
+			Build: func() (Model, error) {
+				if evaluated.Add(1) == 4 {
+					cancel()
+				}
+				return testModel(name, 100, 1), nil
+			},
+			Workers: workers,
+		}
+	}
+	results := EvaluateAllCtx(ctx, jobs, 4)
+	if len(results) != n {
+		t.Fatalf("%d results for %d jobs", len(results), n)
+	}
+	obs.SetRecorder(nil)
+
+	if open := buf.Open(); open != 0 {
+		t.Fatalf("%d spans still open after a cancelled evaluation (begun %d, ended %d)",
+			open, buf.Begun(), buf.Ended())
+	}
+	if buf.Ended() == 0 {
+		t.Fatal("no spans recorded at all; the recorder was not engaged")
+	}
+	for _, s := range buf.Spans() {
+		if s.EndTime().Before(s.StartTime()) {
+			t.Fatalf("span %q ends before it starts", s.Name())
+		}
+		switch s.Name() {
+		case "cell", "build", "sample", "dedup", "kernel", "mc-shard":
+		default:
+			t.Fatalf("unexpected span name %q", s.Name())
+		}
 	}
 	drainBudget(t)
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dmlscale/internal/obs"
 )
 
 // Job is one curve to evaluate: a model builder plus the worker counts to
@@ -230,6 +232,7 @@ func EvaluateAllCtx(ctx context.Context, jobs []Job, parallelism int) []JobResul
 		curve := rep.Curve
 		curve.Name = jobs[i].Name
 		results[i] = JobResult{Name: jobs[i].Name, Curve: curve, Deduped: true}
+		recordDedup(ctx, jobs[i].Name)
 	}
 	var dupVisited []bool
 	if ctx.Done() != nil {
@@ -249,6 +252,15 @@ func EvaluateAllCtx(ctx context.Context, jobs []Job, parallelism int) []JobResul
 	return results
 }
 
+// recordDedup emits an instant span marking a curve served by relabeling a
+// representative's instead of evaluating — visible in traces as zero-cost
+// cells. Free when tracing is off.
+func recordDedup(ctx context.Context, name string) {
+	_, sp := obs.Start(ctx, "dedup")
+	sp.SetString("cell", name)
+	sp.End()
+}
+
 // evaluateOne runs a single job, converting panics into errors so a broken
 // model cannot kill the pool. A done context short-circuits to a cancelled
 // result, and a panic that carries a context error — the idiom model
@@ -257,14 +269,27 @@ func EvaluateAllCtx(ctx context.Context, jobs []Job, parallelism int) []JobResul
 // error.
 func evaluateOne(ctx context.Context, job Job) (res JobResult) {
 	res.Name = job.Name
+	// The cell span parents everything the job does — including kernel
+	// work the model runs at sample time through the build-captured ctx —
+	// so traces nest suite→cell→kernel. Build/sample phase spans are
+	// timing children only; their contexts are not propagated, because the
+	// model closure outlives the build phase. All spans end in the recover
+	// defer so a panicking (or cancelled-by-panic) job leaks none.
+	ctx, span := obs.Start(ctx, "cell")
+	span.SetString("cell", job.Name)
+	var bspan, sspan *obs.Span
 	defer func() {
 		if r := recover(); r != nil {
 			if err, ok := r.(error); ok && isCtxErr(err) {
 				res = cancelResult(job.Name, err)
-				return
+			} else {
+				res.Err = fmt.Errorf("core: job %q panicked: %v", job.Name, r)
 			}
-			res.Err = fmt.Errorf("core: job %q panicked: %v", job.Name, r)
 		}
+		bspan.End()
+		sspan.End()
+		span.SetError(res.Err)
+		span.End()
 	}()
 	if err := ctx.Err(); err != nil {
 		return cancelResult(job.Name, err)
@@ -278,7 +303,9 @@ func evaluateOne(ctx context.Context, job Job) (res JobResult) {
 		return res
 	}
 	start := time.Now()
+	_, bspan = obs.Start(ctx, "build")
 	model, err := build()
+	bspan.End()
 	res.BuildTime = time.Since(start)
 	if err != nil {
 		if isCtxErr(err) {
@@ -292,7 +319,9 @@ func evaluateOne(ctx context.Context, job Job) (res JobResult) {
 		base = 1
 	}
 	start = time.Now()
+	_, sspan = obs.Start(ctx, "sample")
 	curve, err := model.SpeedupCurveRelative(base, job.Workers)
+	sspan.End()
 	res.SampleTime = time.Since(start)
 	if err != nil {
 		if isCtxErr(err) {

@@ -176,6 +176,7 @@ func EvaluateStreamCtx(ctx context.Context, next func() (StreamJob, bool), paral
 			}
 			curve := rep.Curve
 			curve.Name = t.sj.Job.Name
+			recordDedup(ctx, t.sj.Job.Name)
 			emit(t.sj.Index, JobResult{Name: t.sj.Job.Name, Curve: curve, Deduped: true})
 		default:
 			emit(t.sj.Index, evaluateOne(ctx, t.sj.Job))

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceBuffer is a Recorder that retains ended spans in memory, capped at
+// a fixed capacity (oldest spans are never evicted; later spans are
+// dropped and counted, so the suite/root spans that frame a run survive).
+// It also tracks how many spans were started versus ended, which lets
+// tests assert that cancellation does not leak open spans.
+type TraceBuffer struct {
+	begun   atomic.Int64
+	ended   atomic.Int64
+	dropped atomic.Int64
+
+	mu    sync.Mutex
+	cap   int
+	spans []*Span
+}
+
+// NewTraceBuffer returns a buffer retaining at most capacity spans;
+// capacity <= 0 means a generous default.
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	return &TraceBuffer{cap: capacity}
+}
+
+// SpanStarted implements Recorder.
+func (b *TraceBuffer) SpanStarted() { b.begun.Add(1) }
+
+// SpanEnded implements Recorder.
+func (b *TraceBuffer) SpanEnded(s *Span) {
+	b.ended.Add(1)
+	b.mu.Lock()
+	if len(b.spans) < b.cap {
+		b.spans = append(b.spans, s)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	b.dropped.Add(1)
+}
+
+// Begun returns how many spans were started while this buffer was the
+// recorder.
+func (b *TraceBuffer) Begun() int64 { return b.begun.Load() }
+
+// Ended returns how many spans have ended.
+func (b *TraceBuffer) Ended() int64 { return b.ended.Load() }
+
+// Open returns started-minus-ended — the number of spans still in flight
+// (or leaked, once the traced work has fully returned).
+func (b *TraceBuffer) Open() int64 { return b.begun.Load() - b.ended.Load() }
+
+// Dropped returns how many ended spans were discarded for capacity.
+func (b *TraceBuffer) Dropped() int64 { return b.dropped.Load() }
+
+// Spans returns a snapshot of the retained spans in arrival order.
+func (b *TraceBuffer) Spans() []*Span {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*Span, len(b.spans))
+	copy(out, b.spans)
+	return out
+}
+
+// traceEvent is one Chrome trace-event-format record ("X" = complete
+// event). Timestamps and durations are microseconds.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object chrome://tracing and Perfetto
+// both load.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the retained spans in Chrome trace event
+// format (loadable in chrome://tracing and ui.perfetto.dev). Complete
+// ("X") events must nest properly within a track, so tracks (tids) are
+// assigned at export time: a child renders on its parent's track when it
+// does not overlap an already-placed sibling, and overlapping spans —
+// concurrent cells, Monte-Carlo shards — fan out onto the first free
+// track. The result reads like a flame chart per worker lane.
+func (b *TraceBuffer) WriteChromeTrace(w io.Writer) error {
+	spans := b.Spans()
+	sort.SliceStable(spans, func(i, j int) bool {
+		return spans[i].StartTime().Before(spans[j].StartTime())
+	})
+
+	byID := make(map[uint64]*Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID()] = s
+	}
+	// Children in start order; a child whose interval escapes its parent's
+	// (possible only if spans are misused across goroutines) is treated as
+	// a root so the output stays loadable.
+	children := make(map[uint64][]*Span, len(spans))
+	var roots []*Span
+	for _, s := range spans {
+		if p, ok := byID[s.Parent()]; ok && encloses(p, s) {
+			children[p.ID()] = append(children[p.ID()], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+
+	var (
+		events   []traceEvent
+		laneEnds []time.Time // per-track end of the last span placed on it
+		epoch    time.Time
+	)
+	if len(spans) > 0 {
+		epoch = spans[0].StartTime()
+	}
+	acquireLane := func(start time.Time) int {
+		for i, end := range laneEnds {
+			if !start.Before(end) {
+				return i
+			}
+		}
+		laneEnds = append(laneEnds, time.Time{})
+		return len(laneEnds) - 1
+	}
+	var place func(s *Span, lane int)
+	place = func(s *Span, lane int) {
+		if laneEnds[lane].Before(s.EndTime()) {
+			laneEnds[lane] = s.EndTime()
+		}
+		ev := traceEvent{
+			Name: s.Name(),
+			Cat:  "dmls",
+			Ph:   "X",
+			Ts:   float64(s.StartTime().Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(s.Duration()) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  lane + 1,
+		}
+		if attrs := s.Attrs(); len(attrs) > 0 || s.Parent() != 0 {
+			ev.Args = make(map[string]string, len(attrs)+1)
+			for _, a := range attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+		lastEnd := s.StartTime()
+		for _, c := range children[s.ID()] {
+			if !c.StartTime().Before(lastEnd) {
+				place(c, lane)
+				// The parent still owns this lane until it ends.
+				if laneEnds[lane].Before(s.EndTime()) {
+					laneEnds[lane] = s.EndTime()
+				}
+			} else {
+				place(c, acquireLane(c.StartTime()))
+			}
+			if c.EndTime().After(lastEnd) {
+				lastEnd = c.EndTime()
+			}
+		}
+	}
+	for _, r := range roots {
+		place(r, acquireLane(r.StartTime()))
+	}
+
+	if d := b.Dropped(); d > 0 {
+		events = append(events, traceEvent{
+			Name: "spans-dropped",
+			Cat:  "dmls",
+			Ph:   "X",
+			Ts:   0,
+			Dur:  0,
+			Pid:  1,
+			Tid:  1,
+			Args: map[string]string{"dropped": strconv.FormatInt(d, 10)},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// encloses reports whether child's interval lies within parent's.
+func encloses(parent, child *Span) bool {
+	return !child.StartTime().Before(parent.StartTime()) &&
+		!child.EndTime().After(parent.EndTime())
+}

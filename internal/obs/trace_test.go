@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// decodeTrace parses WriteChromeTrace output back into its event list.
+func decodeTrace(t *testing.T, buf *TraceBuffer) []traceEvent {
+	t.Helper()
+	var out bytes.Buffer
+	if err := buf.WriteChromeTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	var trace chromeTrace
+	if err := json.Unmarshal(out.Bytes(), &trace); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, out.String())
+	}
+	return trace.TraceEvents
+}
+
+func TestWriteChromeTraceNesting(t *testing.T) {
+	resetRecorder(t)
+	buf := NewTraceBuffer(64)
+	SetRecorder(buf)
+
+	ctx, suite := Start(context.Background(), "suite")
+	cctx, cell := Start(ctx, "cell")
+	_, kernel := Start(cctx, "kernel")
+	kernel.End()
+	cell.End()
+	// A second, sequential cell should be able to share the first's lane.
+	_, cell2 := Start(ctx, "cell")
+	cell2.End()
+	suite.End()
+	SetRecorder(nil)
+
+	events := decodeTrace(t, buf)
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	byName := map[string][]traceEvent{}
+	for _, ev := range events {
+		if ev.Ph != "X" || ev.Pid != 1 || ev.Tid < 1 || ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("malformed event: %+v", ev)
+		}
+		byName[ev.Name] = append(byName[ev.Name], ev)
+	}
+	s := byName["suite"][0]
+	k := byName["kernel"][0]
+	for _, c := range byName["cell"] {
+		if c.Ts < s.Ts || c.Ts+c.Dur > s.Ts+s.Dur+0.001 {
+			t.Fatalf("cell [%g,%g] escapes suite [%g,%g]", c.Ts, c.Ts+c.Dur, s.Ts, s.Ts+s.Dur)
+		}
+	}
+	c0 := byName["cell"][0]
+	if k.Ts < c0.Ts || k.Ts+k.Dur > c0.Ts+c0.Dur+0.001 {
+		t.Fatalf("kernel [%g,%g] escapes cell [%g,%g]", k.Ts, k.Ts+k.Dur, c0.Ts, c0.Ts+c0.Dur)
+	}
+}
+
+func TestWriteChromeTraceConcurrentSpansGetDistinctLanes(t *testing.T) {
+	resetRecorder(t)
+	buf := NewTraceBuffer(64)
+	SetRecorder(buf)
+
+	ctx, parent := Start(context.Background(), "parent")
+	// Two children open at once: they overlap and must not share a lane.
+	_, a := Start(ctx, "shard-a")
+	_, b := Start(ctx, "shard-b")
+	a.End()
+	b.End()
+	parent.End()
+	SetRecorder(nil)
+
+	events := decodeTrace(t, buf)
+	lanes := map[string]int{}
+	for _, ev := range events {
+		lanes[ev.Name] = ev.Tid
+	}
+	if lanes["shard-a"] == lanes["shard-b"] {
+		// Only a failure if they truly overlap in exported time.
+		var ea, eb traceEvent
+		for _, ev := range events {
+			if ev.Name == "shard-a" {
+				ea = ev
+			}
+			if ev.Name == "shard-b" {
+				eb = ev
+			}
+		}
+		if ea.Ts < eb.Ts+eb.Dur && eb.Ts < ea.Ts+ea.Dur {
+			t.Fatalf("overlapping spans share lane %d", lanes["shard-a"])
+		}
+	}
+}
+
+func TestWriteChromeTraceEmptyBuffer(t *testing.T) {
+	buf := NewTraceBuffer(4)
+	var out bytes.Buffer
+	if err := buf.WriteChromeTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	var trace chromeTrace
+	if err := json.Unmarshal(out.Bytes(), &trace); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) != 0 {
+		t.Fatalf("empty buffer produced %d events", len(trace.TraceEvents))
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"dmlscale/internal/core"
 	"dmlscale/internal/graph"
 	"dmlscale/internal/memo"
+	"dmlscale/internal/obs"
 )
 
 // Assignment maps each vertex to a worker in [0, Workers).
@@ -249,6 +250,10 @@ func MonteCarloMaxEdgesCtx(ctx context.Context, degrees []int32, workers, trials
 	done := ctx.Done()
 	maxes := make([]float64, trials)
 	core.ParallelChunks(trials, func(lo, hi int) {
+		_, shard := obs.Start(ctx, "mc-shard")
+		shard.SetInt("trials", int64(hi-lo))
+		shard.SetInt("workers", int64(workers))
+		defer shard.End()
 		owner := make([]int32, len(degrees))
 		loads := make([]int64, workers)
 		rng := rand.New(rand.NewSource(0))

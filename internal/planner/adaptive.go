@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"dmlscale/internal/core"
+	"dmlscale/internal/obs"
+	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
 	"dmlscale/internal/units"
 )
@@ -95,6 +98,12 @@ func PlanSuiteCtx(ctx context.Context, s scenario.Suite, objective Objective, pa
 	}
 	n := cs.Len()
 
+	ctx, span := obs.Start(ctx, "suite")
+	span.SetString("suite", s.Name)
+	span.SetInt("cells", int64(n))
+	defer span.End()
+	kernelBefore := registry.KernelComputeTime()
+
 	var plans []Plan
 	var stats scenario.EvalStats
 	if !opts.adaptive() {
@@ -132,7 +141,13 @@ func PlanSuiteCtx(ctx context.Context, s scenario.Suite, objective Objective, pa
 		case !plans[i].Pruned:
 			stats.Evaluated++
 		}
+		stats.PlanTime += plans[i].PlanTime
+		if !plans[i].Pruned {
+			stats.SlowestCells = scenario.RecordCellTiming(stats.SlowestCells,
+				scenario.CellTiming{Name: plans[i].Scenario.Name, Total: plans[i].PlanTime})
+		}
 	}
+	stats.KernelComputeTime = registry.KernelComputeTime() - kernelBefore
 	markPareto(plans)
 	rankPlans(plans, objective)
 	return Report{Suite: s.Name, Objective: objective, Plans: plans}, stats, ctx.Err()
@@ -146,10 +161,15 @@ func adaptivePass(ctx context.Context, cs *scenario.CellSet, parallelism int, op
 	n := cs.Len()
 	cells := make([]scenario.Cell, n)
 	bounds := make([]cellBound, n)
-	core.ForEachCtx(ctx, n, parallelism, func(i int) {
+	boundStart := time.Now()
+	bctx, bspan := obs.Start(ctx, "bound-pass")
+	bspan.SetInt("cells", int64(n))
+	core.ForEachCtx(bctx, n, parallelism, func(i int) {
 		cells[i] = cs.At(i)
 		bounds[i] = boundFor(cells[i].Scenario)
 	})
+	bspan.End()
+	boundTime := time.Since(boundStart)
 	if err := ctx.Err(); err != nil {
 		// Cancelled during the (cheap) bound pass: report every cell as
 		// cancelled. Cell expansion is catalog work, so re-materializing the
@@ -159,7 +179,7 @@ func adaptivePass(ctx context.Context, cs *scenario.CellSet, parallelism int, op
 			cells[i] = cs.At(i)
 			plans[i] = cancelledPlan(cells[i].Scenario, err)
 		}
-		return plans, cells, scenario.EvalStats{}
+		return plans, cells, scenario.EvalStats{BoundTime: boundTime}
 	}
 
 	// Best-bound-first order: bounded cells by ascending (time, cost) so
@@ -207,7 +227,7 @@ func adaptivePass(ctx context.Context, cs *scenario.CellSet, parallelism int, op
 			plans[i] = cancelledPlan(cells[i].Scenario, ctx.Err())
 		}
 	}
-	return plans, cells, scenario.EvalStats{Pruned: int(pruned.Load())}
+	return plans, cells, scenario.EvalStats{Pruned: int(pruned.Load()), BoundTime: boundTime}
 }
 
 // planCell plans one cell under the adaptive regime: prune on a provably
@@ -217,6 +237,7 @@ func planCell(ctx context.Context, c scenario.Cell, b cellBound, frontier *Front
 	if b.ok {
 		if b.overBudget(opts) {
 			pruned.Add(1)
+			recordPrune(ctx, c.Scenario.Name, "over-budget")
 			p := prunedPlan(c, b)
 			p.Infeasible = true
 			p.Notice = "pruned: optimistic bound exceeds the cost/time budget"
@@ -229,6 +250,7 @@ func planCell(ctx context.Context, c scenario.Cell, b cellBound, frontier *Front
 		// that could have competed.
 		if opts.Prune && b.dominated(frontier) {
 			pruned.Add(1)
+			recordPrune(ctx, c.Scenario.Name, "dominated")
 			return prunedPlan(c, b)
 		}
 	}
@@ -237,6 +259,16 @@ func planCell(ctx context.Context, c scenario.Cell, b cellBound, frontier *Front
 		frontier.Insert(float64(p.Optimal.Time), p.Optimal.Cost)
 	}
 	return p
+}
+
+// recordPrune emits an instant span marking a cell skipped on its bound —
+// visible in traces as the cells the adaptive pass never paid for. Free
+// when tracing is off.
+func recordPrune(ctx context.Context, name, reason string) {
+	_, sp := obs.Start(ctx, "prune")
+	sp.SetString("cell", name)
+	sp.SetString("reason", reason)
+	sp.End()
 }
 
 // prunedPlan reports a cell skipped on its bound, carrying the resolution

@@ -1,0 +1,76 @@
+package planner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dmlscale/internal/obs"
+)
+
+// TestDeadlinedPlanSuiteCtxEndsAllSpans: a planning pass whose deadline has
+// already expired must still emit well-formed spans — everything begun is
+// ended, nothing leaks — so a trace of a timed-out plan loads cleanly.
+func TestDeadlinedPlanSuiteCtxEndsAllSpans(t *testing.T) {
+	buf := obs.NewTraceBuffer(0)
+	obs.SetRecorder(buf)
+	defer obs.SetRecorder(nil)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	suite := planTestSuite()
+	_, stats, err := PlanSuiteCtx(ctx, suite, ObjectivePareto, 0, Options{Prune: true, RefineRounds: 1})
+	if err == nil {
+		t.Fatal("expired deadline produced no error")
+	}
+	obs.SetRecorder(nil)
+
+	if open := buf.Open(); open != 0 {
+		t.Fatalf("%d spans still open after a deadlined plan (begun %d, ended %d)",
+			open, buf.Begun(), buf.Ended())
+	}
+	if buf.Ended() == 0 {
+		t.Fatal("no spans recorded; the planner never engaged the recorder")
+	}
+	for _, s := range buf.Spans() {
+		if s.EndTime().Before(s.StartTime()) {
+			t.Fatalf("span %q ends before it starts", s.Name())
+		}
+	}
+	if stats.Cancelled == 0 {
+		t.Fatalf("stats.Cancelled = 0 under an expired deadline: %+v", stats)
+	}
+}
+
+// TestTracedPlanMatchesUntraced: recording spans must not change the plan —
+// the traced and untraced passes rank identically, cell for cell.
+func TestTracedPlanMatchesUntraced(t *testing.T) {
+	suite := planTestSuite()
+	plain, _, err := PlanSuiteCtx(context.Background(), suite, ObjectivePareto, 0, Options{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := obs.NewTraceBuffer(0)
+	obs.SetRecorder(buf)
+	defer obs.SetRecorder(nil)
+	traced, _, err := PlanSuiteCtx(context.Background(), suite, ObjectivePareto, 0, Options{Prune: true})
+	obs.SetRecorder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(plain.Plans) != len(traced.Plans) {
+		t.Fatalf("plan counts differ: %d untraced, %d traced", len(plain.Plans), len(traced.Plans))
+	}
+	for i := range plain.Plans {
+		p, q := plain.Plans[i], traced.Plans[i]
+		if p.Scenario.Name != q.Scenario.Name || p.Rank != q.Rank ||
+			p.Optimal != q.Optimal || p.Pruned != q.Pruned || p.Pareto != q.Pareto {
+			t.Fatalf("plan %d diverged under tracing:\nuntraced: %+v\ntraced:   %+v", i, p, q)
+		}
+	}
+	if buf.Ended() == 0 {
+		t.Fatal("traced pass recorded no spans")
+	}
+}

@@ -31,8 +31,10 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"time"
 
 	"dmlscale/internal/convergence"
+	"dmlscale/internal/obs"
 	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
 	"dmlscale/internal/units"
@@ -124,6 +126,10 @@ type Plan struct {
 	Rank int
 	// Err records why planning failed; other plans are unaffected.
 	Err error
+	// PlanTime is the wall time spent planning this cell — model
+	// construction, curve pricing, optimum search. Pruned cells carry the
+	// (tiny) bound-check time; cancelled stubs carry zero.
+	PlanTime time.Duration
 }
 
 // Report is a ranked set of plans for one suite.
@@ -177,14 +183,20 @@ func PlanSuite(s scenario.Suite, objective Objective, parallelism int) (Report, 
 // error.
 func planOne(ctx context.Context, sc scenario.Scenario) (p Plan) {
 	p.Scenario = sc
+	start := time.Now()
+	ctx, span := obs.Start(ctx, "cell")
+	span.SetString("cell", sc.Name)
 	defer func() {
 		if r := recover(); r != nil {
 			if err, ok := r.(error); ok && isCtxErr(err) {
 				p = cancelledPlan(sc, err)
-				return
+			} else {
+				p.Err = fmt.Errorf("planner: scenario %q panicked: %v", sc.Name, r)
 			}
-			p.Err = fmt.Errorf("planner: scenario %q panicked: %v", sc.Name, r)
 		}
+		p.PlanTime = time.Since(start)
+		span.SetError(p.Err)
+		span.End()
 	}()
 	if err := ctx.Err(); err != nil {
 		return cancelledPlan(sc, err)

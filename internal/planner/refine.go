@@ -5,8 +5,10 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"dmlscale/internal/core"
+	"dmlscale/internal/obs"
 	"dmlscale/internal/scenario"
 )
 
@@ -45,6 +47,14 @@ func refineFrontier(ctx context.Context, plans []Plan, cells []scenario.Cell, pa
 			// Refinement only adds optional off-grid candidates; a cancelled
 			// run keeps the plans it has instead of minting cancelled stubs.
 			return plans
+		}
+		roundStart := time.Now()
+		rctx, rspan := obs.Start(ctx, "refine-round")
+		rspan.SetInt("round", int64(round+1))
+		endRound := func(candidates int) {
+			rspan.SetInt("candidates", int64(candidates))
+			rspan.End()
+			stats.RefineTime += time.Since(roundStart)
 		}
 		eligible := make([]int, 0, len(plans))
 		for i := range plans {
@@ -88,6 +98,7 @@ func refineFrontier(ctx context.Context, plans []Plan, cells []scenario.Cell, pa
 			}
 		}
 		if len(cand) == 0 {
+			endRound(0)
 			return plans
 		}
 
@@ -104,11 +115,11 @@ func refineFrontier(ctx context.Context, plans []Plan, cells []scenario.Cell, pa
 		if ctx.Done() != nil {
 			visited = make([]bool, len(cand))
 		}
-		core.ForEachCtx(ctx, len(cand), parallelism, func(k int) {
+		core.ForEachCtx(rctx, len(cand), parallelism, func(k int) {
 			if visited != nil {
 				visited[k] = true
 			}
-			newPlans[k] = planCell(ctx, cand[k], boundFor(cand[k].Scenario), &frontier, opts, &pruned)
+			newPlans[k] = planCell(rctx, cand[k], boundFor(cand[k].Scenario), &frontier, opts, &pruned)
 			newPlans[k].Refined = true
 		})
 		for k := range visited {
@@ -122,6 +133,7 @@ func refineFrontier(ctx context.Context, plans []Plan, cells []scenario.Cell, pa
 		stats.Pruned += int(pruned.Load())
 		stats.Refined += len(cand)
 		stats.RefineRounds++
+		endRound(len(cand))
 	}
 	return plans
 }

@@ -3,6 +3,8 @@ package registry
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"dmlscale/internal/graph"
 	"dmlscale/internal/memo"
@@ -96,6 +98,19 @@ func (s CacheStats) Report() string {
 	return b.String()
 }
 
+// kernelComputeNanos accumulates wall time spent actually computing
+// Monte-Carlo kernels — cache misses only; hits and single-flight waits
+// add nothing. Process-wide like the caches, zeroed by ResetCaches.
+var kernelComputeNanos atomic.Int64
+
+// KernelComputeTime returns the cumulative wall time spent computing
+// Monte-Carlo kernels since process start (or the last ResetCaches).
+// Snapshot before and after a run to attribute kernel time to it; in a
+// multi-tenant server concurrent runs make per-run deltas approximate.
+func KernelComputeTime() time.Duration {
+	return time.Duration(kernelComputeNanos.Load())
+}
+
 // SnapshotCaches returns the current counters of the registry's caches.
 // Counters accumulate until ResetCaches; snapshot before and after a run to
 // attribute figures to it.
@@ -115,6 +130,7 @@ func ResetCaches() {
 	degreeCache.Reset()
 	graphCache.Reset()
 	estimateCache.Reset()
+	kernelComputeNanos.Store(0)
 }
 
 // ResetGraphCache is the historical name of ResetCaches, kept as a wrapper.

@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"dmlscale/internal/asyncgd"
 	"dmlscale/internal/bp"
@@ -30,6 +31,7 @@ import (
 	"dmlscale/internal/hardware"
 	"dmlscale/internal/memo"
 	"dmlscale/internal/nncost"
+	"dmlscale/internal/obs"
 	"dmlscale/internal/partition"
 	"dmlscale/internal/units"
 )
@@ -1072,17 +1074,31 @@ func GraphInferenceModelCtx(ctx context.Context, name string, degrees []int32, o
 		}
 		key := estimateKey{fnv: fnv, mix: mix, vertices: len(degrees), workers: n, trials: trials, seed: seed}
 		v, err := estimateCache.DoCtx(ctx, key, func() (float64, error) {
-			if err := injectKernelFault(ctx, KernelCall{
+			// Only cache misses reach this closure, so the span and the
+			// process-wide compute-time accumulator measure actual kernel
+			// work — hits and single-flight waits cost neither.
+			kstart := time.Now()
+			kctx, kspan := obs.Start(ctx, "kernel")
+			kspan.SetInt("workers", int64(n))
+			kspan.SetInt("trials", int64(trials))
+			kspan.SetInt("vertices", int64(len(degrees)))
+			defer func() {
+				kspan.End()
+				kernelComputeNanos.Add(int64(time.Since(kstart)))
+			}()
+			if err := injectKernelFault(kctx, KernelCall{
 				Fingerprint: fnv,
 				Vertices:    len(degrees),
 				Workers:     n,
 				Trials:      trials,
 				Seed:        seed,
 			}); err != nil {
+				kspan.SetError(err)
 				return 0, err
 			}
-			est, err := partition.MonteCarloMaxEdgesCtx(ctx, degrees, n, trials, seed)
+			est, err := partition.MonteCarloMaxEdgesCtx(kctx, degrees, n, trials, seed)
 			if err != nil {
+				kspan.SetError(err)
 				return 0, err
 			}
 			return est.MaxEdges, nil

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dmlscale/internal/core"
+	"dmlscale/internal/obs"
 	"dmlscale/internal/registry"
 )
 
@@ -210,6 +211,67 @@ type EvalStats struct {
 	// RefineRounds the refinement rounds that produced them.
 	Refined      int
 	RefineRounds int
+	// PlanTime is the summed per-cell planning time (model construction,
+	// curve pricing, optimum search). Always 0 for plain evaluation
+	// passes; the planner fills it.
+	PlanTime time.Duration
+	// BoundTime is the wall time of the adaptive planner's bound pass —
+	// computing every cell's optimistic cost×time bound plus the prune
+	// bookkeeping against the forming frontier. 0 outside adaptive plans.
+	BoundTime time.Duration
+	// RefineTime is the wall time of the adaptive planner's frontier
+	// refinement rounds. 0 outside adaptive plans.
+	RefineTime time.Duration
+	// KernelComputeTime is how much of the pass went into actually
+	// computing Monte-Carlo kernels (cache misses; hits cost nothing),
+	// measured as the registry accumulator's delta across the pass. It
+	// overlaps BuildTime/SampleTime/PlanTime — it attributes them, it does
+	// not add to them. Concurrent passes in one process (a busy server)
+	// make the delta approximate.
+	KernelComputeTime time.Duration
+	// SlowestCells are the top few cells by wall time, descending — where
+	// an extended -stats report points first. Total is always set; Build
+	// and Sample split it only on evaluation passes (the planner does not
+	// split per-cell time).
+	SlowestCells []CellTiming
+}
+
+// CellTiming attributes one cell's wall time for top-k reporting.
+type CellTiming struct {
+	// Name is the cell's scenario name.
+	Name string
+	// Total is the cell's whole wall time.
+	Total time.Duration
+	// Build and Sample split Total on evaluation passes; both are zero
+	// when the pass does not split per-cell time (adaptive planning).
+	Build  time.Duration
+	Sample time.Duration
+}
+
+// maxSlowestCells bounds EvalStats.SlowestCells.
+const maxSlowestCells = 5
+
+// RecordCellTiming inserts one cell's timing into the descending top-k
+// list, dropping it if it is too fast to rank. Shared by the suite
+// evaluator and the planner so both report the same shape.
+func RecordCellTiming(top []CellTiming, ct CellTiming) []CellTiming {
+	if ct.Total <= 0 {
+		return top
+	}
+	i := len(top)
+	for i > 0 && top[i-1].Total < ct.Total {
+		i--
+	}
+	if i >= maxSlowestCells {
+		return top
+	}
+	top = append(top, CellTiming{})
+	copy(top[i+1:], top[i:])
+	top[i] = ct
+	if len(top) > maxSlowestCells {
+		top = top[:maxSlowestCells]
+	}
+	return top
 }
 
 // EvaluateSuite expands the suite and computes every curve concurrently on
@@ -252,6 +314,11 @@ func EvaluateSuiteStatsCtx(ctx context.Context, s Suite, parallelism int) ([]Res
 	if err != nil {
 		return nil, EvalStats{}, err
 	}
+	ctx, span := obs.Start(ctx, "suite")
+	span.SetString("suite", s.Name)
+	span.SetInt("cells", int64(cs.Len()))
+	defer span.End()
+	kernelBefore := registry.KernelComputeTime()
 	evaluated := make([]core.JobResult, cs.Len())
 	pull := cs.Next()
 	next := func() (core.StreamJob, bool) {
@@ -292,8 +359,15 @@ func EvaluateSuiteStatsCtx(ctx context.Context, s Suite, parallelism int) ([]Res
 		}
 		stats.BuildTime += ev.BuildTime
 		stats.SampleTime += ev.SampleTime
+		stats.SlowestCells = RecordCellTiming(stats.SlowestCells, CellTiming{
+			Name:   ev.Name,
+			Total:  ev.BuildTime + ev.SampleTime,
+			Build:  ev.BuildTime,
+			Sample: ev.SampleTime,
+		})
 		results[i] = res
 	}
+	stats.KernelComputeTime = registry.KernelComputeTime() - kernelBefore
 	return results, stats, ctx.Err()
 }
 

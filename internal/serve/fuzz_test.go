@@ -103,7 +103,7 @@ func FuzzPlanRequest(f *testing.F) {
 		default:
 			t.Fatalf("status %d for input %q; the request path must never 5xx on malformed input", rec.Code, body)
 		}
-		if n := srv.panics.Load(); n != 0 {
+		if n := srv.panics.Value(); n != 0 {
 			t.Fatalf("handler panicked (contained) on input %q", body)
 		}
 	})

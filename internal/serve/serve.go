@@ -31,10 +31,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"dmlscale/internal/core"
+	"dmlscale/internal/obs"
 	"dmlscale/internal/planner"
 	"dmlscale/internal/registry"
 	"dmlscale/internal/scenario"
@@ -59,6 +62,11 @@ type Config struct {
 	// DrainTimeout bounds how long Run waits for in-flight requests after
 	// shutdown begins before cancelling their contexts; default 10s.
 	DrainTimeout time.Duration
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// evaluation request: trace id, status, duration and the evaluation's
+	// phase breakdown (build/sample/plan/kernel time). Writes are
+	// serialized; nil disables access logging.
+	AccessLog io.Writer
 }
 
 // withDefaults fills unset fields.
@@ -119,15 +127,27 @@ type Server struct {
 	start     time.Time
 	boundAddr atomic.Pointer[string]
 
-	requests        atomic.Int64
-	sweeps          atomic.Int64
-	plans           atomic.Int64
-	shed            atomic.Int64
-	badRequests     atomic.Int64
-	deadlineExpired atomic.Int64
-	clientGone      atomic.Int64
-	panics          atomic.Int64
+	// set registers every counter, histogram and gauge below for the
+	// Prometheus exposition of GET /metrics; the legacy JSON snapshot reads
+	// the same instruments, so the two formats can never disagree.
+	set             *obs.Set
+	requests        *obs.Counter
+	sweeps          *obs.Counter
+	plans           *obs.Counter
+	shed            *obs.Counter
+	badRequests     *obs.Counter
+	deadlineExpired *obs.Counter
+	clientGone      *obs.Counter
+	panics          *obs.Counter
 	inFlight        atomic.Int64
+
+	durSweep   *obs.Histogram
+	durPlan    *obs.Histogram
+	cellsSweep *obs.Histogram
+	cellsPlan  *obs.Histogram
+
+	accessLog io.Writer
+	logMu     sync.Mutex
 
 	mux *http.ServeMux
 }
@@ -137,18 +157,59 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		baseCtx: ctx,
-		cancel:  cancel,
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		start:   time.Now(),
-		mux:     http.NewServeMux(),
+		cfg:       cfg,
+		baseCtx:   ctx,
+		cancel:    cancel,
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		start:     time.Now(),
+		accessLog: cfg.AccessLog,
+		mux:       http.NewServeMux(),
 	}
-	s.mux.Handle("POST /v1/sweep", s.contained(s.handleSweep))
-	s.mux.Handle("POST /v1/plan", s.contained(s.handlePlan))
+	s.registerMetrics()
+	s.mux.Handle("POST /v1/sweep", s.contained("sweep", s.handleSweep))
+	s.mux.Handle("POST /v1/plan", s.contained("plan", s.handlePlan))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// registerMetrics builds the server's instrument set: the legacy JSON
+// counters, per-route request-duration and cells-evaluated histograms, and
+// scrape-time gauges over server and kernel-cache state.
+func (s *Server) registerMetrics() {
+	s.set = obs.NewSet()
+	s.requests = s.set.NewCounter("dmls_requests_total", "Evaluation requests received (sweep and plan), including shed and rejected ones.")
+	s.sweeps = s.set.NewCounter("dmls_sweeps_total", "Sweep requests answered successfully.")
+	s.plans = s.set.NewCounter("dmls_plans_total", "Plan requests answered successfully.")
+	s.shed = s.set.NewCounter("dmls_shed_total", "Requests shed with 429 at admission because MaxInFlight was reached.")
+	s.badRequests = s.set.NewCounter("dmls_bad_requests_total", "Requests rejected 4xx for malformed bodies, oversized grids or invalid knobs.")
+	s.deadlineExpired = s.set.NewCounter("dmls_deadline_expired_total", "Evaluations that hit their per-request deadline (504).")
+	s.clientGone = s.set.NewCounter("dmls_client_gone_total", "Evaluations cancelled by client disconnect or drain hard-stop.")
+	s.panics = s.set.NewCounter("dmls_panics_total", "Requests that panicked and were contained as 500s.")
+
+	dur := "Evaluation request wall time in seconds, by route."
+	s.durSweep = s.set.NewHistogram("dmls_request_duration_seconds", dur, obs.DurationBuckets(), obs.Label{Key: "route", Value: "sweep"})
+	s.durPlan = s.set.NewHistogram("dmls_request_duration_seconds", dur, obs.DurationBuckets(), obs.Label{Key: "route", Value: "plan"})
+	cells := "Grid cells expanded per evaluated request, by route."
+	s.cellsSweep = s.set.NewHistogram("dmls_request_cells", cells, obs.CountBuckets(), obs.Label{Key: "route", Value: "sweep"})
+	s.cellsPlan = s.set.NewHistogram("dmls_request_cells", cells, obs.CountBuckets(), obs.Label{Key: "route", Value: "plan"})
+
+	s.set.NewGauge("dmls_in_flight", "Evaluation requests currently executing.", func() float64 { return float64(s.inFlight.Load()) })
+	s.set.NewGauge("dmls_draining", "1 once graceful shutdown has begun, else 0.", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	s.set.NewGauge("dmls_uptime_seconds", "Seconds since the server was constructed.", func() float64 { return time.Since(s.start).Seconds() })
+	s.set.NewGauge("dmls_parallelism", "Worker slots in the process-wide evaluation budget.", func() float64 { return float64(core.Parallelism()) })
+	s.set.NewGauge("dmls_kernel_compute_seconds_total", "Cumulative seconds spent computing Monte-Carlo kernels (cache misses only).", func() float64 { return registry.KernelComputeTime().Seconds() })
+	cacheGauge := func(pick func(registry.CacheStats) float64) func() float64 {
+		return func() float64 { return pick(registry.SnapshotCaches()) }
+	}
+	s.set.NewGauge("dmls_kernel_cache_hit_ratio", "Monte-Carlo estimate cache hit ratio since process start (0 when unused).", cacheGauge(func(cs registry.CacheStats) float64 { return cs.Estimates.HitRatio() }))
+	s.set.NewGauge("dmls_graph_cache_hit_ratio", "Materialized-graph cache hit ratio since process start (0 when unused).", cacheGauge(func(cs registry.CacheStats) float64 { return cs.Graphs.HitRatio() }))
+	s.set.NewGauge("dmls_kernel_cache_entries", "Entries resident in the Monte-Carlo estimate cache.", cacheGauge(func(cs registry.CacheStats) float64 { return float64(cs.Estimates.Entries) }))
 }
 
 // Handler returns the server's routes, each wrapped in panic containment.
@@ -167,14 +228,14 @@ func (s *Server) Close() {
 func (s *Server) Metrics() Metrics {
 	return Metrics{
 		UptimeSeconds:   time.Since(s.start).Seconds(),
-		Requests:        s.requests.Load(),
-		Sweeps:          s.sweeps.Load(),
-		Plans:           s.plans.Load(),
-		Shed:            s.shed.Load(),
-		BadRequests:     s.badRequests.Load(),
-		DeadlineExpired: s.deadlineExpired.Load(),
-		ClientGone:      s.clientGone.Load(),
-		Panics:          s.panics.Load(),
+		Requests:        s.requests.Value(),
+		Sweeps:          s.sweeps.Value(),
+		Plans:           s.plans.Value(),
+		Shed:            s.shed.Value(),
+		BadRequests:     s.badRequests.Value(),
+		DeadlineExpired: s.deadlineExpired.Value(),
+		ClientGone:      s.clientGone.Value(),
+		Panics:          s.panics.Value(),
 		InFlight:        s.inFlight.Load(),
 		Draining:        s.draining.Load(),
 		Parallelism:     core.Parallelism(),
@@ -243,32 +304,172 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// contained wraps an evaluation handler in the shared robustness layers:
-// request counting, admission control, and panic containment. The handler
-// itself buffers its response, so a panic anywhere in decode or evaluation
-// turns into a clean structured 500 — never a half-written 200.
-func (s *Server) contained(h func(http.ResponseWriter, *http.Request)) http.Handler {
+// reqInfoKey carries the per-request reqInfo through the handler's context
+// so handlers can report evaluation stats back to the observation layer.
+type reqInfoKey struct{}
+
+// reqInfo is what the containment wrapper learns about a request after the
+// handler ran: which route, how large the grid was, and where the wall time
+// went. Handlers fill it through noteStats.
+type reqInfo struct {
+	route    string
+	stats    scenario.EvalStats
+	statsSet bool
+}
+
+// noteStats records the evaluation's stats on the request's reqInfo, if one
+// is attached (it always is under contained; a no-op in bare handler tests).
+func noteStats(r *http.Request, st scenario.EvalStats) {
+	if ri, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
+		ri.stats = st
+		ri.statsSet = true
+	}
+}
+
+// statusRecorder remembers the status code a handler wrote so the
+// containment wrapper can observe and log it after the fact.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// contained wraps an evaluation handler in the shared robustness and
+// observability layers: request counting, admission control, panic
+// containment, trace propagation (an incoming W3C traceparent is honored,
+// otherwise a fresh trace id is minted; either way the response carries
+// one), per-route latency histograms and the structured access log. The
+// handler itself buffers its response, so a panic anywhere in decode or
+// evaluation turns into a clean structured 500 — never a half-written 200.
+func (s *Server) contained(route string, h func(http.ResponseWriter, *http.Request)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
+		start := time.Now()
+		trace, _, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set("Traceparent", obs.FormatTraceparent(trace, obs.NewSpanID()))
+		ri := &reqInfo{route: route}
+		ctx := obs.WithTrace(r.Context(), trace)
+		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+		r = r.WithContext(ctx)
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Inc()
+				writeError(rec, http.StatusInternalServerError, "internal: request panicked: %v", v)
+			}
+			s.observeRequest(rec, r, trace, ri, time.Since(start))
+		}()
+		s.requests.Inc()
 		select {
 		case s.sem <- struct{}{}:
 		default:
-			s.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "server at capacity (%d requests in flight); retry", s.cfg.MaxInFlight)
+			s.shed.Inc()
+			rec.Header().Set("Retry-After", "1")
+			writeError(rec, http.StatusTooManyRequests, "server at capacity (%d requests in flight); retry", s.cfg.MaxInFlight)
 			return
 		}
 		s.inFlight.Add(1)
 		defer func() {
 			s.inFlight.Add(-1)
 			<-s.sem
-			if v := recover(); v != nil {
-				s.panics.Add(1)
-				writeError(w, http.StatusInternalServerError, "internal: request panicked: %v", v)
-			}
 		}()
-		h(w, r)
+		h(rec, r)
 	})
+}
+
+// accessEntry is one structured access-log line: request identity, outcome,
+// and the evaluation's phase breakdown in milliseconds. Phase fields are
+// summed across cells, so under parallel evaluation they legitimately
+// exceed duration_ms; kernel_ms attributes (overlaps) the others.
+type accessEntry struct {
+	Time       string  `json:"time"`
+	TraceID    string  `json:"trace_id"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Route      string  `json:"route"`
+	Status     int     `json:"status"`
+	DurationMS float64 `json:"duration_ms"`
+	Cells      int     `json:"cells,omitempty"`
+	Evaluated  int     `json:"evaluated,omitempty"`
+	Deduped    int     `json:"deduped,omitempty"`
+	Pruned     int     `json:"pruned,omitempty"`
+	Cancelled  int     `json:"cancelled,omitempty"`
+	BuildMS    float64 `json:"build_ms,omitempty"`
+	SampleMS   float64 `json:"sample_ms,omitempty"`
+	PlanMS     float64 `json:"plan_ms,omitempty"`
+	BoundMS    float64 `json:"bound_ms,omitempty"`
+	RefineMS   float64 `json:"refine_ms,omitempty"`
+	KernelMS   float64 `json:"kernel_ms,omitempty"`
+}
+
+// observeRequest feeds the per-route histograms and, when configured, emits
+// one access-log line. Runs after the handler (or its panic recovery).
+func (s *Server) observeRequest(rec *statusRecorder, r *http.Request, trace obs.TraceID, ri *reqInfo, elapsed time.Duration) {
+	switch ri.route {
+	case "sweep":
+		s.durSweep.Observe(elapsed.Seconds())
+		if ri.statsSet {
+			s.cellsSweep.Observe(float64(ri.stats.Scenarios))
+		}
+	case "plan":
+		s.durPlan.Observe(elapsed.Seconds())
+		if ri.statsSet {
+			s.cellsPlan.Observe(float64(ri.stats.Scenarios))
+		}
+	}
+	if s.accessLog == nil {
+		return
+	}
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	entry := accessEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339Nano),
+		TraceID:    trace.String(),
+		Method:     r.Method,
+		Path:       r.URL.Path,
+		Route:      ri.route,
+		Status:     status,
+		DurationMS: ms(elapsed),
+	}
+	if ri.statsSet {
+		entry.Cells = ri.stats.Scenarios
+		entry.Evaluated = ri.stats.Evaluated
+		entry.Deduped = ri.stats.CurvesDeduped
+		entry.Pruned = ri.stats.Pruned
+		entry.Cancelled = ri.stats.Cancelled
+		entry.BuildMS = ms(ri.stats.BuildTime)
+		entry.SampleMS = ms(ri.stats.SampleTime)
+		entry.PlanMS = ms(ri.stats.PlanTime)
+		entry.BoundMS = ms(ri.stats.BoundTime)
+		entry.RefineMS = ms(ri.stats.RefineTime)
+		entry.KernelMS = ms(ri.stats.KernelComputeTime)
+	}
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.logMu.Lock()
+	s.accessLog.Write(line)
+	s.logMu.Unlock()
 }
 
 // requestCtx derives the evaluation context: the request's context (itself
@@ -291,11 +492,11 @@ func (s *Server) evalFailure(w http.ResponseWriter, r *http.Request, err error) 
 	case err == nil:
 		return false
 	case errors.Is(err, context.DeadlineExceeded):
-		s.deadlineExpired.Add(1)
+		s.deadlineExpired.Inc()
 		writeError(w, http.StatusGatewayTimeout, "evaluation deadline expired: %v", err)
 		return true
 	case errors.Is(err, context.Canceled):
-		s.clientGone.Add(1)
+		s.clientGone.Inc()
 		// Client disconnect or drain hard-stop: the connection is dead or
 		// dying; 503 is best-effort for the drain case.
 		writeError(w, http.StatusServiceUnavailable, "evaluation cancelled: %v", err)
@@ -363,29 +564,30 @@ type SweepRequest struct {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := decodeRequest(r, &req); err != nil {
-		s.badRequests.Add(1)
+		s.badRequests.Inc()
 		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
 		return
 	}
 	deadline, err := parseDeadline(req.Deadline)
 	if err != nil {
-		s.badRequests.Add(1)
+		s.badRequests.Inc()
 		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
 		return
 	}
 	suite, err := s.decodeSuite(req.Suite)
 	if err != nil {
-		s.badRequests.Add(1)
+		s.badRequests.Inc()
 		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r, deadline)
 	defer cancel()
-	results, _, err := scenario.EvaluateSuiteStatsCtx(ctx, suite, req.Parallelism)
+	results, st, err := scenario.EvaluateSuiteStatsCtx(ctx, suite, req.Parallelism)
+	noteStats(r, st)
 	if s.evalFailure(w, r, err) {
 		return
 	}
-	s.sweeps.Add(1)
+	s.sweeps.Inc()
 	var buf bytes.Buffer
 	if err := scenario.WriteResultsJSON(&buf, suite.Name, results); err != nil {
 		writeError(w, http.StatusInternalServerError, "encode results: %v", err)
@@ -463,25 +665,25 @@ func (req PlanRequest) options() (planner.Options, error) {
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req PlanRequest
 	if err := decodeRequest(r, &req); err != nil {
-		s.badRequests.Add(1)
+		s.badRequests.Inc()
 		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
 		return
 	}
 	deadline, err := parseDeadline(req.Deadline)
 	if err != nil {
-		s.badRequests.Add(1)
+		s.badRequests.Inc()
 		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
 		return
 	}
 	opts, err := req.options()
 	if err != nil {
-		s.badRequests.Add(1)
+		s.badRequests.Inc()
 		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
 		return
 	}
 	obj, err := planner.ParseObjective(req.Objective)
 	if err != nil {
-		s.badRequests.Add(1)
+		s.badRequests.Inc()
 		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
 		return
 	}
@@ -490,24 +692,25 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	suite, err := s.decodeSuite(req.Suite)
 	if err != nil {
-		s.badRequests.Add(1)
+		s.badRequests.Inc()
 		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r, deadline)
 	defer cancel()
-	report, _, err := planner.PlanSuiteCtx(ctx, suite, obj, req.Parallelism, opts)
+	report, st, err := planner.PlanSuiteCtx(ctx, suite, obj, req.Parallelism, opts)
+	noteStats(r, st)
 	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		// Suite-shape errors the cap check could not see (bad objective in
 		// the suite file, negative refine) are the client's.
-		s.badRequests.Add(1)
+		s.badRequests.Inc()
 		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
 		return
 	}
 	if s.evalFailure(w, r, err) {
 		return
 	}
-	s.plans.Add(1)
+	s.plans.Inc()
 	var buf bytes.Buffer
 	if err := scenario.WritePlansJSON(&buf, report.Export()); err != nil {
 		writeError(w, http.StatusInternalServerError, "encode plans: %v", err)
@@ -544,11 +747,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-// handleMetrics reports the counter snapshot plus the process-wide kernel
-// cache stats, as one JSON document.
+// handleMetrics serves the instrument set in Prometheus text exposition
+// format by default, or the legacy JSON counter snapshot when the client's
+// Accept header asks for application/json. Both variants are marked
+// no-store: a scrape or dashboard poll must never see a cached snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(s.Metrics())
+	w.Header().Set("Cache-Control", "no-store")
+	if acceptsJSON(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Metrics())
+		return
+	}
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	s.set.WritePrometheus(w)
+}
+
+// acceptsJSON reports whether an Accept header explicitly asks for JSON
+// (application/json or any +json media type). Absent, wildcard or
+// Prometheus-style Accept headers fall through to the text exposition.
+func acceptsJSON(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		if mt == "application/json" || strings.HasSuffix(mt, "+json") {
+			return true
+		}
+	}
+	return false
 }

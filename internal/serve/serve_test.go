@@ -9,9 +9,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"dmlscale/internal/obs"
 	"dmlscale/internal/planner"
 	"dmlscale/internal/scenario"
 )
@@ -88,17 +90,153 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if resp.StatusCode != 200 || string(body) != "ok\n" {
 		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
 	}
-	resp, err = ts.Client().Get(ts.URL + "/metrics")
+	req, err := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err = ts.Client().Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Fatalf("JSON metrics Content-Type = %q", got)
+	}
+	if got := resp.Header.Get("Cache-Control"); got != "no-store" {
+		t.Fatalf("JSON metrics Cache-Control = %q", got)
+	}
 	var m Metrics
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		t.Fatalf("metrics not JSON: %v", err)
 	}
 	if m.Parallelism <= 0 {
 		t.Fatalf("metrics parallelism %d", m.Parallelism)
+	}
+}
+
+// TestMetricsPrometheusDefault: a bare GET /metrics (no Accept preference
+// for JSON) serves Prometheus text exposition with the expected families,
+// and a request that ran populates the per-route duration histogram.
+func TestMetricsPrometheusDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if status, body, _ := post(t, ts, "/v1/sweep", `{"suite": `+sweepSuiteJSON+`}`); status != 200 {
+		t.Fatalf("sweep: %d %s", status, body)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+		t.Fatalf("Prometheus metrics Content-Type = %q", got)
+	}
+	if got := resp.Header.Get("Cache-Control"); got != "no-store" {
+		t.Fatalf("Prometheus metrics Cache-Control = %q", got)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE dmls_requests_total counter",
+		"# TYPE dmls_request_duration_seconds histogram",
+		"# TYPE dmls_request_cells histogram",
+		"# TYPE dmls_in_flight gauge",
+		"dmls_requests_total 1",
+		`dmls_request_duration_seconds_count{route="sweep"} 1`,
+		`dmls_request_cells_count{route="sweep"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus exposition missing %q", want)
+		}
+	}
+	// The sweep covered 4 cells: the cells histogram's bucket at le=4 must
+	// already hold the observation.
+	if !strings.Contains(text, `dmls_request_cells_bucket{route="sweep",le="4"} 1`) {
+		t.Errorf("cells histogram did not record the 4-cell sweep:\n%s", text)
+	}
+}
+
+// TestTraceparentHonoredAndGenerated: a request carrying a W3C traceparent
+// keeps its trace id on the response; one without gets a fresh, valid one.
+func TestTraceparentHonoredAndGenerated(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const inbound = "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01"
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sweep", strings.NewReader(`{"suite": `+sweepSuiteJSON+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", inbound)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	echoed := resp.Header.Get("Traceparent")
+	if !strings.Contains(echoed, "0123456789abcdef0123456789abcdef") {
+		t.Fatalf("inbound trace id not honored: %q", echoed)
+	}
+
+	status, _, hdr := post(t, ts, "/v1/sweep", `{"suite": `+sweepSuiteJSON+`}`)
+	if status != 200 {
+		t.Fatalf("sweep: %d", status)
+	}
+	generated := hdr.Get("Traceparent")
+	if _, _, ok := obs.ParseTraceparent(generated); !ok {
+		t.Fatalf("generated traceparent invalid: %q", generated)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing access logs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestAccessLogPhaseBreakdown: with an AccessLog writer configured, each
+// evaluation request emits one JSON line carrying trace id, status and the
+// phase breakdown.
+func TestAccessLogPhaseBreakdown(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, Config{AccessLog: &buf})
+	if status, body, _ := post(t, ts, "/v1/sweep", `{"suite": `+sweepSuiteJSON+`}`); status != 200 {
+		t.Fatalf("sweep: %d %s", status, body)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("access log lines = %d, want 1: %q", len(lines), buf.String())
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("access log line not JSON: %v: %s", err, lines[0])
+	}
+	if entry["route"] != "sweep" || entry["status"] != float64(200) {
+		t.Fatalf("access log route/status: %v", entry)
+	}
+	if id, _ := entry["trace_id"].(string); len(id) != 32 {
+		t.Fatalf("access log trace_id %q", entry["trace_id"])
+	}
+	if entry["cells"] != float64(4) {
+		t.Fatalf("access log cells = %v, want 4", entry["cells"])
+	}
+	if entry["duration_ms"] == nil {
+		t.Fatalf("access log missing duration_ms: %v", entry)
 	}
 }
 
@@ -239,7 +377,7 @@ func TestExpiredDeadlineReturns504(t *testing.T) {
 func TestPanicContainment(t *testing.T) {
 	s := New(Config{})
 	defer s.Close()
-	h := s.contained(func(w http.ResponseWriter, r *http.Request) {
+	h := s.contained("plan", func(w http.ResponseWriter, r *http.Request) {
 		panic("kaboom")
 	})
 	rec := httptest.NewRecorder()

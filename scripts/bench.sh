@@ -15,8 +15,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkSweepGridColdVsWarm|BenchmarkPlanGridWarm|BenchmarkSweepStreamPruned}"
-OUT="${OUT:-BENCH_PR6.json}"
+BENCH="${BENCH:-BenchmarkSweepGridColdVsWarm|BenchmarkPlanGridWarm|BenchmarkSweepStreamPruned|BenchmarkSweepGridTracedVsUntraced}"
+OUT="${OUT:-BENCH_PR8.json}"
 if [ -e "$OUT" ]; then
     echo "bench.sh: $OUT already exists (a committed perf baseline)." >&2
     echo "bench.sh: pass OUT=BENCH_PR<n>.json to record this run without clobbering it." >&2
@@ -46,6 +46,34 @@ BEGIN { print "[" }
 }
 END { if (n) printf "\n"; print "]" }
 ' > "$OUT"
+
+# Histogram summary: run the server briefly, fire a few plan requests, and
+# record the request-duration histogram's p50/p99 from a live Prometheus
+# scrape (scripts/histsummary) alongside the Go benchmarks. Skippable with
+# NOHIST=1 for environments without a free port.
+if [ -z "${NOHIST:-}" ]; then
+    workdir=$(mktemp -d)
+    go build -o "$workdir/dmls-serve" ./cmd/dmls-serve
+    go build -o "$workdir/histsummary" ./scripts/histsummary
+    port="${PORT:-18081}"
+    "$workdir/dmls-serve" -addr "127.0.0.1:$port" 2>"$workdir/serve.log" &
+    server_pid=$!
+    trap 'kill "$server_pid" 2>/dev/null || true; wait "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+    base="http://127.0.0.1:$port"
+    for _ in $(seq 1 100); do
+        if curl -fsS -o /dev/null "$base/healthz" 2>/dev/null; then break; fi
+        sleep 0.1
+    done
+    body=$(jq -n --slurpfile s examples/suites/plan-tta.json '{suite: $s[0], adaptive: true}')
+    for _ in $(seq 1 8); do
+        curl -fsS -o /dev/null -X POST -H 'Content-Type: application/json' \
+            -d "$body" "$base/v1/plan"
+    done
+    hist=$(curl -fsS "$base/metrics" | "$workdir/histsummary" -metric dmls_request_duration_seconds)
+    kill -TERM "$server_pid"; wait "$server_pid" || true
+    trap 'rm -rf "$workdir"' EXIT
+    jq --argjson hist "$hist" '. + [$hist]' "$OUT" > "$OUT.tmp" && mv "$OUT.tmp" "$OUT"
+fi
 
 echo "wrote $OUT:" >&2
 cat "$OUT"

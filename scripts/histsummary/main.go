@@ -1,0 +1,146 @@
+// Command histsummary reads a Prometheus text exposition on stdin, pulls
+// one histogram family out of it (all label sets summed), and prints its
+// p50/p90/p99 as a small JSON object — the shape scripts/bench.sh appends
+// to BENCH_PR<n>.json so a scrape of the live server's request-duration
+// histogram lands in the same perf-trajectory record as the Go benchmarks.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | histsummary -metric dmls_request_duration_seconds
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dmlscale/internal/obs"
+)
+
+func main() {
+	metric := flag.String("metric", "dmls_request_duration_seconds", "histogram family to summarize")
+	flag.Parse()
+
+	snap, err := parseHistogram(os.Stdin, *metric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "histsummary: %v\n", err)
+		os.Exit(1)
+	}
+	out := map[string]any{
+		"name":   *metric,
+		"count":  snap.Count,
+		"sum":    snap.Sum,
+		"p50_ms": 1000 * snap.Quantile(0.50),
+		"p90_ms": 1000 * snap.Quantile(0.90),
+		"p99_ms": 1000 * snap.Quantile(0.99),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "histsummary: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseHistogram folds every <metric>_bucket sample (across all label
+// sets) into one obs.HistogramSnapshot. Bucket samples are cumulative per
+// label set, so per-le cumulative counts add across sets and the merged
+// series is de-cumulated at the end.
+func parseHistogram(r *os.File, metric string) (obs.HistogramSnapshot, error) {
+	cum := map[float64]int64{} // le → summed cumulative count
+	var sum float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, metric+"_bucket{"):
+			le, count, err := parseBucket(line)
+			if err != nil {
+				return obs.HistogramSnapshot{}, fmt.Errorf("%v in %q", err, line)
+			}
+			cum[le] += count
+		case strings.HasPrefix(line, metric+"_sum"):
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				return obs.HistogramSnapshot{}, fmt.Errorf("bad _sum line %q", line)
+			}
+			sum += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return obs.HistogramSnapshot{}, err
+	}
+	if len(cum) == 0 {
+		return obs.HistogramSnapshot{}, fmt.Errorf("no %s_bucket samples on stdin", metric)
+	}
+
+	les := make([]float64, 0, len(cum))
+	hasInf := false
+	for le := range cum {
+		if le > 1e308 {
+			hasInf = true
+			continue
+		}
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	snap := obs.HistogramSnapshot{
+		Bounds: les,
+		Counts: make([]int64, len(les)+1),
+		Sum:    sum,
+	}
+	prev := int64(0)
+	for i, le := range les {
+		snap.Counts[i] = cum[le] - prev
+		prev = cum[le]
+	}
+	if hasInf {
+		var inf float64
+		for le := range cum {
+			if le > 1e308 {
+				inf = le
+			}
+		}
+		snap.Counts[len(les)] = cum[inf] - prev
+	}
+	for _, c := range snap.Counts {
+		snap.Count += c
+	}
+	return snap, nil
+}
+
+// parseBucket extracts the le bound and the cumulative count from one
+// _bucket sample line.
+func parseBucket(line string) (le float64, count int64, err error) {
+	i := strings.Index(line, `le="`)
+	if i < 0 {
+		return 0, 0, fmt.Errorf("no le label")
+	}
+	rest := line[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, 0, fmt.Errorf("unterminated le label")
+	}
+	leStr := rest[:j]
+	if leStr == "+Inf" {
+		le = math.Inf(1)
+	} else {
+		le, err = strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad le %q", leStr)
+		}
+	}
+	fields := strings.Fields(line)
+	count, err = strconv.ParseInt(fields[len(fields)-1], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad count")
+	}
+	return le, count, nil
+}

@@ -11,6 +11,11 @@
 #   2. /healthz answers 200 throughout the storm;
 #   3. SIGTERM drains: the server exits 0 within the drain deadline.
 #
+# It also smoke-tests the metrics endpoint both ways: the default
+# Prometheus text exposition must carry well-formed # TYPE lines and a
+# populated request-duration histogram, and Accept: application/json must
+# still serve the legacy JSON snapshot.
+#
 # The p50/p99/shed-rate summary lands in BENCH_PR<n>.json at the repo root,
 # the same perf-trajectory record bench.sh feeds.
 #
@@ -69,6 +74,34 @@ if [ "$shed" -eq 0 ]; then
     echo "loadtest.sh: expected admission control to shed at this concurrency, but shed=0" >&2
     exit 1
 fi
+
+# Metrics smoke, both content negotiations, scraped while the server is
+# still warm from the storm:
+#   - default GET /metrics is Prometheus text: # TYPE lines present and
+#     well-formed, and the per-route duration histogram actually populated;
+#   - Accept: application/json still serves the legacy JSON snapshot.
+curl -fsS "$base/metrics" >"$workdir/metrics.prom"
+if ! grep -q '^# TYPE dmls_requests_total counter$' "$workdir/metrics.prom"; then
+    echo "loadtest.sh: Prometheus exposition missing dmls_requests_total TYPE line:" >&2
+    cat "$workdir/metrics.prom" >&2
+    exit 1
+fi
+if awk '/^# TYPE /{ if (NF != 4 || ($4 != "counter" && $4 != "gauge" && $4 != "histogram")) bad=1 } END { exit bad }' "$workdir/metrics.prom"; then :; else
+    echo "loadtest.sh: malformed # TYPE line in Prometheus exposition:" >&2
+    grep '^# TYPE' "$workdir/metrics.prom" >&2
+    exit 1
+fi
+dur_count=$(awk '$1 ~ /^dmls_request_duration_seconds_count/ { sum += $2 } END { print sum + 0 }' "$workdir/metrics.prom")
+if [ "$dur_count" -eq 0 ]; then
+    echo "loadtest.sh: request-duration histogram empty after the load storm" >&2
+    exit 1
+fi
+json_requests=$(curl -fsS -H 'Accept: application/json' "$base/metrics" | jq -r .requests_total)
+if [ "$json_requests" -le 0 ]; then
+    echo "loadtest.sh: legacy JSON metrics unreadable or empty (requests_total=$json_requests)" >&2
+    exit 1
+fi
+echo "loadtest.sh: metrics smoke ok (duration observations: $dur_count, requests_total: $json_requests)" >&2
 
 # Clean drain: SIGTERM, then the server must exit 0 inside the drain window.
 kill -TERM "$server_pid"
