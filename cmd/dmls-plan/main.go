@@ -63,6 +63,8 @@ import (
 	"dmlscale/internal/obs"
 	"dmlscale/internal/planner"
 	"dmlscale/internal/registry"
+	"dmlscale/internal/resilience"
+	"dmlscale/internal/resume"
 	"dmlscale/internal/scenario"
 	"dmlscale/internal/textio"
 )
@@ -93,6 +95,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxCost     = fs.Float64("max-cost", 0, "cost budget per run; recommendations are constrained to it, 0 means unconstrained")
 		maxTime     = fs.Duration("max-time", 0, "wall-time budget per run (e.g. 90m, 2h); 0 means unconstrained")
 		keepGoing   = fs.Bool("keep-going", false, "exit 0 even when some scenarios fail (a fully failed suite still exits 1)")
+		ckptPath    = fs.String("checkpoint", "", "append-only journal file recording Monte-Carlo kernel estimates as they are computed; a killed pass resumes from it with -resume")
+		resumeRun   = fs.Bool("resume", false, "replay the -checkpoint journal (validated against this suite) so already-paid-for kernel estimates are served from cache; a missing or empty journal starts fresh")
+		retries     = fs.Int("retries", -1, "max retries per transient fault at the kernel and cell layers; 0 disables retry, -1 keeps the default (2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -129,6 +134,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *parallelism > 0 {
 		core.SetParallelism(*parallelism)
 	}
+	applyRetries(*retries)
+	if *resumeRun && *ckptPath == "" {
+		return fail(fmt.Errorf("-resume needs -checkpoint"))
+	}
+	var cpRun *resume.Run
+	if *ckptPath != "" {
+		// Plans are cheap to recompute; the kernel estimates behind them are
+		// not. The planning journal records only kernel work, so a resumed
+		// pass replans every cell but pays the Monte-Carlo cost once.
+		cs, err := suite.Cells()
+		if err != nil {
+			return fail(err)
+		}
+		cpRun, err = resume.Open(*ckptPath, suite.Name, cs.Len(), *resumeRun)
+		if err != nil {
+			return fail(err)
+		}
+		if cpRun.Resumed {
+			fmt.Fprintf(stderr, "dmls-plan: resuming from %s: %d kernel estimates replayed\n",
+				*ckptPath, cpRun.KernelReplayed)
+		}
+	}
 	opts := planner.Options{
 		Prune:          *adaptive,
 		RefineRounds:   *refine,
@@ -144,6 +171,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	start := time.Now()
 	report, evalStats, err := planner.PlanSuiteCtx(ctx, suite, obj, 0, opts)
 	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	var ckptErr error
+	if cpRun != nil {
+		ckptErr = cpRun.Close()
+	}
 	if err != nil && !interrupted {
 		return fail(err)
 	}
@@ -201,10 +232,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	reportStats()
+	if ckptErr != nil {
+		fmt.Fprintf(stderr, "dmls-plan: checkpoint: %v\n", ckptErr)
+	}
 	if interrupted {
 		fmt.Fprintf(stderr, "dmls-plan: interrupted; partial results above (%d of %d cells planned)\n",
 			evalStats.Evaluated+evalStats.Pruned, evalStats.Scenarios)
+		if *ckptPath != "" {
+			fmt.Fprintf(stderr, "dmls-plan: resume with: -suite %s -checkpoint %s -resume\n", *suitePath, *ckptPath)
+		}
 		return 130
+	}
+	if ckptErr != nil {
+		return 1
 	}
 	failed := 0
 	for _, p := range report.Plans {
@@ -213,6 +253,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return exitCode("dmls-plan", failed, len(report.Plans), *keepGoing, stderr)
+}
+
+// applyRetries overrides the process-wide retry policy's attempt count:
+// -retries N allows N retries after the first attempt, 0 disables retrying
+// entirely, and a negative value keeps the built-in default.
+func applyRetries(retries int) {
+	if retries < 0 {
+		return
+	}
+	p := resilience.Default()
+	p.MaxAttempts = retries + 1
+	resilience.SetDefault(p)
 }
 
 // exitCode turns the failure count into the process exit code: 0 for a
@@ -243,6 +295,9 @@ func statsReport(st scenario.EvalStats, caches registry.CacheStats, elapsed time
 		st.Scenarios, elapsed.Round(time.Microsecond), st.Evaluated, st.Pruned, st.Failed)
 	if st.Cancelled > 0 {
 		out += fmt.Sprintf(", %d cancelled", st.Cancelled)
+	}
+	if st.Retried > 0 {
+		out += fmt.Sprintf(", %d transient retries", st.Retried)
 	}
 	out += ")\n"
 	if st.RefineRounds > 0 {

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"dmlscale/internal/core"
+	"dmlscale/internal/registry"
 	"dmlscale/internal/serve"
 )
 
@@ -67,6 +68,12 @@ func run(args []string, stderr *os.File) int {
 		parallelism  = fs.Int("parallel", 0, "process-wide parallelism budget; 0 means GOMAXPROCS")
 		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables profiling")
 		accessLog    = fs.String("access-log", "", "append structured JSON access-log lines to this file; \"-\" means stderr, empty disables")
+
+		breakerWindow  = fs.Int("breaker-window", 20, "request outcomes in the kernel circuit breaker's rolling window")
+		breakerMin     = fs.Int("breaker-min-samples", 5, "minimum outcomes in the window before the breaker may trip")
+		breakerRatio   = fs.Float64("breaker-failure-ratio", 0.5, "failure ratio that opens the breaker (plans degrade to bound estimates, sweeps shed 503)")
+		breakerOpenFor = fs.Duration("breaker-open-for", 15*time.Second, "how long an open breaker waits before admitting a half-open probe")
+		chaosKernel    = fs.Int("chaos-kernel-errors", 0, "UNSAFE drill knob: fail the first N attempts of every kernel computation with a transient fault, for breaker and retry exercises")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,7 +105,33 @@ func run(args []string, stderr *os.File) int {
 		MaxCells:        *maxCells,
 		DrainTimeout:    *drainTimeout,
 		AccessLog:       logW,
+		Breaker: serve.BreakerConfig{
+			Window:       *breakerWindow,
+			MinSamples:   *breakerMin,
+			FailureRatio: *breakerRatio,
+			OpenFor:      *breakerOpenFor,
+		},
 	})
+
+	if n := *chaosKernel; n > 0 {
+		// Chaos drill: every kernel coordinate fails its first n attempts
+		// with a transient fault. With n within the retry policy's attempts
+		// the service absorbs the faults (retries, no user-visible errors);
+		// past it, failures surface, the breakers trip and the degraded
+		// path serves — the loadtest script uses exactly this to rehearse
+		// trip-and-recover.
+		fmt.Fprintf(stderr, "dmls-serve: CHAOS: failing the first %d attempts of every kernel computation\n", n)
+		registry.SetKernelFault(func(c registry.KernelCall) registry.KernelFault {
+			if c.Attempt < n {
+				return registry.KernelFault{
+					Err:       fmt.Errorf("chaos: injected transient kernel fault (attempt %d of %d)", c.Attempt+1, n),
+					Transient: true,
+				}
+			}
+			return registry.KernelFault{}
+		})
+		defer registry.SetKernelFault(nil)
+	}
 
 	if *debugAddr != "" {
 		// Profiling lives on its own listener so it is never exposed on the

@@ -44,6 +44,8 @@ import (
 	"dmlscale/internal/core"
 	"dmlscale/internal/obs"
 	"dmlscale/internal/registry"
+	"dmlscale/internal/resilience"
+	"dmlscale/internal/resume"
 	"dmlscale/internal/scenario"
 	"dmlscale/internal/textio"
 )
@@ -74,6 +76,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		tracePath   = fs.String("trace", "", "write a Chrome/Perfetto trace of the evaluation (suite→cell→kernel spans) to this file")
 		emitExample = fs.Bool("emit-example", false, "print an example sweep suite and exit")
 		keepGoing   = fs.Bool("keep-going", false, "exit 0 even when some scenarios fail (a fully failed suite still exits 1)")
+		ckptPath    = fs.String("checkpoint", "", "append-only journal file recording finished cells and kernel estimates as they land; a killed run resumes from it with -resume")
+		resumeRun   = fs.Bool("resume", false, "replay the -checkpoint journal (validated against this suite) and evaluate only the missing cells; a missing or empty journal starts fresh")
+		retries     = fs.Int("retries", -1, "max retries per transient fault at the kernel and cell layers; 0 disables retry, -1 keeps the default (2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -103,6 +108,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *parallelism > 0 {
 		core.SetParallelism(*parallelism)
 	}
+	applyRetries(*retries)
+	if *resumeRun && *ckptPath == "" {
+		return fail(fmt.Errorf("-resume needs -checkpoint"))
+	}
+	var (
+		cpRun *resume.Run
+		cp    scenario.Checkpoint
+	)
+	if *ckptPath != "" {
+		cs, err := suite.Cells()
+		if err != nil {
+			return fail(err)
+		}
+		cpRun, err = resume.Open(*ckptPath, suite.Name, cs.Len(), *resumeRun)
+		if err != nil {
+			return fail(err)
+		}
+		cp = cpRun
+		if cpRun.Resumed {
+			fmt.Fprintf(stderr, "dmls-sweep: resuming from %s: %d cells and %d kernel estimates replayed\n",
+				*ckptPath, cpRun.CellsReplayed, cpRun.KernelReplayed)
+		}
+	}
 	var traceBuf *obs.TraceBuffer
 	if *tracePath != "" {
 		traceBuf = obs.NewTraceBuffer(0)
@@ -110,8 +138,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer obs.SetRecorder(nil)
 	}
 	start := time.Now()
-	results, evalStats, err := scenario.EvaluateSuiteStatsCtx(ctx, suite, 0)
+	results, evalStats, err := scenario.EvaluateSuiteCheckpointCtx(ctx, suite, 0, cp)
 	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	var ckptErr error
+	if cpRun != nil {
+		// Close before rendering: the journal must be durable even if the
+		// render path fails, and an append failure must not exit 0.
+		ckptErr = cpRun.Close()
+	}
 	if err != nil && !interrupted {
 		return fail(err)
 	}
@@ -163,12 +197,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	reportStats()
+	if ckptErr != nil {
+		fmt.Fprintf(stderr, "dmls-sweep: checkpoint: %v\n", ckptErr)
+	}
 	if interrupted {
 		fmt.Fprintf(stderr, "dmls-sweep: interrupted; partial results above (%d of %d cells evaluated)\n",
 			evalStats.Evaluated+evalStats.CurvesDeduped, evalStats.Scenarios)
+		if *ckptPath != "" {
+			fmt.Fprintf(stderr, "dmls-sweep: resume with: -suite %s -checkpoint %s -resume\n", *suitePath, *ckptPath)
+		}
 		return 130
 	}
+	if ckptErr != nil {
+		return 1
+	}
 	return exitCode("dmls-sweep", countFailures(results), len(results), *keepGoing, stderr)
+}
+
+// applyRetries overrides the process-wide retry policy's attempt count:
+// -retries N allows N retries after the first attempt, 0 disables retrying
+// entirely, and a negative value keeps the built-in default.
+func applyRetries(retries int) {
+	if retries < 0 {
+		return
+	}
+	p := resilience.Default()
+	p.MaxAttempts = retries + 1
+	resilience.SetDefault(p)
 }
 
 // countFailures counts the results that carry their own evaluation error.
@@ -209,6 +264,12 @@ func statsReport(st scenario.EvalStats, caches registry.CacheStats, elapsed time
 		st.Scenarios, st.Evaluated, st.CurvesDeduped, st.Pruned, st.Refined, st.Failed)
 	if st.Cancelled > 0 {
 		line += fmt.Sprintf(", %d cancelled", st.Cancelled)
+	}
+	if st.ResumedCells > 0 {
+		line += fmt.Sprintf(", %d resumed from checkpoint", st.ResumedCells)
+	}
+	if st.Retried > 0 {
+		line += fmt.Sprintf(", %d transient retries", st.Retried)
 	}
 	out := line + fmt.Sprintf("; %v elapsed (build %v + sample %v summed across cells)\n",
 		elapsed.Round(time.Microsecond),

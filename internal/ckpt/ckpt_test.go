@@ -1,0 +1,276 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "run.ckpt")
+}
+
+func mustAppend(t *testing.T, j *Journal, kind string, payload any) {
+	t.Helper()
+	if err := j.Append(kind, payload); err != nil {
+		t.Fatalf("Append(%s): %v", kind, err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path, Header{Suite: "s", Cells: 3})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	mustAppend(t, j, KindCell, CellRecord{Index: 0, Result: json.RawMessage(`{"scenario":"a"}`)})
+	mustAppend(t, j, KindKernel, KernelRecord{Fingerprint: 1, Mix: 2, Vertices: 3, Workers: 4, Trials: 5, Seed: 6, Value: 7.5})
+	mustAppend(t, j, KindCell, CellRecord{Index: 2, Result: json.RawMessage(`{"scenario":"c"}`)})
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, h, entries, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer j2.Close()
+	if h.Suite != "s" || h.Cells != 3 || h.Version != Version {
+		t.Fatalf("header = %+v", h)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(entries))
+	}
+	if entries[1].Kind != KindKernel {
+		t.Fatalf("entry 1 kind = %s", entries[1].Kind)
+	}
+	var kr KernelRecord
+	if err := json.Unmarshal(entries[1].Data, &kr); err != nil {
+		t.Fatalf("kernel record: %v", err)
+	}
+	if kr.Value != 7.5 || kr.Mix != 2 {
+		t.Fatalf("kernel record = %+v", kr)
+	}
+	var cr CellRecord
+	if err := json.Unmarshal(entries[2].Data, &cr); err != nil {
+		t.Fatalf("cell record: %v", err)
+	}
+	if cr.Index != 2 || string(cr.Result) != `{"scenario":"c"}` {
+		t.Fatalf("cell record = %+v", cr)
+	}
+}
+
+func TestAppendAfterReopen(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path, Header{Suite: "s", Cells: 2})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	mustAppend(t, j, KindCell, CellRecord{Index: 0})
+	j.Close()
+
+	j2, _, entries, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+	mustAppend(t, j2, KindCell, CellRecord{Index: 1})
+	j2.Close()
+
+	_, _, entries, err = openAndClose(path)
+	if err != nil {
+		t.Fatalf("re-Open: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries after reopen-append = %d, want 2", len(entries))
+	}
+}
+
+func openAndClose(path string) (Header, []Entry, []Entry, error) {
+	j, h, entries, err := Open(path)
+	if err != nil {
+		return Header{}, nil, nil, err
+	}
+	j.Close()
+	return h, entries, entries, nil
+}
+
+// TestTornTailDropped is the kill-mid-write case: a final record truncated
+// partway must be dropped on resume — silently, with the journal rewritten
+// clean — never failing the run.
+func TestTornTailDropped(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path, Header{Suite: "s", Cells: 5})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	mustAppend(t, j, KindCell, CellRecord{Index: 0})
+	mustAppend(t, j, KindCell, CellRecord{Index: 1})
+	j.Close()
+
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: keep all but its last 7 bytes (newline and
+	// then some), simulating a write cut short by SIGKILL.
+	if err := os.WriteFile(path, whole[:len(whole)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, h, entries, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after tear: %v", err)
+	}
+	j2.Close()
+	if h.Cells != 5 {
+		t.Fatalf("header lost: %+v", h)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1 (torn record must drop)", len(entries))
+	}
+	// The rewrite must have removed the torn bytes from disk.
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) >= len(whole) {
+		t.Fatalf("journal not truncated: %d bytes, had %d", len(clean), len(whole))
+	}
+	for _, ln := range strings.Split(strings.TrimSuffix(string(clean), "\n"), "\n") {
+		if _, _, err := ParseLine([]byte(ln)); err != nil {
+			t.Fatalf("rewritten journal still carries invalid line %q: %v", ln, err)
+		}
+	}
+}
+
+// TestCorruptMiddleTruncates: a flipped byte mid-journal invalidates that
+// record and everything after — append-only alignment cannot be trusted
+// past it.
+func TestCorruptMiddleTruncates(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path, Header{Suite: "s", Cells: 5})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		mustAppend(t, j, KindCell, CellRecord{Index: i})
+	}
+	j.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	// Flip a digit inside record 2's payload (header is line 0).
+	corrupt := strings.Replace(lines[2], `"i":1`, `"i":7`, 1)
+	if corrupt == lines[2] {
+		t.Fatalf("corruption did not apply to %q", lines[2])
+	}
+	lines[2] = corrupt
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, _, entries, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after corruption: %v", err)
+	}
+	j2.Close()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1 (corruption must truncate the tail)", len(entries))
+	}
+}
+
+func TestEmptyAndGarbage(t *testing.T) {
+	path := tmpJournal(t)
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(path); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Open(empty) = %v, want ErrEmpty", err)
+	}
+	if err := os.WriteFile(path, []byte("not a journal\nat all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(path); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Open(garbage) = %v, want ErrEmpty", err)
+	}
+}
+
+func TestNewerVersionRejected(t *testing.T) {
+	path := tmpJournal(t)
+	data, _ := json.Marshal(Header{Version: Version + 1, Suite: "s", Cells: 1})
+	ln, _ := json.Marshal(line{CRC: crcOf(data), Kind: KindHeader, Data: data})
+	if err := os.WriteFile(path, append(ln, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := Open(path)
+	if err == nil || errors.Is(err, ErrEmpty) {
+		t.Fatalf("Open(newer version) = %v, want version error", err)
+	}
+}
+
+func crcOf(data []byte) string {
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(data))
+}
+
+func TestParseLineRejectsBadCRC(t *testing.T) {
+	data := []byte(`{"i":1}`)
+	ln, _ := json.Marshal(line{CRC: "deadbeef", Kind: KindCell, Data: data})
+	if _, _, err := ParseLine(ln); err == nil {
+		t.Fatal("ParseLine accepted a wrong CRC")
+	}
+	ln, _ = json.Marshal(line{CRC: crcOf(data), Kind: KindCell, Data: data})
+	kind, got, err := ParseLine(ln)
+	if err != nil || kind != KindCell || string(got) != string(data) {
+		t.Fatalf("ParseLine(valid) = %q %q %v", kind, got, err)
+	}
+}
+
+// FuzzParseLine drives the record parser with corrupted journal lines: it
+// must classify every input as valid or invalid without panicking, and
+// anything it accepts must checksum-verify.
+func FuzzParseLine(f *testing.F) {
+	valid := func(kind string, payload any) []byte {
+		data, _ := json.Marshal(payload)
+		ln, _ := json.Marshal(line{CRC: crcOf(data), Kind: kind, Data: data})
+		return ln
+	}
+	seeds := [][]byte{
+		valid(KindHeader, Header{Version: 1, Suite: "s", Cells: 10}),
+		valid(KindCell, CellRecord{Index: 3, Result: json.RawMessage(`{"scenario":"x","speedups":[1,1.9]}`)}),
+		valid(KindKernel, KernelRecord{Fingerprint: 123, Mix: 456, Vertices: 100, Workers: 8, Trials: 50, Seed: 42, Value: 987.5}),
+		valid(KindCell, CellRecord{Index: 3})[:20],   // torn mid-record
+		[]byte(`{"c":"00000000","k":"cell","d":{}}`), // wrong CRC
+		[]byte(`{"c":"","k":"","d":null}`),
+		[]byte(`{}`),
+		[]byte(``),
+		[]byte(`[1,2,3]`),
+		[]byte("\x00\xff garbage"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, ln []byte) {
+		kind, data, err := ParseLine(ln)
+		if err != nil {
+			return
+		}
+		if kind == "" || len(data) == 0 {
+			t.Fatalf("ParseLine accepted record with empty kind/payload: %q", ln)
+		}
+		if !json.Valid(data) {
+			t.Fatalf("ParseLine accepted invalid JSON payload: %q", data)
+		}
+	})
+}

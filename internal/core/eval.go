@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dmlscale/internal/obs"
+	"dmlscale/internal/resilience"
 )
 
 // Job is one curve to evaluate: a model builder plus the worker counts to
@@ -55,9 +56,14 @@ type JobResult struct {
 	// BuildTime and SampleTime split the job's wall time between model
 	// construction (Build: graph generation, catalog resolution) and curve
 	// sampling (time evaluation, Monte-Carlo estimation). Both are zero on
-	// deduped results.
+	// deduped results. On a retried job they sum across attempts, so the
+	// time a flaky cell actually cost is what gets reported.
 	BuildTime  time.Duration
 	SampleTime time.Duration
+	// Retries counts how many whole-job re-attempts the retry policy took
+	// after transient failures (kernel-level retries inside the registry
+	// are not included — they resolve below the job). 0 on the common path.
+	Retries int
 }
 
 // IsCancelled reports whether the result records a context cancellation or
@@ -261,13 +267,45 @@ func recordDedup(ctx context.Context, name string) {
 	sp.End()
 }
 
-// evaluateOne runs a single job, converting panics into errors so a broken
-// model cannot kill the pool. A done context short-circuits to a cancelled
-// result, and a panic that carries a context error — the idiom model
-// closures use to surface cancellation from inside context-blind Model
-// methods — unwraps to a clean cancelled result instead of a "panicked"
-// error.
-func evaluateOne(ctx context.Context, job Job) (res JobResult) {
+// evaluateOne runs a single job under the process retry policy: transient
+// failures (resilience.IsTransient — injected kernel faults, attempt
+// timeouts) re-evaluate the whole job with capped jittered backoff, as
+// long as the policy's attempt cap and the shared retry budget allow.
+// Deterministic failures and cancellations never retry. The result's
+// Retries counts the re-attempts and its build/sample times sum across
+// them; the values of a retried success are bit-identical to a never-
+// faulted run's, because every model this module builds is deterministic.
+func evaluateOne(ctx context.Context, job Job) JobResult {
+	res := evaluateOnce(ctx, job)
+	if res.Err == nil {
+		resilience.Default().OnSuccess()
+		return res
+	}
+	pol := resilience.Default()
+	key := resilience.Key(job.Name)
+	for attempt := 0; res.Err != nil && pol.ShouldRetry(ctx, res.Err, attempt); attempt++ {
+		if !resilience.Sleep(ctx, pol.Delay(key, attempt)) {
+			break
+		}
+		again := evaluateOnce(ctx, job)
+		again.Retries = attempt + 1
+		again.BuildTime += res.BuildTime
+		again.SampleTime += res.SampleTime
+		res = again
+		if res.Err == nil {
+			pol.OnSuccess()
+		}
+	}
+	return res
+}
+
+// evaluateOnce runs a single attempt of a job, converting panics into
+// errors so a broken model cannot kill the pool. A done context
+// short-circuits to a cancelled result, and a panic that carries a context
+// error — the idiom model closures use to surface cancellation from inside
+// context-blind Model methods — unwraps to a clean cancelled result
+// instead of a "panicked" error.
+func evaluateOnce(ctx context.Context, job Job) (res JobResult) {
 	res.Name = job.Name
 	// The cell span parents everything the job does — including kernel
 	// work the model runs at sample time through the build-captured ctx —
@@ -282,6 +320,11 @@ func evaluateOne(ctx context.Context, job Job) (res JobResult) {
 		if r := recover(); r != nil {
 			if err, ok := r.(error); ok && isCtxErr(err) {
 				res = cancelResult(job.Name, err)
+			} else if err, ok := r.(error); ok {
+				// Wrap, don't format: the panic idiom carries typed errors
+				// (kernel failures, injected transient faults) whose chain
+				// the retry classification must still see through.
+				res.Err = fmt.Errorf("core: job %q panicked: %w", job.Name, err)
 			} else {
 				res.Err = fmt.Errorf("core: job %q panicked: %v", job.Name, r)
 			}

@@ -10,6 +10,7 @@ import (
 	"dmlscale/internal/core"
 	"dmlscale/internal/obs"
 	"dmlscale/internal/registry"
+	"dmlscale/internal/resilience"
 	"dmlscale/internal/scenario"
 	"dmlscale/internal/units"
 )
@@ -103,6 +104,7 @@ func PlanSuiteCtx(ctx context.Context, s scenario.Suite, objective Objective, pa
 	span.SetInt("cells", int64(n))
 	defer span.End()
 	kernelBefore := registry.KernelComputeTime()
+	retriesBefore := resilience.TotalRetries()
 
 	var plans []Plan
 	var stats scenario.EvalStats
@@ -148,6 +150,7 @@ func PlanSuiteCtx(ctx context.Context, s scenario.Suite, objective Objective, pa
 		}
 	}
 	stats.KernelComputeTime = registry.KernelComputeTime() - kernelBefore
+	stats.Retried = int(resilience.TotalRetries() - retriesBefore)
 	markPareto(plans)
 	rankPlans(plans, objective)
 	return Report{Suite: s.Name, Objective: objective, Plans: plans}, stats, ctx.Err()

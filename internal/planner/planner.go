@@ -138,6 +138,9 @@ type Report struct {
 	Suite string
 	// Objective is the ranking objective the report used.
 	Objective Objective
+	// Degraded marks a kernel-free report (PlanSuiteDegradedCtx): every
+	// plan is an optimistic bound estimate, not a recommendation.
+	Degraded bool
 	// Plans holds one plan per expanded scenario, in rank order:
 	// convergence-aware plans first, then per-iteration fallbacks, then
 	// failures, each tier sorted by the objective with name as the final
@@ -190,6 +193,10 @@ func planOne(ctx context.Context, sc scenario.Scenario) (p Plan) {
 		if r := recover(); r != nil {
 			if err, ok := r.(error); ok && isCtxErr(err) {
 				p = cancelledPlan(sc, err)
+			} else if err, ok := r.(error); ok {
+				// Wrap rather than flatten: classification (e.g. transient
+				// kernel faults) must survive the panic boundary.
+				p.Err = fmt.Errorf("planner: scenario %q panicked: %w", sc.Name, err)
 			} else {
 				p.Err = fmt.Errorf("planner: scenario %q panicked: %v", sc.Name, r)
 			}
@@ -413,6 +420,7 @@ func (r Report) Export() scenario.PlanReport {
 	out := scenario.PlanReport{
 		Suite:     r.Suite,
 		Objective: string(r.Objective),
+		Degraded:  r.Degraded,
 		Plans:     make([]scenario.PlanRecord, len(r.Plans)),
 	}
 	for i, p := range r.Plans {

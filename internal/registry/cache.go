@@ -98,6 +98,49 @@ func (s CacheStats) Report() string {
 	return b.String()
 }
 
+// kernelObserver, when installed, sees every successfully computed
+// Monte-Carlo kernel estimate (cache misses only — hits and seeded values
+// re-observe nothing). The checkpoint layer installs one to journal
+// estimates as they are earned; the fast path is a single atomic load.
+var kernelObserver atomic.Pointer[func(KernelCall, float64)]
+
+// SetKernelObserver installs fn as the process-wide kernel-compute
+// observer (nil uninstalls). fn runs inside the estimate cache's
+// single-flight compute, after the estimate succeeds, and must be safe
+// for concurrent calls and fast — it sits on the kernel's critical path.
+func SetKernelObserver(fn func(call KernelCall, value float64)) {
+	if fn == nil {
+		kernelObserver.Store(nil)
+		return
+	}
+	kernelObserver.Store(&fn)
+}
+
+// observeKernel reports one computed estimate to the installed observer.
+func observeKernel(call KernelCall, value float64) {
+	if fp := kernelObserver.Load(); fp != nil {
+		(*fp)(call, value)
+	}
+}
+
+// SeedEstimate pre-populates the Monte-Carlo estimate cache with a value
+// computed earlier — a checkpoint journal replaying kernels from a
+// crashed run, so the resumed run prices its cells cache-warm instead of
+// resampling. The call must carry the full coordinates (both fingerprint
+// halves); a seed for an already-cached key is a no-op. Counted as one
+// cache miss, matching the compute it replaced.
+func SeedEstimate(call KernelCall, value float64) {
+	key := estimateKey{
+		fnv:      call.Fingerprint,
+		mix:      call.Mix,
+		vertices: call.Vertices,
+		workers:  call.Workers,
+		trials:   call.Trials,
+		seed:     call.Seed,
+	}
+	estimateCache.Do(key, func() (float64, error) { return value, nil })
+}
+
 // kernelComputeNanos accumulates wall time spent actually computing
 // Monte-Carlo kernels — cache misses only; hits and single-flight waits
 // add nothing. Process-wide like the caches, zeroed by ResetCaches.

@@ -33,6 +33,7 @@ import (
 	"dmlscale/internal/nncost"
 	"dmlscale/internal/obs"
 	"dmlscale/internal/partition"
+	"dmlscale/internal/resilience"
 	"dmlscale/internal/units"
 )
 
@@ -1073,6 +1074,14 @@ func GraphInferenceModelCtx(ctx context.Context, name string, degrees []int32, o
 			panic(fmt.Errorf("registry: graph inference %q: worker count %d < 1", name, n))
 		}
 		key := estimateKey{fnv: fnv, mix: mix, vertices: len(degrees), workers: n, trials: trials, seed: seed}
+		call := KernelCall{
+			Fingerprint: fnv,
+			Mix:         mix,
+			Vertices:    len(degrees),
+			Workers:     n,
+			Trials:      trials,
+			Seed:        seed,
+		}
 		v, err := estimateCache.DoCtx(ctx, key, func() (float64, error) {
 			// Only cache misses reach this closure, so the span and the
 			// process-wide compute-time accumulator measure actual kernel
@@ -1086,22 +1095,28 @@ func GraphInferenceModelCtx(ctx context.Context, name string, degrees []int32, o
 				kspan.End()
 				kernelComputeNanos.Add(int64(time.Since(kstart)))
 			}()
-			if err := injectKernelFault(kctx, KernelCall{
-				Fingerprint: fnv,
-				Vertices:    len(degrees),
-				Workers:     n,
-				Trials:      trials,
-				Seed:        seed,
-			}); err != nil {
-				kspan.SetError(err)
-				return 0, err
-			}
-			est, err := partition.MonteCarloMaxEdgesCtx(kctx, degrees, n, trials, seed)
+			// Transient faults retry here, inside the single-flight entry,
+			// so every waiter coalesced on this key rides the retries
+			// instead of spawning its own — a failing-cell storm cannot
+			// amplify kernel load past the shared retry budget.
+			var maxE float64
+			err := resilience.Default().Do(kctx, key.hash(), func(actx context.Context, attempt int) error {
+				if err := injectKernelFault(actx, call); err != nil {
+					return err
+				}
+				est, err := partition.MonteCarloMaxEdgesCtx(actx, degrees, n, trials, seed)
+				if err != nil {
+					return err
+				}
+				maxE = est.MaxEdges
+				return nil
+			})
 			if err != nil {
 				kspan.SetError(err)
 				return 0, err
 			}
-			return est.MaxEdges, nil
+			observeKernel(call, maxE)
+			return maxE, nil
 		})
 		if err != nil {
 			panic(fmt.Errorf("registry: graph inference %q: %w", name, err))

@@ -1,0 +1,227 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	base := errors.New("boom")
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, ClassPermanent},
+		{"plain", base, ClassPermanent},
+		{"wrapped plain", fmt.Errorf("outer: %w", base), ClassPermanent},
+		{"transient", MarkTransient(base), ClassTransient},
+		{"wrapped transient", fmt.Errorf("outer: %w", MarkTransient(base)), ClassTransient},
+		{"double marked", MarkTransient(MarkTransient(base)), ClassTransient},
+		{"cancelled", context.Canceled, ClassCancelled},
+		{"deadline", fmt.Errorf("outer: %w", context.DeadlineExceeded), ClassCancelled},
+		// Cancellation dominates: a transient marker around a context error
+		// must not cause retries of an abandoned run.
+		{"transient cancel", MarkTransient(fmt.Errorf("k: %w", context.Canceled)), ClassCancelled},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if !errors.Is(MarkTransient(base), Transient) {
+		t.Error("errors.Is(MarkTransient(err), Transient) = false")
+	}
+	if errors.Is(base, Transient) {
+		t.Error("plain error matches Transient")
+	}
+	if MarkTransient(nil) != nil {
+		t.Error("MarkTransient(nil) != nil")
+	}
+	// The marker preserves the cause chain.
+	if !errors.Is(MarkTransient(fmt.Errorf("outer: %w", base)), base) {
+		t.Error("marker broke the cause chain")
+	}
+}
+
+func TestPolicyDoRetriesTransient(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond}
+	err := p.Do(context.Background(), 1, func(ctx context.Context, attempt int) error {
+		if attempt != calls {
+			t.Errorf("attempt = %d, want %d", attempt, calls)
+		}
+		calls++
+		if calls < 3 {
+			return MarkTransient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestPolicyDoPermanentFailsFast(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}
+	boom := errors.New("deterministic")
+	err := p.Do(context.Background(), 1, func(ctx context.Context, attempt int) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want %v", err, boom)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (permanent errors must not retry)", calls)
+	}
+}
+
+func TestPolicyDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond}
+	err := p.Do(context.Background(), 1, func(ctx context.Context, attempt int) error {
+		calls++
+		return MarkTransient(errors.New("always"))
+	})
+	if !IsTransient(err) {
+		t.Fatalf("Do = %v, want transient", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestPolicyDoCancelledStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Millisecond}
+	err := p.Do(ctx, 1, func(ctx context.Context, attempt int) error {
+		calls++
+		cancel()
+		return MarkTransient(errors.New("flaky"))
+	})
+	if err == nil {
+		t.Fatal("Do = nil after cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancelled runs must not retry)", calls)
+	}
+}
+
+func TestPolicyDoAttemptTimeout(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Microsecond, AttemptTimeout: 5 * time.Millisecond}
+	err := p.Do(context.Background(), 1, func(ctx context.Context, attempt int) error {
+		calls++
+		if attempt == 0 {
+			<-ctx.Done() // hang until the attempt deadline fires
+			return ctx.Err()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (attempt timeout must classify transient)", calls)
+	}
+}
+
+func TestDelayDeterministicAndCapped(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond, Seed: 7}
+	for attempt := 0; attempt < 6; attempt++ {
+		a := p.Delay(99, attempt)
+		b := p.Delay(99, attempt)
+		if a != b {
+			t.Fatalf("attempt %d: jitter not deterministic: %v vs %v", attempt, a, b)
+		}
+		if a < 0 || a > 60*time.Millisecond { // 40ms cap × 1.5 max jitter
+			t.Fatalf("attempt %d: delay %v outside jittered cap", attempt, a)
+		}
+	}
+	if p.Delay(1, 0) == p.Delay(2, 0) {
+		t.Error("distinct keys produced identical jitter (possible, but suspicious)")
+	}
+}
+
+func TestBudgetDrainAndRefill(t *testing.T) {
+	b := NewBudget(2)
+	if !b.TryTake() || !b.TryTake() {
+		t.Fatal("fresh budget denied its stated retries")
+	}
+	if b.TryTake() {
+		t.Fatal("drained budget granted a retry")
+	}
+	for i := 0; i < 10; i++ {
+		b.Credit()
+	}
+	if !b.TryTake() {
+		t.Fatal("10 credits did not refill one retry")
+	}
+	if got := b.Remaining(); got != 0 {
+		t.Fatalf("Remaining = %d, want 0", got)
+	}
+}
+
+func TestBudgetConcurrent(t *testing.T) {
+	b := NewBudget(100)
+	var granted, wg = int64(0), sync.WaitGroup{}
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < 1000; i++ {
+				if b.TryTake() {
+					local++
+				}
+				b.Credit()
+			}
+			mu.Lock()
+			granted += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	// Conservation: 1000 initial tenths + 8000 credited tenths grant at
+	// most 900 ten-tenth retries; anything more means tokens were minted.
+	if granted > 900 {
+		t.Fatalf("granted %d retries from a 100-retry budget with 8000 credits (max 900)", granted)
+	}
+}
+
+func TestShouldRetryConsumesBudget(t *testing.T) {
+	b := NewBudget(1)
+	p := Policy{MaxAttempts: 10, Budget: b}
+	flaky := MarkTransient(errors.New("flaky"))
+	before := TotalRetries()
+	if !p.ShouldRetry(context.Background(), flaky, 0) {
+		t.Fatal("first retry denied with a full budget")
+	}
+	if p.ShouldRetry(context.Background(), flaky, 1) {
+		t.Fatal("retry granted past the budget")
+	}
+	if TotalRetries()-before != 1 {
+		t.Fatalf("TotalRetries delta = %d, want 1", TotalRetries()-before)
+	}
+}
+
+func TestSetDefaultRoundTrips(t *testing.T) {
+	orig := Default()
+	defer SetDefault(orig)
+	p := Policy{MaxAttempts: 7, BaseDelay: time.Second}
+	SetDefault(p)
+	if got := Default(); got.MaxAttempts != 7 || got.BaseDelay != time.Second {
+		t.Fatalf("Default = %+v after SetDefault(%+v)", got, p)
+	}
+}

@@ -1,0 +1,252 @@
+package resume
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dmlscale/internal/scenario"
+)
+
+// bigSuite builds a closed-form (kernel-free) sweep grid of exactly cells
+// cells: one protocol axis × a generated bandwidth axis. Closed-form cells
+// keep the 10k-cell kill test fast and deterministic.
+func bigSuite(t *testing.T, cells int) scenario.Suite {
+	t.Helper()
+	const protocols = 4
+	if cells%protocols != 0 {
+		t.Fatalf("cells %d must divide by %d", cells, protocols)
+	}
+	bws := make([]string, cells/protocols)
+	for i := range bws {
+		bws[i] = fmt.Sprintf("%d", 1_000_000_000+i*1_000_000)
+	}
+	doc := fmt.Sprintf(`{
+	  "name": "resume kill grid",
+	  "sweep": {
+	    "base": {
+	      "name": "conv",
+	      "workload": {"family": "gd-weak", "flops_per_example": 15e9, "batch_size": 128, "parameters": 25e6, "precision_bits": 32},
+	      "hardware": {"preset": "nvidia-k40"},
+	      "protocol": {"kind": "two-stage-tree", "bandwidth_bits_per_sec": 1e9},
+	      "max_workers": 16
+	    },
+	    "bandwidths_bits_per_sec": [%s],
+	    "protocols": ["two-stage-tree", "ring", "linear", "spark"]
+	  }
+	}`, strings.Join(bws, ","))
+	s, err := scenario.DecodeSuite(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("decode suite: %v", err)
+	}
+	return s
+}
+
+// killingCheckpoint wraps a Checkpoint and cancels the evaluation context
+// after limit cells have been saved — a deterministic in-process stand-in
+// for SIGKILL mid-grid (the scripts/resume_smoke.sh drill does the real
+// kill against a live dmls-sweep).
+type killingCheckpoint struct {
+	inner  scenario.Checkpoint
+	cancel context.CancelFunc
+	limit  int64
+	saved  atomic.Int64
+}
+
+func (k *killingCheckpoint) Lookup(index int, name string) (scenario.ResultRecord, bool) {
+	return k.inner.Lookup(index, name)
+}
+
+func (k *killingCheckpoint) Save(index int, name string, rec scenario.ResultRecord) {
+	k.inner.Save(index, name, rec)
+	if k.saved.Add(1) == k.limit {
+		k.cancel()
+	}
+}
+
+// TestKillMidGridResume is the crash-safety acceptance test: a 10k-cell
+// grid killed mid-evaluation resumes from its journal, replays the
+// journaled cells, evaluates strictly fewer cells than a fresh run would,
+// and merges to output byte-identical to the uninterrupted run.
+func TestKillMidGridResume(t *testing.T) {
+	const cells = 10_000
+	suite := bigSuite(t, cells)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	// Ground truth: the uninterrupted run.
+	want, wantStats, err := scenario.EvaluateSuiteStatsCtx(context.Background(), suite, 0)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	if wantStats.Scenarios != cells {
+		t.Fatalf("suite expands to %d cells, want %d", wantStats.Scenarios, cells)
+	}
+	var wantJSON bytes.Buffer
+	if err := scenario.WriteResultsJSON(&wantJSON, suite.Name, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// First run: checkpointing, killed after ~1/4 of the grid.
+	r1, err := Open(path, suite.Name, cells, false)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killer := &killingCheckpoint{inner: r1, cancel: cancel, limit: cells / 4}
+	_, _, err = scenario.EvaluateSuiteCheckpointCtx(ctx, suite, 0, killer)
+	if err == nil {
+		t.Fatal("killed run reported no error; the cancel never fired")
+	}
+	if err := r1.Close(); err != nil {
+		t.Fatalf("Close after kill: %v", err)
+	}
+
+	// Resume: replay the journal, evaluate only what is missing.
+	r2, err := Open(path, suite.Name, cells, true)
+	if err != nil {
+		t.Fatalf("Open resume: %v", err)
+	}
+	if !r2.Resumed || r2.CellsReplayed == 0 {
+		t.Fatalf("resume replayed nothing: resumed=%v cells=%d", r2.Resumed, r2.CellsReplayed)
+	}
+	got, stats, err := scenario.EvaluateSuiteCheckpointCtx(context.Background(), suite, 0, r2)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatalf("Close after resume: %v", err)
+	}
+
+	if stats.ResumedCells == 0 {
+		t.Fatal("resumed run evaluated everything; journal hits not used")
+	}
+	if stats.ResumedCells != r2.CellsReplayed {
+		t.Errorf("ResumedCells = %d, journal held %d", stats.ResumedCells, r2.CellsReplayed)
+	}
+	fresh := stats.Scenarios - stats.ResumedCells
+	if fresh >= cells {
+		t.Fatalf("resumed run re-evaluated the whole grid (%d of %d)", fresh, cells)
+	}
+	t.Logf("resume: %d cells replayed, %d evaluated fresh", stats.ResumedCells, fresh)
+
+	// The merged output must be byte-identical to the uninterrupted run.
+	var gotJSON bytes.Buffer
+	if err := scenario.WriteResultsJSON(&gotJSON, suite.Name, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON.Bytes(), wantJSON.Bytes()) {
+		t.Fatal("resumed output differs from uninterrupted run")
+	}
+
+	// A third open must see every cell journaled: the resumed run completed
+	// the journal, so the next resume would evaluate nothing.
+	r3, err := Open(path, suite.Name, cells, true)
+	if err != nil {
+		t.Fatalf("Open complete journal: %v", err)
+	}
+	defer r3.Close()
+	if r3.CellsReplayed != cells {
+		t.Fatalf("completed journal holds %d cells, want %d", r3.CellsReplayed, cells)
+	}
+}
+
+// TestResumeRejectsForeignJournal: a journal from a different suite shape
+// must refuse to resume rather than replay the wrong cells.
+func TestResumeRejectsForeignJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	r, err := Open(path, "suite-a", 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Save(0, "cell-0", scenario.ResultRecord{Scenario: "cell-0"})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, "suite-b", 8, true); err == nil {
+		t.Fatal("resume accepted a journal for a different suite")
+	}
+	if _, err := Open(path, "suite-a", 9, true); err == nil {
+		t.Fatal("resume accepted a journal with a different cell count")
+	}
+}
+
+// TestResumeFreshOnMissingOrEmpty: -resume against nothing usable starts a
+// fresh run instead of failing — a convenience the kill-and-retry loop in
+// scripts depends on.
+func TestResumeFreshOnMissingOrEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	r, err := Open(path, "s", 4, true)
+	if err != nil {
+		t.Fatalf("resume with no journal: %v", err)
+	}
+	if r.Resumed {
+		t.Fatal("claimed to resume a journal that does not exist")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLookupValidatesIndexAndName: a journaled record answers only for its
+// own index and scenario name.
+func TestLookupValidatesIndexAndName(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	r, err := Open(path, "s", 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Save(1, "b", scenario.ResultRecord{Scenario: "b", PeakSpeedup: 2})
+	r.cells[1] = scenario.ResultRecord{Scenario: "b", PeakSpeedup: 2} // Save journals; Lookup reads the replay map
+	if _, ok := r.Lookup(1, "b"); !ok {
+		t.Fatal("Lookup missed its own record")
+	}
+	if _, ok := r.Lookup(2, "b"); ok {
+		t.Fatal("Lookup answered for the wrong index")
+	}
+	if _, ok := r.Lookup(1, "zzz"); ok {
+		t.Fatal("Lookup answered for the wrong name")
+	}
+}
+
+// TestTornJournalResumes: tearing the final record off a journal must not
+// stop a resume — the torn cell is simply re-evaluated.
+func TestTornJournalResumes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	r, err := Open(path, "s", 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Save(0, "a", scenario.ResultRecord{Scenario: "a"})
+	r.Save(1, "b", scenario.ResultRecord{Scenario: "b"})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tear(t, path, 5)
+	r2, err := Open(path, "s", 4, true)
+	if err != nil {
+		t.Fatalf("resume after tear: %v", err)
+	}
+	defer r2.Close()
+	if r2.CellsReplayed != 1 {
+		t.Fatalf("replayed %d cells after tear, want 1 (torn record dropped)", r2.CellsReplayed)
+	}
+}
+
+// tear truncates n bytes off the end of a file.
+func tear(t *testing.T, path string, n int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-n], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"dmlscale/internal/core"
+	"dmlscale/internal/units"
 )
 
 // ResultRecord is the flat, serializable form of one suite Result — the
@@ -39,23 +42,54 @@ type SuiteReport struct {
 func Records(results []Result) []ResultRecord {
 	out := make([]ResultRecord, len(results))
 	for i, res := range results {
-		rec := ResultRecord{Scenario: res.Scenario.Name}
-		if family, err := res.Scenario.Family(); err == nil {
-			rec.Family = family
-		}
-		if res.Err != nil {
-			rec.Error = res.Err.Error()
-			out[i] = rec
-			continue
-		}
-		rec.OptimalWorkers = res.OptimalN
-		rec.PeakSpeedup = res.PeakSpeedup
-		rec.Workers = res.Curve.Workers()
-		rec.TimesSeconds = res.Curve.Times()
-		rec.Speedups = res.Curve.Speedups()
-		out[i] = rec
+		out[i] = recordOne(res)
 	}
 	return out
+}
+
+// recordOne flattens one suite Result into its serializable record — the
+// shape the export writers and the checkpoint journal both store, so a
+// journaled cell replays to exactly the bytes the original run would have
+// exported.
+func recordOne(res Result) ResultRecord {
+	rec := ResultRecord{Scenario: res.Scenario.Name}
+	if family, err := res.Scenario.Family(); err == nil {
+		rec.Family = family
+	}
+	if res.Err != nil {
+		rec.Error = res.Err.Error()
+		return rec
+	}
+	rec.OptimalWorkers = res.OptimalN
+	rec.PeakSpeedup = res.PeakSpeedup
+	rec.Workers = res.Curve.Workers()
+	rec.TimesSeconds = res.Curve.Times()
+	rec.Speedups = res.Curve.Speedups()
+	return rec
+}
+
+// resultFromRecord rebuilds a successful Result from its journaled record
+// — the replay half of the checkpoint round-trip. Export of the rebuilt
+// result is byte-identical to export of the original: the record stores
+// the full curve at full float precision (encoding/json round-trips
+// float64 exactly), and the scenario comes from the suite's own expansion.
+func resultFromRecord(sc Scenario, rec ResultRecord) Result {
+	points := make([]core.Point, len(rec.Workers))
+	for i, n := range rec.Workers {
+		points[i] = core.Point{N: n}
+		if i < len(rec.Speedups) {
+			points[i].Speedup = rec.Speedups[i]
+		}
+		if i < len(rec.TimesSeconds) {
+			points[i].Time = units.Seconds(rec.TimesSeconds[i])
+		}
+	}
+	return Result{
+		Scenario:    sc,
+		Curve:       core.Curve{Name: sc.Name, Points: points},
+		OptimalN:    rec.OptimalWorkers,
+		PeakSpeedup: rec.PeakSpeedup,
+	}
 }
 
 // WriteResultsJSON writes the suite's evaluated results as one indented JSON
@@ -126,9 +160,15 @@ type PlanRecord struct {
 // PlanReport is the JSON document WritePlansJSON emits: suite name,
 // objective, and one record per scenario in rank order.
 type PlanReport struct {
-	Suite     string       `json:"suite"`
-	Objective string       `json:"objective"`
-	Plans     []PlanRecord `json:"plans"`
+	Suite     string `json:"suite"`
+	Objective string `json:"objective"`
+	// Degraded marks a report produced without the Monte-Carlo kernel —
+	// the serving layer's circuit breaker was open and every plan is a
+	// registry bound-model estimate (optimistic, kernel-free), explained
+	// per-plan in Notice. Consumers must treat the numbers as lower
+	// bounds, not recommendations.
+	Degraded bool         `json:"degraded,omitempty"`
+	Plans    []PlanRecord `json:"plans"`
 }
 
 // WritePlansJSON writes a planner report as one indented JSON document.

@@ -14,6 +14,7 @@ import (
 	"dmlscale/internal/core"
 	"dmlscale/internal/obs"
 	"dmlscale/internal/registry"
+	"dmlscale/internal/resilience"
 )
 
 // Suite declares many scenarios at once: an explicit list, a parameter
@@ -222,6 +223,17 @@ type EvalStats struct {
 	// RefineTime is the wall time of the adaptive planner's frontier
 	// refinement rounds. 0 outside adaptive plans.
 	RefineTime time.Duration
+	// Retried counts the retries the resilience layer took during the pass
+	// — cell-level re-evaluations and kernel-level re-attempts together,
+	// measured as the process-wide retry counter's delta across the pass
+	// (approximate under concurrent passes, like KernelComputeTime). 0 on
+	// a never-faulted run, so operators can tell recovered-from-fault
+	// apart from never-faulted.
+	Retried int
+	// ResumedCells counts cells replayed from a checkpoint journal instead
+	// of evaluated — the work a resumed run did not repeat. Always 0
+	// without a checkpoint.
+	ResumedCells int
 	// KernelComputeTime is how much of the pass went into actually
 	// computing Monte-Carlo kernels (cache misses; hits cost nothing),
 	// measured as the registry accumulator's delta across the pass. It
@@ -310,6 +322,35 @@ func EvaluateSuiteStats(s Suite, parallelism int) ([]Result, EvalStats, error) {
 // can distinguish "suite invalid" from "run abandoned" while still
 // rendering what completed.
 func EvaluateSuiteStatsCtx(ctx context.Context, s Suite, parallelism int) ([]Result, EvalStats, error) {
+	return EvaluateSuiteCheckpointCtx(ctx, s, parallelism, nil)
+}
+
+// Checkpoint lets a suite evaluation replay completed cells from a prior
+// (crashed) run and persist newly completed ones as they finish. Lookup
+// runs on the serialized cell-pull path; Save runs concurrently from
+// evaluation workers and must synchronize internally.
+type Checkpoint interface {
+	// Lookup returns the journaled record for the cell at index (whose
+	// expanded name is name), if one exists. Implementations must only
+	// return records journaled under the same index AND name — the pair
+	// is what makes replay safe against a changed suite.
+	Lookup(index int, name string) (ResultRecord, bool)
+	// Save journals one successfully completed cell. Errors are the
+	// implementation's to surface (typically on its own Close).
+	Save(index int, name string, rec ResultRecord)
+}
+
+// EvaluateSuiteCheckpointCtx is EvaluateSuiteStatsCtx with a checkpoint:
+// cells Lookup finds are replayed as finished results — never re-evaluated,
+// counted in EvalStats.ResumedCells — and every newly successful cell is
+// handed to Save, so a later resume skips it too. A nil cp is exactly
+// EvaluateSuiteStatsCtx. Replayed results are bit-identical to what the
+// original run computed (the journal stores full curves, and every model
+// is deterministic), so an interrupted-then-resumed run merges to the same
+// bytes as an uninterrupted one. A replayed cell does not register its
+// dedup key — duplicates of it evaluate individually, trading a little
+// recompute for never trusting a curve the journal cannot vouch for.
+func EvaluateSuiteCheckpointCtx(ctx context.Context, s Suite, parallelism int, cp Checkpoint) ([]Result, EvalStats, error) {
 	cs, err := s.Cells()
 	if err != nil {
 		return nil, EvalStats{}, err
@@ -319,27 +360,55 @@ func EvaluateSuiteStatsCtx(ctx context.Context, s Suite, parallelism int) ([]Res
 	span.SetInt("cells", int64(cs.Len()))
 	defer span.End()
 	kernelBefore := registry.KernelComputeTime()
+	retriesBefore := resilience.TotalRetries()
 	evaluated := make([]core.JobResult, cs.Len())
+	var resumed map[int]ResultRecord
+	if cp != nil {
+		resumed = make(map[int]ResultRecord)
+	}
 	pull := cs.Next()
+	// next runs under the stream's pull lock, so the resumed map needs no
+	// further synchronization.
 	next := func() (core.StreamJob, bool) {
-		c, ok := pull()
-		if !ok {
-			return core.StreamJob{}, false
+		for {
+			c, ok := pull()
+			if !ok {
+				return core.StreamJob{}, false
+			}
+			sc := c.Scenario
+			if cp != nil {
+				if rec, ok := cp.Lookup(c.Index, sc.Name); ok && rec.Error == "" {
+					resumed[c.Index] = rec
+					continue
+				}
+			}
+			return core.StreamJob{Index: c.Index, Job: core.Job{
+				Name:     sc.Name,
+				BuildCtx: sc.ModelCtx,
+				Workers:  sc.Workers(),
+				Key:      sc.EvalKey(),
+			}}, true
 		}
-		sc := c.Scenario
-		return core.StreamJob{Index: c.Index, Job: core.Job{
-			Name:     sc.Name,
-			BuildCtx: sc.ModelCtx,
-			Workers:  sc.Workers(),
-			Key:      sc.EvalKey(),
-		}}, true
 	}
 	core.EvaluateStreamCtx(ctx, next, parallelism, func(i int, res core.JobResult) {
 		evaluated[i] = res
+		if cp != nil && res.Err == nil {
+			cp.Save(i, res.Name, recordOne(Result{
+				Scenario:    cs.At(i).Scenario,
+				Curve:       res.Curve,
+				OptimalN:    optimalOf(res.Curve).N,
+				PeakSpeedup: optimalOf(res.Curve).Speedup,
+			}))
+		}
 	})
 	results := make([]Result, cs.Len())
 	stats := EvalStats{Scenarios: cs.Len()}
 	for i, ev := range evaluated {
+		if rec, ok := resumed[i]; ok {
+			results[i] = resultFromRecord(cs.At(i).Scenario, rec)
+			stats.ResumedCells++
+			continue
+		}
 		res := Result{Scenario: cs.At(i).Scenario, Curve: ev.Curve, Err: ev.Err, Deduped: ev.Deduped}
 		if ev.Err == nil {
 			if peak, ok := ev.Curve.Peak(); ok {
@@ -368,7 +437,16 @@ func EvaluateSuiteStatsCtx(ctx context.Context, s Suite, parallelism int) ([]Res
 		results[i] = res
 	}
 	stats.KernelComputeTime = registry.KernelComputeTime() - kernelBefore
+	stats.Retried = int(resilience.TotalRetries() - retriesBefore)
 	return results, stats, ctx.Err()
+}
+
+// optimalOf summarizes a curve's peak (zero Point when empty).
+func optimalOf(c core.Curve) core.Point {
+	if peak, ok := c.Peak(); ok {
+		return peak
+	}
+	return core.Point{}
 }
 
 // DecodeSuite reads a suite from JSON. A file holding a single scenario is

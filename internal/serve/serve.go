@@ -29,8 +29,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -67,6 +69,9 @@ type Config struct {
 	// phase breakdown (build/sample/plan/kernel time). Writes are
 	// serialized; nil disables access logging.
 	AccessLog io.Writer
+	// Breaker sizes the per-route kernel circuit breakers; zero-value
+	// fields take BreakerConfig's defaults.
+	Breaker BreakerConfig
 }
 
 // withDefaults fills unset fields.
@@ -104,6 +109,11 @@ type Metrics struct {
 	DeadlineExpired int64               `json:"deadline_expired_total"`
 	ClientGone      int64               `json:"client_gone_total"`
 	Panics          int64               `json:"panics_total"`
+	Retries         int64               `json:"retries_total"`
+	DegradedPlans   int64               `json:"degraded_plans_total"`
+	DegradedShed    int64               `json:"degraded_shed_total"`
+	BreakerSweep    string              `json:"breaker_sweep"`
+	BreakerPlan     string              `json:"breaker_plan"`
 	InFlight        int64               `json:"in_flight"`
 	Draining        bool                `json:"draining"`
 	Parallelism     int                 `json:"parallelism"`
@@ -139,7 +149,15 @@ type Server struct {
 	deadlineExpired *obs.Counter
 	clientGone      *obs.Counter
 	panics          *obs.Counter
+	retries         *obs.Counter
+	degradedPlans   *obs.Counter
+	degradedShed    *obs.Counter
 	inFlight        atomic.Int64
+
+	// breakerSweep/breakerPlan gate each route's kernel-backed path; while
+	// open, /v1/plan degrades to bound-model answers and /v1/sweep sheds.
+	breakerSweep *Breaker
+	breakerPlan  *Breaker
 
 	durSweep   *obs.Histogram
 	durPlan    *obs.Histogram
@@ -165,6 +183,8 @@ func New(cfg Config) *Server {
 		accessLog: cfg.AccessLog,
 		mux:       http.NewServeMux(),
 	}
+	s.breakerSweep = NewBreaker(cfg.Breaker, nil)
+	s.breakerPlan = NewBreaker(cfg.Breaker, nil)
 	s.registerMetrics()
 	s.mux.Handle("POST /v1/sweep", s.contained("sweep", s.handleSweep))
 	s.mux.Handle("POST /v1/plan", s.contained("plan", s.handlePlan))
@@ -186,6 +206,9 @@ func (s *Server) registerMetrics() {
 	s.deadlineExpired = s.set.NewCounter("dmls_deadline_expired_total", "Evaluations that hit their per-request deadline (504).")
 	s.clientGone = s.set.NewCounter("dmls_client_gone_total", "Evaluations cancelled by client disconnect or drain hard-stop.")
 	s.panics = s.set.NewCounter("dmls_panics_total", "Requests that panicked and were contained as 500s.")
+	s.retries = s.set.NewCounter("dmls_retries_total", "Transient-fault retries performed on behalf of served requests (cell and kernel layer).")
+	s.degradedPlans = s.set.NewCounter("dmls_degraded_plans_total", "Plan requests answered in degraded kernel-free bound mode while the breaker was open.")
+	s.degradedShed = s.set.NewCounter("dmls_degraded_shed_total", "Sweep requests shed 503 because the kernel circuit breaker was open.")
 
 	dur := "Evaluation request wall time in seconds, by route."
 	s.durSweep = s.set.NewHistogram("dmls_request_duration_seconds", dur, obs.DurationBuckets(), obs.Label{Key: "route", Value: "sweep"})
@@ -195,6 +218,9 @@ func (s *Server) registerMetrics() {
 	s.cellsPlan = s.set.NewHistogram("dmls_request_cells", cells, obs.CountBuckets(), obs.Label{Key: "route", Value: "plan"})
 
 	s.set.NewGauge("dmls_in_flight", "Evaluation requests currently executing.", func() float64 { return float64(s.inFlight.Load()) })
+	breakerState := "Kernel circuit breaker state by route: 0 closed, 1 open, 2 half-open."
+	s.set.NewGauge("dmls_breaker_state", breakerState, func() float64 { return float64(s.breakerSweep.State()) }, obs.Label{Key: "route", Value: "sweep"})
+	s.set.NewGauge("dmls_breaker_state", breakerState, func() float64 { return float64(s.breakerPlan.State()) }, obs.Label{Key: "route", Value: "plan"})
 	s.set.NewGauge("dmls_draining", "1 once graceful shutdown has begun, else 0.", func() float64 {
 		if s.draining.Load() {
 			return 1
@@ -236,11 +262,54 @@ func (s *Server) Metrics() Metrics {
 		DeadlineExpired: s.deadlineExpired.Value(),
 		ClientGone:      s.clientGone.Value(),
 		Panics:          s.panics.Value(),
+		Retries:         s.retries.Value(),
+		DegradedPlans:   s.degradedPlans.Value(),
+		DegradedShed:    s.degradedShed.Value(),
+		BreakerSweep:    breakerStateName(s.breakerSweep.State()),
+		BreakerPlan:     breakerStateName(s.breakerPlan.State()),
 		InFlight:        s.inFlight.Load(),
 		Draining:        s.draining.Load(),
 		Parallelism:     core.Parallelism(),
 		Caches:          registry.SnapshotCaches(),
 	}
+}
+
+// BreakerFor returns the route's kernel circuit breaker ("sweep" or
+// "plan") — the handle chaos drills and tests use to force or inspect
+// state. Nil for unknown routes.
+func (s *Server) BreakerFor(route string) *Breaker {
+	switch route {
+	case "sweep":
+		return s.breakerSweep
+	case "plan":
+		return s.breakerPlan
+	}
+	return nil
+}
+
+// retryAfter derives the Retry-After value for a shed response from the
+// route's live latency distribution: the p50 request duration, rounded up
+// to whole seconds, floored at 1s. A client that waits one median request
+// time has real odds of finding a free slot; before any traffic exists the
+// histogram is empty and the floor answers.
+func (s *Server) retryAfter(route string) string {
+	var h *obs.Histogram
+	switch route {
+	case "sweep":
+		h = s.durSweep
+	case "plan":
+		h = s.durPlan
+	}
+	secs := 1.0
+	if h != nil {
+		if p50 := h.Snapshot().Quantile(0.5); p50 > 0 {
+			secs = math.Ceil(p50)
+		}
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(int(secs))
 }
 
 // Addr returns the bound listen address once Run has opened its listener
@@ -379,7 +448,7 @@ func (s *Server) contained(route string, h func(http.ResponseWriter, *http.Reque
 		case s.sem <- struct{}{}:
 		default:
 			s.shed.Inc()
-			rec.Header().Set("Retry-After", "1")
+			rec.Header().Set("Retry-After", s.retryAfter(route))
 			writeError(rec, http.StatusTooManyRequests, "server at capacity (%d requests in flight); retry", s.cfg.MaxInFlight)
 			return
 		}
@@ -415,6 +484,8 @@ type accessEntry struct {
 	BoundMS    float64 `json:"bound_ms,omitempty"`
 	RefineMS   float64 `json:"refine_ms,omitempty"`
 	KernelMS   float64 `json:"kernel_ms,omitempty"`
+	Retried    int     `json:"retried,omitempty"`
+	Resumed    int     `json:"resumed,omitempty"`
 }
 
 // observeRequest feeds the per-route histograms and, when configured, emits
@@ -431,6 +502,9 @@ func (s *Server) observeRequest(rec *statusRecorder, r *http.Request, trace obs.
 		if ri.statsSet {
 			s.cellsPlan.Observe(float64(ri.stats.Scenarios))
 		}
+	}
+	if ri.statsSet && ri.stats.Retried > 0 {
+		s.retries.Add(int64(ri.stats.Retried))
 	}
 	if s.accessLog == nil {
 		return
@@ -461,6 +535,8 @@ func (s *Server) observeRequest(rec *statusRecorder, r *http.Request, trace obs.
 		entry.BoundMS = ms(ri.stats.BoundTime)
 		entry.RefineMS = ms(ri.stats.RefineTime)
 		entry.KernelMS = ms(ri.stats.KernelComputeTime)
+		entry.Retried = ri.stats.Retried
+		entry.Resumed = ri.stats.ResumedCells
 	}
 	line, err := json.Marshal(entry)
 	if err != nil {
@@ -580,10 +656,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
 		return
 	}
+	if !s.breakerSweep.Allow() {
+		// Sweeps have no kernel-free answer: shed with a hint, unlike
+		// /v1/plan which degrades to bound estimates.
+		s.degradedShed.Inc()
+		w.Header().Set("Retry-After", s.retryAfter("sweep"))
+		writeError(w, http.StatusServiceUnavailable, "kernel circuit breaker open; sweep unavailable, retry later")
+		return
+	}
 	ctx, cancel := s.requestCtx(r, deadline)
 	defer cancel()
 	results, st, err := scenario.EvaluateSuiteStatsCtx(ctx, suite, req.Parallelism)
 	noteStats(r, st)
+	if err != nil {
+		// Cancellation and deadline expiry say nothing about kernel health.
+		s.breakerSweep.Cancel()
+	} else {
+		s.breakerSweep.Record(st.Failed == 0)
+	}
 	if s.evalFailure(w, r, err) {
 		return
 	}
@@ -698,8 +788,20 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, deadline)
 	defer cancel()
+	if !s.breakerPlan.Allow() {
+		s.servePlanDegraded(ctx, w, r, suite, obj, req.Parallelism)
+		return
+	}
 	report, st, err := planner.PlanSuiteCtx(ctx, suite, obj, req.Parallelism, opts)
 	noteStats(r, st)
+	switch {
+	case err != nil:
+		// Cancellation, deadline expiry and suite-shape errors say nothing
+		// about kernel health.
+		s.breakerPlan.Cancel()
+	default:
+		s.breakerPlan.Record(st.Failed == 0)
+	}
 	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		// Suite-shape errors the cap check could not see (bad objective in
 		// the suite file, negative refine) are the client's.
@@ -710,6 +812,32 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if s.evalFailure(w, r, err) {
 		return
 	}
+	s.plans.Inc()
+	var buf bytes.Buffer
+	if err := scenario.WritePlansJSON(&buf, report.Export()); err != nil {
+		writeError(w, http.StatusInternalServerError, "encode plans: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// servePlanDegraded answers /v1/plan while the kernel circuit breaker is
+// open: a kernel-free pass over the suite's registry bound models, exported
+// in the same document shape with "degraded": true so clients know the
+// numbers are optimistic lower bounds, not recommendations. Availability
+// over fidelity — the route keeps answering while the kernel heals.
+func (s *Server) servePlanDegraded(ctx context.Context, w http.ResponseWriter, r *http.Request, suite scenario.Suite, obj planner.Objective, parallelism int) {
+	report, err := planner.PlanSuiteDegradedCtx(ctx, suite, obj, parallelism)
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		s.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, "bad plan request: %v", err)
+		return
+	}
+	if s.evalFailure(w, r, err) {
+		return
+	}
+	s.degradedPlans.Inc()
 	s.plans.Inc()
 	var buf bytes.Buffer
 	if err := scenario.WritePlansJSON(&buf, report.Export()); err != nil {
@@ -735,13 +863,20 @@ func parseDeadline(s string) (time.Duration, error) {
 	return d, nil
 }
 
-// handleHealthz answers liveness probes: "ok" while serving, 503
-// "draining" once shutdown has begun so load balancers stop routing here.
+// handleHealthz answers liveness probes: "ok" while fully serving, 503
+// "draining" once shutdown has begun so load balancers stop routing here,
+// and 200 "degraded" while a kernel circuit breaker is open or probing —
+// the process is alive and still answering (plans fall back to bound
+// estimates), so it must NOT be restarted, but operators should know.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
+		return
+	}
+	if s.breakerSweep.State() != BreakerClosed || s.breakerPlan.State() != BreakerClosed {
+		io.WriteString(w, "degraded\n")
 		return
 	}
 	io.WriteString(w, "ok\n")

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# resume_smoke.sh — crash-safety drill for checkpointed sweeps, end to end.
+#
+# Builds dmls-sweep, generates a kernel-heavy Monte-Carlo grid (48 mrf
+# scenarios with distinct graph seeds, several seconds of work at
+# -parallel 2), then:
+#
+#   1. records the uninterrupted run's JSON output as ground truth;
+#   2. starts a checkpointed run and SIGKILLs it mid-grid — the kill fires
+#      once the journal holds a handful of cell records, so it lands while
+#      most of the grid is still unevaluated;
+#   3. resumes from the journal and asserts the run really resumed (the
+#      "resuming from" notice, a replay count strictly between 0 and the
+#      grid size, and "resumed from checkpoint" in the -stats block);
+#   4. diffs the resumed output against ground truth — byte-identical, or
+#      the checkpoint replayed wrong.
+#
+# The in-process variant of this drill lives in internal/resume's
+# TestKillMidGridResume; this script is the real-signal version: an actual
+# SIGKILL against a live process, fsync'd journal and all.
+#
+# Usage:
+#   scripts/resume_smoke.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CELLS=48
+KILL_AFTER_CELLS="${KILL_AFTER_CELLS:-8}"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/dmls-sweep" ./cmd/dmls-sweep
+
+# A grid where every scenario is a distinct kernel coordinate (different
+# graph seeds), so the journal accumulates both cell and kernel records and
+# a resume has real Monte-Carlo work to reuse.
+{
+    echo '{ "name": "resume smoke grid", "scenarios": ['
+    for i in $(seq 1 "$CELLS"); do
+        sep=","
+        [ "$i" -eq "$CELLS" ] && sep=""
+        printf '{"name":"bp dns seed %d","workload":{"family":"mrf","graph":{"family":"dns","vertices":200000,"seed":%d},"states":2,"trials":6},"hardware":{"preset":"dl980-core"},"protocol":{"kind":"shared-memory"},"max_workers":8}%s\n' "$i" "$i" "$sep"
+    done
+    echo ']}'
+} >"$workdir/suite.json"
+
+# Ground truth: the uninterrupted, checkpoint-free run.
+"$workdir/dmls-sweep" -suite "$workdir/suite.json" -format json >"$workdir/want.json"
+
+# Checkpointed run, killed mid-grid. -parallel 2 stretches the grid to a
+# few seconds so the kill window is wide; the poll fires SIGKILL as soon as
+# the journal holds KILL_AFTER_CELLS cell records.
+ckpt="$workdir/run.ckpt"
+"$workdir/dmls-sweep" -suite "$workdir/suite.json" -format json -parallel 2 \
+    -checkpoint "$ckpt" >"$workdir/killed.json" 2>"$workdir/killed.log" &
+victim=$!
+killed=0
+for _ in $(seq 1 600); do
+    if ! kill -0 "$victim" 2>/dev/null; then break; fi
+    n=$(grep -c '"k":"cell"' "$ckpt" 2>/dev/null || true)
+    if [ "${n:-0}" -ge "$KILL_AFTER_CELLS" ]; then
+        kill -KILL "$victim"
+        killed=1
+        break
+    fi
+    sleep 0.05
+done
+wait "$victim" 2>/dev/null || true
+if [ "$killed" -ne 1 ]; then
+    echo "resume_smoke.sh: the run finished before SIGKILL could land mid-grid" >&2
+    exit 1
+fi
+journaled=$(grep -c '"k":"cell"' "$ckpt")
+if [ "$journaled" -ge "$CELLS" ]; then
+    echo "resume_smoke.sh: journal already complete ($journaled cells); kill was not mid-grid" >&2
+    exit 1
+fi
+echo "resume_smoke.sh: SIGKILLed mid-grid with $journaled of $CELLS cells journaled" >&2
+
+# Resume: replay the journal, finish the grid, and the merged output must
+# be byte-identical to the uninterrupted run.
+"$workdir/dmls-sweep" -suite "$workdir/suite.json" -format json -stats \
+    -checkpoint "$ckpt" -resume >"$workdir/got.json" 2>"$workdir/resume.log"
+
+if ! grep -q "resuming from" "$workdir/resume.log"; then
+    echo "resume_smoke.sh: resumed run never printed its replay notice:" >&2
+    cat "$workdir/resume.log" >&2
+    exit 1
+fi
+replayed=$(sed -n 's/.*resuming from .*: \([0-9][0-9]*\) cells.*/\1/p' "$workdir/resume.log")
+if [ -z "$replayed" ] || [ "$replayed" -le 0 ] || [ "$replayed" -ge "$CELLS" ]; then
+    echo "resume_smoke.sh: replay count '$replayed' not strictly inside (0, $CELLS)" >&2
+    cat "$workdir/resume.log" >&2
+    exit 1
+fi
+if ! grep -q "resumed from checkpoint" "$workdir/resume.log"; then
+    echo "resume_smoke.sh: -stats block does not report resumed cells:" >&2
+    cat "$workdir/resume.log" >&2
+    exit 1
+fi
+if ! cmp -s "$workdir/want.json" "$workdir/got.json"; then
+    echo "resume_smoke.sh: resumed output differs from the uninterrupted run:" >&2
+    diff "$workdir/want.json" "$workdir/got.json" | head -40 >&2
+    exit 1
+fi
+
+echo "resume_smoke.sh: ok — killed at $journaled cells, resumed $replayed, output byte-identical" >&2
