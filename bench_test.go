@@ -253,6 +253,38 @@ func BenchmarkSweepGridColdVsWarm(b *testing.B) {
 	})
 }
 
+// BenchmarkSweepCurveCold64 evaluates ONE Monte-Carlo graph curve across a
+// full 64-point worker axis from cold caches every iteration — the shape
+// the batched kernel exists for: the curve's first sampled point batch-fills
+// all 64 estimates in one kernel pass (one RNG draw per vertex per trial,
+// common random numbers across worker counts), so a cold curve costs one
+// O(trials·V) pass plus arithmetic instead of 64 independent kernel runs.
+func BenchmarkSweepCurveCold64(b *testing.B) {
+	vertices := 60000
+	if testing.Short() {
+		vertices = 8000
+	}
+	suite := dmlscale.Suite{Name: "cold 64-point curve", Scenarios: []dmlscale.Scenario{{
+		Name: "bp dns cold64",
+		Workload: scenario.WorkloadSpec{
+			Family: "mrf",
+			Graph:  &scenario.GraphSpec{Family: "dns", Vertices: vertices, Seed: 11},
+			States: 2,
+			Trials: 3,
+			Seed:   11,
+		},
+		Hardware:   scenario.HardwareSpec{Preset: "dl980-core"},
+		Protocol:   scenario.ProtocolSpec{Kind: "shared-memory"},
+		MaxWorkers: 64,
+	}}}
+	defer dmlscale.ResetCaches()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dmlscale.ResetCaches()
+		evaluateGrid(b, suite)
+	}
+}
+
 // BenchmarkPlanGridWarm ranks the same 12-cell grid with warm caches: the
 // per-iteration fallback plans price every cell off cached kernel
 // estimates, so planning cost is decoupled from Monte-Carlo cost.

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -88,12 +89,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	for _, n := range []int{1, 2, 4, 8, 16} {
-		en, err := partition.MonteCarloMaxEdges(degrees, n, 3, *seed)
-		if err != nil {
-			fail(err)
-		}
-		est.AddRow(n, e1.MaxEdges/en.MaxEdges)
+	ns := []int{1, 2, 4, 8, 16}
+	ests, err := partition.MonteCarloMaxEdgesBatch(context.Background(), degrees, ns, 3, *seed)
+	if err != nil {
+		fail(err)
+	}
+	for i, n := range ns {
+		est.AddRow(n, e1.MaxEdges/ests[i].MaxEdges)
 	}
 	fmt.Println()
 	fmt.Println(est.String())

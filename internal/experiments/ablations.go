@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -266,11 +267,13 @@ func AblationPartition(opts Options) (Result, error) {
 	table := textio.NewTable("workers", "MC estimate maxEi", "exact random max load", "greedy max load", "estimate/exact")
 	metricsMap := map[string]float64{}
 	worstRatio, bestRatio := 0.0, math.Inf(1)
-	for _, n := range ns {
-		est, err := partition.MonteCarloMaxEdges(actualDegrees, n, opts.MonteCarloTrials, opts.Seed)
-		if err != nil {
-			return Result{}, err
-		}
+	// One batched kernel pass covers the whole worker axis.
+	ests, err := partition.MonteCarloMaxEdgesBatch(context.Background(), actualDegrees, ns, opts.MonteCarloTrials, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	for ni, n := range ns {
+		est := ests[ni]
 		randomAssign, err := partition.Random(g.NumVertices(), n, opts.Seed+int64(n))
 		if err != nil {
 			return Result{}, err

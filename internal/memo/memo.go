@@ -212,6 +212,139 @@ func (c *Cache[K, V]) DoCtx(ctx context.Context, key K, compute func() (V, error
 	return e.val, e.err
 }
 
+// DoBatch is DoBatchCtx without a context: the caller waits for in-flight
+// computations unconditionally.
+func (c *Cache[K, V]) DoBatch(keys []K, compute func(missing []K) ([]V, error)) ([]V, error) {
+	return c.DoBatchCtx(context.Background(), keys, compute)
+}
+
+// DoBatchCtx returns the memoized results for keys — aligned with keys —
+// running compute at most ONCE for however many of them are uncached:
+// compute receives exactly the missing keys (batch order, duplicates
+// folded) and must return one value per missing key, in order. All missing
+// keys are claimed under their stripes' locks before compute runs, so
+// concurrent DoCtx/DoBatchCtx callers of any individual key coalesce on
+// that key's single-flight entry as usual — one batched computation
+// populates every missing key while other callers wait per key.
+//
+// The failure policy is DoCtx's, applied batch-wide: an error or panic
+// from compute publishes that failure to every waiter coalesced on any of
+// the batch's fresh entries, drops them all (no partial fills — compute's
+// values are only trusted as a complete, aligned set), and a panic
+// re-raises. ctx governs only this caller's waits on entries other callers
+// are filling; the batch's own compute always runs to completion once
+// started.
+//
+// Two overlapping batches cannot deadlock: a batch computes the keys it
+// claimed before waiting on keys claimed by others, so whichever goroutine
+// owns an entry is never blocked on its peer.
+func (c *Cache[K, V]) DoBatchCtx(ctx context.Context, keys []K, compute func(missing []K) ([]V, error)) ([]V, error) {
+	vals := make([]V, len(keys))
+	type waiter struct {
+		idx int
+		e   *entry[V]
+	}
+	var (
+		waiters  []waiter
+		missing  []K
+		owned    []*entry[V]
+		ownedIdx []int
+		dups     [][2]int // {duplicate index, first-occurrence index}
+	)
+	first := make(map[K]int, len(keys))
+	for i, k := range keys {
+		if j, dup := first[k]; dup {
+			dups = append(dups, [2]int{i, j})
+			continue
+		}
+		first[k] = i
+		st := c.stripeFor(k)
+		st.mu.Lock()
+		if el, ok := st.entries[k]; ok {
+			st.order.MoveToFront(el)
+			e := el.Value.(*item[K, V]).entry
+			st.mu.Unlock()
+			c.hits.Add(1)
+			waiters = append(waiters, waiter{i, e})
+			continue
+		}
+		e := &entry[V]{done: make(chan struct{})}
+		st.entries[k] = st.order.PushFront(&item[K, V]{key: k, entry: e})
+		evicted := 0
+		for len(st.entries) > st.cap {
+			back := st.order.Back()
+			st.order.Remove(back)
+			delete(st.entries, back.Value.(*item[K, V]).key)
+			evicted++
+		}
+		st.mu.Unlock()
+		c.misses.Add(1)
+		if evicted > 0 {
+			c.evictions.Add(int64(evicted))
+		}
+		missing = append(missing, k)
+		owned = append(owned, e)
+		ownedIdx = append(ownedIdx, i)
+	}
+
+	if len(missing) > 0 {
+		var vs []V
+		var err error
+		completed := false
+		func() {
+			defer func() {
+				if completed {
+					return
+				}
+				// compute panicked: publish the failure to every waiter
+				// already coalesced on a batch entry, drop the entries so
+				// later callers recompute, and let the panic continue.
+				perr := fmt.Errorf("memo: batch compute panicked: %v", recover())
+				for i, e := range owned {
+					e.err = perr
+					c.drop(c.stripeFor(missing[i]), missing[i], e)
+					close(e.done)
+				}
+				panic(perr)
+			}()
+			vs, err = compute(missing)
+			completed = true
+		}()
+		if err == nil && len(vs) != len(missing) {
+			err = fmt.Errorf("memo: batch compute returned %d values for %d missing keys", len(vs), len(missing))
+		}
+		for i, e := range owned {
+			if err != nil {
+				e.err = err
+				c.drop(c.stripeFor(missing[i]), missing[i], e)
+			} else {
+				e.val = vs[i]
+				vals[ownedIdx[i]] = vs[i]
+			}
+			close(e.done)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, w := range waiters {
+		select {
+		case <-w.e.done:
+			if w.e.err != nil {
+				return nil, w.e.err
+			}
+			vals[w.idx] = w.e.val
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	for _, d := range dups {
+		vals[d[0]] = vals[d[1]]
+	}
+	return vals, nil
+}
+
 // drop unmaps a failed entry, unless eviction (or a concurrent Reset)
 // already removed it — the pointer comparison keeps a stale drop from
 // removing a successor entry under the same key.
@@ -274,7 +407,7 @@ func (c *Cache[K, V]) Reset() {
 }
 
 // Mix folds words into one 64-bit hash by chained SplitMix64 finalization —
-// the stripe-routing companion of partition.StreamSeed's stream derivation.
+// the stripe-routing companion of partition.TrialSeed's stream derivation.
 func Mix(words ...uint64) uint64 {
 	h := uint64(0x9e3779b97f4a7c15)
 	for _, w := range words {
@@ -309,7 +442,7 @@ func HashInt32s(vals []int32) (fnv, mix uint64) {
 
 // SplitMix64 is the SplitMix64 finalizer (Steele, Lea, Flood 2014), a
 // bijective avalanche mix — the single copy in the module; hashing here
-// and RNG stream derivation (partition.StreamSeed) both build on it.
+// and RNG stream derivation (partition.TrialSeed) both build on it.
 func SplitMix64(z uint64) uint64 {
 	z += 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

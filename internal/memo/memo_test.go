@@ -371,3 +371,204 @@ func BenchmarkDoHit(b *testing.B) {
 		}
 	}
 }
+
+func TestDoBatchFillsMissingOnce(t *testing.T) {
+	c := New[int, int](16, 1, nil)
+	// Warm two of the five keys individually.
+	for _, k := range []int{2, 4} {
+		if _, err := c.Do(k, func() (int, error) { return k * 10, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var computes atomic.Int64
+	vals, err := c.DoBatch([]int{1, 2, 3, 4, 5}, func(missing []int) ([]int, error) {
+		computes.Add(1)
+		want := []int{1, 3, 5}
+		if len(missing) != len(want) {
+			t.Errorf("missing = %v, want %v", missing, want)
+		}
+		for i, k := range missing {
+			if k != want[i] {
+				t.Errorf("missing = %v, want %v", missing, want)
+				break
+			}
+		}
+		out := make([]int, len(missing))
+		for i, k := range missing {
+			out[i] = k * 10
+		}
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range []int{1, 2, 3, 4, 5} {
+		if vals[i] != k*10 {
+			t.Errorf("vals[%d] = %d, want %d", i, vals[i], k*10)
+		}
+	}
+	if computes.Load() != 1 {
+		t.Errorf("batch compute ran %d times, want 1", computes.Load())
+	}
+	// Every key is now cached: a second batch computes nothing.
+	vals, err = c.DoBatch([]int{5, 4, 3, 2, 1}, func(missing []int) ([]int, error) {
+		t.Errorf("warm batch recomputed %v", missing)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range []int{5, 4, 3, 2, 1} {
+		if vals[i] != k*10 {
+			t.Errorf("warm vals[%d] = %d, want %d", i, vals[i], k*10)
+		}
+	}
+}
+
+func TestDoBatchFoldsDuplicates(t *testing.T) {
+	c := New[int, int](16, 1, nil)
+	vals, err := c.DoBatch([]int{7, 7, 8, 7}, func(missing []int) ([]int, error) {
+		if len(missing) != 2 || missing[0] != 7 || missing[1] != 8 {
+			t.Errorf("missing = %v, want [7 8]", missing)
+		}
+		return []int{70, 80}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{70, 70, 80, 70}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("vals = %v, want %v", vals, want)
+			break
+		}
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 misses, 0 hits", st)
+	}
+}
+
+func TestDoBatchErrorDropsAllEntries(t *testing.T) {
+	c := New[int, int](16, 1, nil)
+	boom := errors.New("boom")
+	if _, err := c.DoBatch([]int{1, 2, 3}, func([]int) ([]int, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Drops != 3 {
+		t.Errorf("stats = %+v, want 0 entries, 3 drops", st)
+	}
+	// A misaligned result set is an error too, and nothing stays cached.
+	if _, err := c.DoBatch([]int{1, 2}, func([]int) ([]int, error) {
+		return []int{10}, nil
+	}); err == nil {
+		t.Fatal("misaligned batch result accepted")
+	}
+	if n := c.Len(); n != 0 {
+		t.Errorf("%d entries cached after misaligned batch, want 0", n)
+	}
+}
+
+func TestDoBatchPanicDoesNotPoisonEntries(t *testing.T) {
+	c := New[int, int](16, 1, nil)
+	// A waiter coalesced on a batch-owned key must see the panic as an
+	// error, and the keys must recompute cleanly afterwards.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	waiterErr := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("batch compute panic did not re-raise")
+			}
+		}()
+		c.DoBatch([]int{1, 2}, func([]int) ([]int, error) {
+			close(started)
+			<-release
+			panic("kaboom")
+		})
+	}()
+	<-started
+	go func() {
+		_, err := c.Do(1, func() (int, error) {
+			t.Error("waiter recomputed while batch in flight")
+			return 0, nil
+		})
+		waiterErr <- err
+	}()
+	// Give the waiter a moment to coalesce on the in-flight entry, then
+	// release the panicking batch.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if err := <-waiterErr; err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("waiter err = %v, want published panic", err)
+	}
+	// The keys recompute cleanly now.
+	v, err := c.Do(1, func() (int, error) { return 11, nil })
+	if err != nil || v != 11 {
+		t.Errorf("recompute after panic = %d, %v", v, err)
+	}
+}
+
+func TestDoBatchCoalescesWithSingles(t *testing.T) {
+	// A DoCtx caller of a key a batch claimed waits on that one key, not
+	// the whole batch; and a second overlapping batch computes only the
+	// keys the first did not claim. Run with enough concurrency that the
+	// race detector gets a real workout.
+	c := New[int, int](256, 4, func(k int) uint64 { return SplitMix64(uint64(k)) })
+	var computed atomic.Int64
+	fill := func(missing []int) ([]int, error) {
+		out := make([]int, len(missing))
+		for i, k := range missing {
+			computed.Add(1)
+			out[i] = k * 10
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			keys := make([]int, 0, 32)
+			for k := g; k < g+32; k++ {
+				keys = append(keys, k)
+			}
+			vals, err := c.DoBatch(keys, fill)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, k := range keys {
+				if vals[i] != k*10 {
+					t.Errorf("batch vals[%d] = %d, want %d", i, vals[i], k*10)
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := g; k < g+32; k++ {
+				v, err := c.Do(k, func() (int, error) {
+					computed.Add(1)
+					return k * 10, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v != k*10 {
+					t.Errorf("Do(%d) = %d, want %d", k, v, k*10)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Keys 0..38 exist; every computation must have produced a distinct
+	// key exactly once (single-flight across batches and singles).
+	if got, want := computed.Load(), int64(39); got != want {
+		t.Errorf("computed %d values, want %d (one per distinct key)", got, want)
+	}
+}

@@ -16,7 +16,7 @@ package partition
 import (
 	"context"
 	"fmt"
-	"math/rand"
+	"math/bits"
 
 	"dmlscale/internal/core"
 	"dmlscale/internal/graph"
@@ -43,16 +43,44 @@ func (a Assignment) Validate() error {
 	return nil
 }
 
+// rng is the module's inline Monte-Carlo generator: the SplitMix64 stream
+// (Steele, Lea, Flood 2014). The state advances by the golden gamma and
+// each output is memo.SplitMix64 of the pre-advance state — one addition
+// and one avalanche finalization per draw, no interface indirection, no
+// heap state, trivially seedable per trial. The kernel draws billions of
+// values on a cold sweep, so the per-draw constant matters more than any
+// statistical nicety beyond SplitMix64's (which passes BigCrush).
+type rng uint64
+
+// next returns the stream's next 64-bit draw and advances the state.
+func (s *rng) next() uint64 {
+	v := memo.SplitMix64(uint64(*s))
+	*s += 0x9e3779b97f4a7c15
+	return v
+}
+
+// bounded maps a uniform 64-bit draw onto [0, n) by Lemire's multiply-shift
+// reduction — the high 64 bits of r·n — replacing math/rand's divide-based
+// Intn on the kernel's innermost loop. The reduction keeps a bias of at
+// most n/2⁶⁴, which is beyond negligible for a Monte-Carlo load estimate
+// averaged over trials (worker counts are tiny against 2⁶⁴).
+func bounded(r uint64, n int) int {
+	hi, _ := bits.Mul64(r, uint64(n))
+	return int(hi)
+}
+
 // Random assigns each vertex to a uniformly random worker — the paper's
-// Monte-Carlo assignment.
+// Monte-Carlo assignment. It draws from the same SplitMix64-plus-Lemire
+// generator as the Monte-Carlo kernel, seeded by one finalization of seed,
+// so standalone assignments and kernel trials share one sampling scheme.
 func Random(vertices, workers int, seed int64) (Assignment, error) {
 	if err := checkSizes(vertices, workers); err != nil {
 		return Assignment{}, err
 	}
-	rng := rand.New(rand.NewSource(seed))
+	state := rng(memo.SplitMix64(uint64(seed)))
 	owner := make([]int32, vertices)
 	for v := range owner {
-		owner[v] = int32(rng.Intn(workers))
+		owner[v] = int32(bounded(state.next(), workers))
 	}
 	return Assignment{Workers: workers, Owner: owner}, nil
 }
@@ -199,18 +227,18 @@ type Estimate struct {
 	Trials int
 }
 
-// StreamSeed derives the RNG seed of one Monte-Carlo trial from the base
-// seed, the worker count and the trial index by chained SplitMix64
-// finalization (memo.SplitMix64, the module's one copy). Hashing all three
-// coordinates gives every (workers, trial) cell an independent stream: the
-// earlier additive derivation (seed + workers + trial) made trial t at n
-// workers reuse the stream of trial t+1 at n−1 workers, correlating the
-// estimates of adjacent curve points.
-func StreamSeed(seed int64, workers, trial int) int64 {
+// TrialSeed derives the RNG state of one Monte-Carlo trial from the base
+// seed and the trial index by chained SplitMix64 finalization
+// (memo.SplitMix64, the module's one copy). The worker count deliberately
+// does NOT enter the derivation: every worker count sees the same random
+// vertex placements per trial — common random numbers — so the difference
+// between two curve points measures the partition modulus, not sampling
+// noise, and one RNG pass per trial can feed every requested worker count
+// at once. (The pre-batch scheme, StreamSeed, hashed workers into the
+// stream and so forced one full RNG pass per (workers, trial) cell.)
+func TrialSeed(seed int64, trial int) uint64 {
 	h := memo.SplitMix64(uint64(seed))
-	h = memo.SplitMix64(h ^ uint64(workers))
-	h = memo.SplitMix64(h ^ uint64(trial))
-	return int64(h)
+	return memo.SplitMix64(h ^ uint64(trial))
 }
 
 // MonteCarloMaxEdges estimates maxᵢ Eᵢ for a random assignment of the given
@@ -218,10 +246,10 @@ func StreamSeed(seed int64, workers, trial int) int64 {
 // the paper's "Monte-Carlo-like simulation".
 //
 // Trials are sharded across the shared parallelism budget. Each trial draws
-// from its own StreamSeed(seed, workers, trial) stream and trial maxima are
-// reduced in index order, so the estimate is bit-identical at any
-// parallelism. Each shard reuses one owner and one loads buffer across its
-// trials instead of allocating per assignment.
+// from its own TrialSeed(seed, trial) stream and trial maxima are reduced
+// in index order, so the estimate is bit-identical at any parallelism —
+// and, because the stream does not depend on the worker count, bit-identical
+// to the same coordinates inside any MonteCarloMaxEdgesBatch worker set.
 func MonteCarloMaxEdges(degrees []int32, workers, trials int, seed int64) (Estimate, error) {
 	return MonteCarloMaxEdgesCtx(context.Background(), degrees, workers, trials, seed)
 }
@@ -232,31 +260,85 @@ func MonteCarloMaxEdges(degrees []int32, workers, trials int, seed int64) (Estim
 // run returns ctx's error (wrapped) and no estimate — a partial trial mean
 // would be a silently different, seed-order-dependent statistic. Results of
 // uncancelled runs are bit-identical to MonteCarloMaxEdges at any
-// parallelism.
+// parallelism. It is exactly the one-element batch: see
+// MonteCarloMaxEdgesBatch, which it delegates to.
 func MonteCarloMaxEdgesCtx(ctx context.Context, degrees []int32, workers, trials int, seed int64) (Estimate, error) {
-	if trials < 1 {
-		return Estimate{}, fmt.Errorf("partition: %d trials", trials)
-	}
-	if err := checkSizes(len(degrees), workers); err != nil {
+	ests, err := MonteCarloMaxEdgesBatch(ctx, degrees, []int{workers}, trials, seed)
+	if err != nil {
 		return Estimate{}, err
+	}
+	return ests[0], nil
+}
+
+// MonteCarloMaxEdgesBatch estimates maxᵢ Eᵢ for every worker count in
+// workerCounts over one shared set of random assignments: per trial it
+// draws ONE uniform value per vertex from the inline SplitMix64 stream
+// (TrialSeed) and reduces that single draw into each worker count's load
+// vector via Lemire multiply-shift bounded reduction. A |W|-point curve
+// therefore costs one O(trials·V) RNG pass plus a multiply-shift-and-add
+// per (vertex, worker count) — instead of |W| independent RNG-heavy passes
+// — and the worker counts share common random numbers, so curve-shape
+// differences between adjacent points carry no independent sampling noise.
+//
+// Estimates align with workerCounts (which need not be sorted or unique).
+// Trials shard across the shared parallelism budget and trial maxima are
+// reduced in index order, so every estimate is bit-identical at any
+// parallelism, for any worker-count subset and order: Batch(W)[w] ==
+// Batch({w})[w] == MonteCarloMaxEdges(..., w, ...). Cancellation follows
+// MonteCarloMaxEdgesCtx: checked between trials, a cancelled run returns
+// ctx's error and no estimates.
+func MonteCarloMaxEdgesBatch(ctx context.Context, degrees []int32, workerCounts []int, trials int, seed int64) ([]Estimate, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("partition: %d trials", trials)
+	}
+	if len(workerCounts) == 0 {
+		return nil, fmt.Errorf("partition: empty worker-count batch")
+	}
+	for _, w := range workerCounts {
+		if err := checkSizes(len(degrees), w); err != nil {
+			return nil, err
+		}
 	}
 	var edges int64
 	for _, d := range degrees {
 		edges += int64(d)
 	}
 	edges /= 2
-	dup := DupCorrection(len(degrees), edges, workers)
+	// Per worker count: its dup correction and its slice [offsets[i],
+	// offsets[i+1]) of the shard-local flat loads buffer — one allocation
+	// for the whole batch, laid out in batch order so the inner loop walks
+	// it forward.
+	dups := make([]float64, len(workerCounts))
+	offsets := make([]int, len(workerCounts)+1)
+	for i, w := range workerCounts {
+		dups[i] = DupCorrection(len(degrees), edges, w)
+		offsets[i+1] = offsets[i] + w
+	}
+	// lanes is the inner loop's working set: each worker count as the
+	// (multiplier, flat-buffer offset) pair the per-vertex reduction needs,
+	// in one contiguous slice so the hot loop does a single ranged read per
+	// lane instead of two bounds-checked lookups.
+	type lane struct {
+		w   uint64
+		off int
+	}
+	lanes := make([]lane, len(workerCounts))
+	for i, w := range workerCounts {
+		lanes[i] = lane{w: uint64(w), off: offsets[i]}
+	}
 
 	done := ctx.Done()
-	maxes := make([]float64, trials)
+	// maxes[i*trials+trial] is worker count i's trial-th maximum; reducing
+	// per worker count in trial-index order keeps every estimate
+	// parallelism-independent.
+	maxes := make([]float64, len(workerCounts)*trials)
 	core.ParallelChunks(trials, func(lo, hi int) {
 		_, shard := obs.Start(ctx, "mc-shard")
 		shard.SetInt("trials", int64(hi-lo))
-		shard.SetInt("workers", int64(workers))
+		shard.SetInt("batch", int64(len(workerCounts)))
+		shard.SetInt("workers", int64(workerCounts[len(workerCounts)-1]))
 		defer shard.End()
-		owner := make([]int32, len(degrees))
-		loads := make([]int64, workers)
-		rng := rand.New(rand.NewSource(0))
+		loads := make([]int64, offsets[len(workerCounts)])
 		for trial := lo; trial < hi; trial++ {
 			if done != nil {
 				select {
@@ -265,27 +347,35 @@ func MonteCarloMaxEdgesCtx(ctx context.Context, degrees []int32, workers, trials
 				default:
 				}
 			}
-			rng.Seed(StreamSeed(seed, workers, trial))
-			for v := range owner {
-				owner[v] = int32(rng.Intn(workers))
+			state := rng(TrialSeed(seed, trial))
+			for i := range loads {
+				loads[i] = 0
 			}
-			for w := range loads {
-				loads[w] = 0
+			for _, d := range degrees {
+				r := state.next()
+				dd := int64(d)
+				for _, ln := range lanes {
+					hi, _ := bits.Mul64(r, ln.w)
+					loads[ln.off+int(hi)] += dd
+				}
 			}
-			for v, d := range degrees {
-				loads[owner[v]] += int64(d)
+			for i := range workerCounts {
+				maxes[i*trials+trial] = MaxLoad(loads[offsets[i]:offsets[i+1]], dups[i])
 			}
-			maxes[trial] = MaxLoad(loads, dup)
 		}
 	})
 	if err := ctx.Err(); err != nil {
-		return Estimate{}, fmt.Errorf("partition: Monte-Carlo estimation cancelled: %w", err)
+		return nil, fmt.Errorf("partition: Monte-Carlo estimation cancelled: %w", err)
 	}
-	total := 0.0
-	for _, m := range maxes {
-		total += m
+	ests := make([]Estimate, len(workerCounts))
+	for i := range workerCounts {
+		total := 0.0
+		for _, m := range maxes[i*trials : (i+1)*trials] {
+			total += m
+		}
+		ests[i] = Estimate{MaxEdges: total / float64(trials), Trials: trials}
 	}
-	return Estimate{MaxEdges: total / float64(trials), Trials: trials}, nil
+	return ests, nil
 }
 
 // ExactLoads returns, for each worker, the exact number of edges it

@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sort"
 	"testing"
@@ -240,43 +242,44 @@ func TestMonteCarloSkewIncreasesMax(t *testing.T) {
 	}
 }
 
-func TestStreamSeedIndependence(t *testing.T) {
-	// The regression the hash fixes: with the old additive derivation
-	// (seed + workers + trial), trial t at n workers shared a stream with
-	// trial t+1 at n−1 workers. Hashed seeds must differ across every
-	// nearby (workers, trial) pair.
-	seen := map[int64][2]int{}
-	for workers := 1; workers <= 8; workers++ {
-		for trial := 0; trial < 8; trial++ {
-			s := StreamSeed(42, workers, trial)
+func TestTrialSeedIndependence(t *testing.T) {
+	// Every (seed, trial) pair must open an independent stream: nearby
+	// trials may not collide, or adjacent trials would redraw the same
+	// assignments. The worker count deliberately does not participate —
+	// common random numbers across worker counts is the batched kernel's
+	// sampling contract.
+	seen := map[uint64][2]int64{}
+	for seed := int64(0); seed < 8; seed++ {
+		for trial := 0; trial < 64; trial++ {
+			s := TrialSeed(seed, trial)
 			if prev, dup := seen[s]; dup {
-				t.Fatalf("StreamSeed(42, %d, %d) collides with (%d, %d)", workers, trial, prev[0], prev[1])
+				t.Fatalf("TrialSeed(%d, %d) collides with (%d, %d)", seed, trial, prev[0], prev[1])
 			}
-			seen[s] = [2]int{workers, trial}
+			seen[s] = [2]int64{seed, int64(trial)}
 		}
 	}
 	// Pinned values: the derivation is part of the estimator's contract —
 	// changing it silently would change every published model number.
 	pins := []struct {
-		seed    int64
-		workers int
-		trial   int
-		want    int64
+		seed  int64
+		trial int
+		want  uint64
 	}{
-		{42, 4, 0, -1667834411506607640},
-		{42, 4, 1, -4691939078754974177},
-		{42, 5, 0, -5475267003953413020},
-		{0, 1, 0, 4964578127960768432},
+		{42, 0, 6332618229526065668},
+		{42, 1, 17532488217563185893},
+		{0, 0, 12035550249420947055},
 	}
 	for _, p := range pins {
-		if got := StreamSeed(p.seed, p.workers, p.trial); got != p.want {
-			t.Errorf("StreamSeed(%d, %d, %d) = %d, want %d", p.seed, p.workers, p.trial, got, p.want)
+		if got := TrialSeed(p.seed, p.trial); got != p.want {
+			t.Errorf("TrialSeed(%d, %d) = %d, want %d", p.seed, p.trial, got, p.want)
 		}
 	}
 }
 
 func TestMonteCarloPinnedEstimate(t *testing.T) {
-	// Golden value for the hashed-stream estimator on a fixed input.
+	// Golden value for the common-random-numbers estimator on a fixed
+	// input (re-pinned from 699.8648648648649 when the batched kernel
+	// replaced the per-worker-count hashed streams).
 	degrees := make([]int32, 1000)
 	for i := range degrees {
 		degrees[i] = int32(1 + i%5)
@@ -285,11 +288,75 @@ func TestMonteCarloPinnedEstimate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 699.8648648648649; est.MaxEdges != want {
+	if want := 715.5315315315315; est.MaxEdges != want {
 		t.Errorf("MaxEdges = %v, want pinned %v", est.MaxEdges, want)
 	}
 	if est.Trials != 3 {
 		t.Errorf("Trials = %d, want 3", est.Trials)
+	}
+}
+
+func TestMonteCarloBatchMatchesSingleton(t *testing.T) {
+	// The bit-identity contract: Batch(W)[w] == Batch({w})[w] ==
+	// MonteCarloMaxEdges(w) for every w ∈ W, whatever the order of W,
+	// however many duplicates it holds, and at any parallelism — common
+	// random numbers mean the estimate for w never depends on which other
+	// worker counts shared its RNG pass.
+	degrees, err := graph.PowerLawDegrees(5000, 30000, 800, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials, seed = 4, 21
+	sets := [][]int{
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{8, 3, 5, 1},
+		{7},
+		{4, 4, 2, 4}, // duplicates allowed, aligned output
+	}
+	defer core.SetParallelism(0)
+	for _, par := range []int{1, 8} {
+		core.SetParallelism(par)
+		for _, set := range sets {
+			batch, err := MonteCarloMaxEdgesBatch(context.Background(), degrees, set, trials, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch) != len(set) {
+				t.Fatalf("batch over %v returned %d estimates", set, len(batch))
+			}
+			for i, w := range set {
+				single, err := MonteCarloMaxEdges(degrees, w, trials, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if batch[i] != single {
+					t.Errorf("par=%d set=%v: Batch[%d] (w=%d) = %v, singleton = %v",
+						par, set, i, w, batch[i], single)
+				}
+			}
+		}
+	}
+}
+
+func TestMonteCarloBatchErrors(t *testing.T) {
+	degrees := uniformDegrees(10, 2)
+	if _, err := MonteCarloMaxEdgesBatch(context.Background(), degrees, nil, 1, 1); err == nil {
+		t.Error("empty worker-count batch accepted")
+	}
+	if _, err := MonteCarloMaxEdgesBatch(context.Background(), degrees, []int{2, 0}, 1, 1); err == nil {
+		t.Error("zero worker count inside batch accepted")
+	}
+	if _, err := MonteCarloMaxEdgesBatch(context.Background(), degrees, []int{2}, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestMonteCarloBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	degrees := uniformDegrees(1000, 4)
+	if _, err := MonteCarloMaxEdgesBatch(ctx, degrees, []int{1, 2, 4}, 8, 3); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled batch returned %v, want context.Canceled", err)
 	}
 }
 

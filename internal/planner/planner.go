@@ -297,7 +297,12 @@ func fallbackPlan(ctx context.Context, p Plan, sc scenario.Scenario, notice stri
 // curveAndOptimum samples the plan's curve over the scenario's worker range
 // (1..MaxN) and finds the optimum with OptimalWorkers backed by the sampled
 // points, so the search re-evaluates nothing and the recommendation is
-// always one of the exported curve points.
+// always one of the exported curve points. The model behind at was built
+// under the scenario's worker-set hint (scenario.ModelCtx →
+// registry.WithKernelWorkerSet), so for the graph families the first
+// sampled point batch-fills every point's Monte-Carlo estimate in one
+// common-random-numbers kernel pass and the rest of this loop reads a
+// local snapshot.
 func curveAndOptimum(sc scenario.Scenario, at func(n int) Point) ([]Point, Point) {
 	workers := sc.Workers()
 	curve := make([]Point, len(workers))

@@ -119,6 +119,11 @@ func refineFrontier(ctx context.Context, plans []Plan, cells []scenario.Cell, pa
 			if visited != nil {
 				visited[k] = true
 			}
+			// Each frontier-adjacent probe plans through scenario.ModelCtx,
+			// which hints the candidate's full worker axis to the kernel —
+			// so an off-grid cell whose graph coordinates match a frontier
+			// cell reuses its batch-filled estimates outright, and a cell
+			// with fresh coordinates pays one batched pass, not MaxN.
 			newPlans[k] = planCell(rctx, cand[k], boundFor(cand[k].Scenario), &frontier, opts, &pruned)
 			newPlans[k].Refined = true
 		})

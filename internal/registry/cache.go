@@ -62,6 +62,20 @@ func (k estimateKey) hash() uint64 {
 	return memo.Mix(k.fnv, k.mix, uint64(k.vertices), uint64(k.workers), uint64(k.trials), uint64(k.seed))
 }
 
+// call converts the cache key back to the observer/fault-injection surface
+// — the inverse of the key SeedEstimate builds from a KernelCall, so the
+// checkpoint journal round-trips batch-filled estimates one record per key.
+func (k estimateKey) call() KernelCall {
+	return KernelCall{
+		Fingerprint: k.fnv,
+		Mix:         k.mix,
+		Vertices:    k.vertices,
+		Workers:     k.workers,
+		Trials:      k.trials,
+		Seed:        k.seed,
+	}
+}
+
 var (
 	// degreeCache and graphCache memoize what one GraphSpec generates.
 	// Single-stripe: exact LRU, and the entries are few and expensive.
@@ -85,6 +99,14 @@ type CacheStats struct {
 	// the hot one: its misses are the number of distinct estimations
 	// actually performed.
 	Estimates memo.Stats
+	// KernelBatches counts batched kernel passes (one common-random-numbers
+	// RNG pass filling a whole worker set), KernelBatchKeys the estimates
+	// those passes filled, and KernelSingles the one-key computes — so
+	// KernelBatchKeys + KernelSingles ≈ Estimates.Misses and the batched
+	// share of kernel work is visible in -stats.
+	KernelBatches   int64
+	KernelBatchKeys int64
+	KernelSingles   int64
 }
 
 // Report renders the snapshot as the "stats:" lines the CLIs print — one
@@ -93,6 +115,8 @@ func (s CacheStats) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "stats: kernel cache (Monte-Carlo estimates): %d hits, %d misses (%.1f%% hit ratio), %d evictions\n",
 		s.Estimates.Hits, s.Estimates.Misses, 100*s.Estimates.HitRatio(), s.Estimates.Evictions)
+	fmt.Fprintf(&b, "stats: kernel computes: %d batched passes filling %d estimates, %d single\n",
+		s.KernelBatches, s.KernelBatchKeys, s.KernelSingles)
 	fmt.Fprintf(&b, "stats: graph caches: degrees %d hits / %d misses, graphs %d hits / %d misses\n",
 		s.Degrees.Hits, s.Degrees.Misses, s.Graphs.Hits, s.Graphs.Misses)
 	return b.String()
@@ -146,6 +170,16 @@ func SeedEstimate(call KernelCall, value float64) {
 // add nothing. Process-wide like the caches, zeroed by ResetCaches.
 var kernelComputeNanos atomic.Int64
 
+// kernelBatches/kernelBatchKeys/kernelSingles split kernel computes by
+// shape for CacheStats: batched common-random-numbers passes (and how many
+// estimate keys each filled) versus one-key computes. Process-wide, zeroed
+// by ResetCaches.
+var (
+	kernelBatches   atomic.Int64
+	kernelBatchKeys atomic.Int64
+	kernelSingles   atomic.Int64
+)
+
 // KernelComputeTime returns the cumulative wall time spent computing
 // Monte-Carlo kernels since process start (or the last ResetCaches).
 // Snapshot before and after a run to attribute kernel time to it; in a
@@ -159,9 +193,12 @@ func KernelComputeTime() time.Duration {
 // attribute figures to it.
 func SnapshotCaches() CacheStats {
 	return CacheStats{
-		Degrees:   degreeCache.Stats(),
-		Graphs:    graphCache.Stats(),
-		Estimates: estimateCache.Stats(),
+		Degrees:         degreeCache.Stats(),
+		Graphs:          graphCache.Stats(),
+		Estimates:       estimateCache.Stats(),
+		KernelBatches:   kernelBatches.Load(),
+		KernelBatchKeys: kernelBatchKeys.Load(),
+		KernelSingles:   kernelSingles.Load(),
 	}
 }
 
@@ -174,6 +211,9 @@ func ResetCaches() {
 	graphCache.Reset()
 	estimateCache.Reset()
 	kernelComputeNanos.Store(0)
+	kernelBatches.Store(0)
+	kernelBatchKeys.Store(0)
+	kernelSingles.Store(0)
 }
 
 // ResetGraphCache is the historical name of ResetCaches, kept as a wrapper.

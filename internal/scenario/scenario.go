@@ -190,6 +190,12 @@ func (s Scenario) ModelCtx(ctx context.Context) (core.Model, error) {
 	if err != nil {
 		return core.Model{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	// Announce the curve's full worker axis to model construction: the
+	// graph families batch-fill the whole set's Monte-Carlo estimates from
+	// one common-random-numbers kernel pass on the first sampled point —
+	// sweeps, suite cells and every planner probe (grid and refined alike)
+	// route through here, so they all price their curves batched.
+	ctx = registry.WithKernelWorkerSet(ctx, s.Workers())
 	model, err := registry.BuildModelCtx(ctx, family, s.Name, s.Workload, node, protocol)
 	if err != nil {
 		return core.Model{}, fmt.Errorf("scenario %q: %w", s.Name, err)

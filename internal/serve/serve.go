@@ -105,6 +105,7 @@ type Metrics struct {
 	Sweeps          int64               `json:"sweeps_total"`
 	Plans           int64               `json:"plans_total"`
 	Shed            int64               `json:"shed_total"`
+	Coalesced       int64               `json:"coalesced_total"`
 	BadRequests     int64               `json:"bad_requests_total"`
 	DeadlineExpired int64               `json:"deadline_expired_total"`
 	ClientGone      int64               `json:"client_gone_total"`
@@ -145,6 +146,7 @@ type Server struct {
 	sweeps          *obs.Counter
 	plans           *obs.Counter
 	shed            *obs.Counter
+	coalescedTotal  *obs.Counter
 	badRequests     *obs.Counter
 	deadlineExpired *obs.Counter
 	clientGone      *obs.Counter
@@ -158,6 +160,10 @@ type Server struct {
 	// open, /v1/plan degrades to bound-model answers and /v1/sweep sheds.
 	breakerSweep *Breaker
 	breakerPlan  *Breaker
+
+	// coal single-flights identical in-flight /v1/sweep and /v1/plan
+	// requests: followers replay the leader's 200 instead of re-evaluating.
+	coal coalescer
 
 	durSweep   *obs.Histogram
 	durPlan    *obs.Histogram
@@ -185,9 +191,10 @@ func New(cfg Config) *Server {
 	}
 	s.breakerSweep = NewBreaker(cfg.Breaker, nil)
 	s.breakerPlan = NewBreaker(cfg.Breaker, nil)
+	s.coal.inflight = make(map[string]*coalesceEntry)
 	s.registerMetrics()
-	s.mux.Handle("POST /v1/sweep", s.contained("sweep", s.handleSweep))
-	s.mux.Handle("POST /v1/plan", s.contained("plan", s.handlePlan))
+	s.mux.Handle("POST /v1/sweep", s.contained("sweep", s.coalesce("sweep", s.handleSweep)))
+	s.mux.Handle("POST /v1/plan", s.contained("plan", s.coalesce("plan", s.handlePlan)))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -202,6 +209,7 @@ func (s *Server) registerMetrics() {
 	s.sweeps = s.set.NewCounter("dmls_sweeps_total", "Sweep requests answered successfully.")
 	s.plans = s.set.NewCounter("dmls_plans_total", "Plan requests answered successfully.")
 	s.shed = s.set.NewCounter("dmls_shed_total", "Requests shed with 429 at admission because MaxInFlight was reached.")
+	s.coalescedTotal = s.set.NewCounter("dmls_coalesced_total", "Requests answered by replaying an identical in-flight request's 200 response (single-flight coalescing).")
 	s.badRequests = s.set.NewCounter("dmls_bad_requests_total", "Requests rejected 4xx for malformed bodies, oversized grids or invalid knobs.")
 	s.deadlineExpired = s.set.NewCounter("dmls_deadline_expired_total", "Evaluations that hit their per-request deadline (504).")
 	s.clientGone = s.set.NewCounter("dmls_client_gone_total", "Evaluations cancelled by client disconnect or drain hard-stop.")
@@ -258,6 +266,7 @@ func (s *Server) Metrics() Metrics {
 		Sweeps:          s.sweeps.Value(),
 		Plans:           s.plans.Value(),
 		Shed:            s.shed.Value(),
+		Coalesced:       s.coalescedTotal.Value(),
 		BadRequests:     s.badRequests.Value(),
 		DeadlineExpired: s.deadlineExpired.Value(),
 		ClientGone:      s.clientGone.Value(),
@@ -585,7 +594,7 @@ func (s *Server) evalFailure(w http.ResponseWriter, r *http.Request, err error) 
 // fields and trailing garbage. The body is read whole first so suite
 // sub-documents can be re-decoded through scenario's own strict path.
 func decodeRequest(r *http.Request, dst any) error {
-	raw, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 4<<20))
+	raw, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxRequestBytes))
 	if err != nil {
 		return fmt.Errorf("read body: %w", err)
 	}

@@ -18,6 +18,7 @@
 package shmsim
 
 import (
+	"context"
 	"fmt"
 
 	"dmlscale/internal/bp"
@@ -161,14 +162,16 @@ func ModelCurve(cfg Config, workers []int, trials int, seed int64) (core.Curve, 
 	opsPerEdge := bp.OpsPerEdge(cfg.States)
 	t1 := units.ComputeTime(est1.MaxEdges*opsPerEdge, cfg.Flops)
 	curve := core.Curve{Name: "BP model (Monte-Carlo)", Points: make([]core.Point, 0, len(workers))}
-	for _, n := range workers {
-		// The estimator hashes (seed, n, trial) into independent RNG
-		// streams, so one base seed serves every worker count.
-		est, err := partition.MonteCarloMaxEdges(cfg.Degrees, n, trials, seed)
-		if err != nil {
-			return core.Curve{}, err
-		}
-		tn := units.ComputeTime(est.MaxEdges*opsPerEdge, cfg.Flops)
+	// One batched kernel pass estimates every worker count: the trials draw
+	// common random numbers (partition.TrialSeed hashes seed and trial
+	// only), so one base seed serves the whole curve with a single RNG
+	// sweep over the vertices.
+	ests, err := partition.MonteCarloMaxEdgesBatch(context.Background(), cfg.Degrees, workers, trials, seed)
+	if err != nil {
+		return core.Curve{}, err
+	}
+	for i, n := range workers {
+		tn := units.ComputeTime(ests[i].MaxEdges*opsPerEdge, cfg.Flops)
 		curve.Points = append(curve.Points, core.Point{
 			N:       n,
 			Time:    tn,

@@ -15,15 +15,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkSweepGridColdVsWarm|BenchmarkPlanGridWarm|BenchmarkSweepStreamPruned|BenchmarkSweepGridTracedVsUntraced}"
-OUT="${OUT:-BENCH_PR8.json}"
+BENCH="${BENCH:-BenchmarkSweepGridColdVsWarm|BenchmarkPlanGridWarm|BenchmarkSweepStreamPruned|BenchmarkSweepGridTracedVsUntraced|BenchmarkKernelBatchedVsPerWorker|BenchmarkSweepCurveCold64}"
+OUT="${OUT:-BENCH_PR10.json}"
 if [ -e "$OUT" ]; then
     echo "bench.sh: $OUT already exists (a committed perf baseline)." >&2
     echo "bench.sh: pass OUT=BENCH_PR<n>.json to record this run without clobbering it." >&2
     exit 1
 fi
 
-raw=$(go test -run XXX -bench "$BENCH" -benchmem ${BENCHTIME:+-benchtime "$BENCHTIME"} .)
+raw=$(go test -run XXX -bench "$BENCH" -benchmem ${BENCHTIME:+-benchtime "$BENCHTIME"} . ./internal/partition)
 echo "$raw" >&2
 
 echo "$raw" | awk '
@@ -33,15 +33,17 @@ BEGIN { print "[" }
     sub(/-[0-9]+$/, "", name)      # strip the GOMAXPROCS suffix
     iters = $2
     ns = $3                        # "<ns> ns/op"
-    bytes = ""; allocs = ""
+    bytes = ""; allocs = ""; rng = ""
     for (i = 4; i <= NF; i++) {
-        if ($i == "B/op")      bytes  = $(i - 1)
-        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "B/op")        bytes  = $(i - 1)
+        if ($i == "allocs/op")   allocs = $(i - 1)
+        if ($i == "rngbytes/op") rng    = $(i - 1)
     }
     if (n++) printf ",\n"
     printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
     if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (rng != "")    printf ", \"rngbytes_per_op\": %s", rng
     printf "}"
 }
 END { if (n) printf "\n"; print "]" }
